@@ -1,0 +1,45 @@
+// Ablation (ours): sensitivity of the unfairness measure to the histogram
+// bin count. The paper fixes "equal bins over the range of f" without
+// reporting the count; this sweep shows how the audited unfairness of a
+// random function (f1) and a biased one (f6) move as bins vary.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "marketplace/biased_scoring.h"
+
+int main() {
+  using namespace fairrank;
+  using namespace fairrank::bench;
+
+  const size_t n = SizeFromEnv("FAIRRANK_WORKERS", 2000);
+  Table workers = MakeWorkers(n);
+  FairnessAuditor auditor(&workers);
+  auto f1 = MakeAlphaFunction("f1 (alpha=0.5)", 0.5);
+  auto f6 = MakeF6(7);
+
+  std::printf("=== Ablation: histogram bin count (workers=%zu) ===\n\n", n);
+  TextTable t;
+  t.SetHeader({"bins", "f1 unfairness (balanced)", "f6 unfairness (balanced)",
+               "f6 partitions"});
+  for (int bins : {5, 10, 20, 50, 100}) {
+    AuditOptions options;
+    options.algorithm = "balanced";
+    options.evaluator.num_bins = bins;
+    StatusOr<AuditResult> r1 = auditor.Audit(*f1, options);
+    StatusOr<AuditResult> r6 = auditor.Audit(*f6, options);
+    if (!r1.ok() || !r6.ok()) {
+      std::fprintf(stderr, "audit failed\n");
+      return 1;
+    }
+    t.AddRow({std::to_string(bins), FormatDouble(r1->unfairness, 3),
+              FormatDouble(r6->unfairness, 3),
+              std::to_string(r6->partitions.size())});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Expected: f6 converges to the true Wasserstein distance 0.8 as bins\n"
+      "grow; f1 stays low at every resolution; the gap is robust to the\n"
+      "bin-count choice.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation (ours): the paper's future work asks about "other formulations
+// and metrics for fairness instead of the Earth Mover's Distance". The
+// evaluator takes any Divergence; this sweep audits f1 (random) and f6
+// (biased) under every registered metric.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "marketplace/biased_scoring.h"
+#include "stats/divergence.h"
+
+int main() {
+  using namespace fairrank;
+  using namespace fairrank::bench;
+
+  const size_t n = SizeFromEnv("FAIRRANK_WORKERS", 2000);
+  Table workers = MakeWorkers(n);
+  FairnessAuditor auditor(&workers);
+  auto f1 = MakeAlphaFunction("f1 (alpha=0.5)", 0.5);
+  auto f6 = MakeF6(7);
+
+  std::printf("=== Ablation: divergence choice (workers=%zu) ===\n\n", n);
+  TextTable t;
+  t.SetHeader({"divergence", "f1 unfairness", "f6 unfairness",
+               "f6 attributes recovered"});
+  for (const std::string& name : KnownDivergenceNames()) {
+    if (name == "emd-general") continue;  // Identical to emd, much slower.
+    AuditOptions options;
+    options.algorithm = "balanced";
+    options.evaluator.divergence = name;
+    StatusOr<AuditResult> r1 = auditor.Audit(*f1, options);
+    StatusOr<AuditResult> r6 = auditor.Audit(*f6, options);
+    if (!r1.ok() || !r6.ok()) {
+      std::fprintf(stderr, "audit under %s failed\n", name.c_str());
+      return 1;
+    }
+    t.AddRow({name, FormatDouble(r1->unfairness, 3),
+              FormatDouble(r6->unfairness, 3),
+              Join(r6->attributes_used, ", ")});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Expected: every metric separates f6 from f1 and recovers Gender for\n"
+      "f6; the f6/f1 contrast ratio differs by metric (EMD is\n"
+      "magnitude-aware, TV/KS saturate once supports separate).\n");
+  return 0;
+}

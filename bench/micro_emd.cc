@@ -1,0 +1,111 @@
+// Micro benchmarks: EMD implementations and the other divergences across
+// histogram resolutions. The closed-form 1-D EMD is what the partition
+// search calls in its inner loop; the transportation-solver EMD is the
+// general-ground-distance cross-check.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "stats/divergence.h"
+#include "stats/emd.h"
+#include "stats/histogram.h"
+#include "stats/quantile_sketch.h"
+
+namespace fairrank {
+namespace {
+
+std::pair<Histogram, Histogram> RandomHistograms(int bins, int samples,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  Histogram a(bins, 0.0, 1.0);
+  Histogram b(bins, 0.0, 1.0);
+  for (int i = 0; i < samples; ++i) {
+    a.Add(rng.NextDouble());
+    b.Add(rng.NextDouble());
+  }
+  return {a, b};
+}
+
+void BM_Emd1D(benchmark::State& state) {
+  auto [a, b] = RandomHistograms(static_cast<int>(state.range(0)), 1000, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Emd1D(a, b).value());
+  }
+}
+BENCHMARK(BM_Emd1D)->Arg(10)->Arg(20)->Arg(50)->Arg(100)->Arg(500);
+
+void BM_EmdGeneralTransportation(benchmark::State& state) {
+  auto [a, b] = RandomHistograms(static_cast<int>(state.range(0)), 1000, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmdGeneral1DCost(a, b).value());
+  }
+}
+BENCHMARK(BM_EmdGeneralTransportation)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_EmdThresholded(benchmark::State& state) {
+  auto [a, b] = RandomHistograms(static_cast<int>(state.range(0)), 1000, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmdThresholded(a, b, 0.3).value());
+  }
+}
+BENCHMARK(BM_EmdThresholded)->Arg(10)->Arg(20);
+
+void BM_Divergence(benchmark::State& state,
+                   const std::string& name) {
+  auto divergence = MakeDivergenceByName(name).value();
+  auto [a, b] = RandomHistograms(10, 1000, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(divergence->Distance(a, b).value());
+  }
+}
+BENCHMARK_CAPTURE(BM_Divergence, js, "js");
+BENCHMARK_CAPTURE(BM_Divergence, kl, "kl");
+BENCHMARK_CAPTURE(BM_Divergence, tv, "tv");
+BENCHMARK_CAPTURE(BM_Divergence, ks, "ks");
+BENCHMARK_CAPTURE(BM_Divergence, hellinger, "hellinger");
+
+void BM_GkSketchInsert(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> values(100000);
+  for (double& v : values) v = rng.NextDouble();
+  size_t i = 0;
+  GkSketch sketch(0.01);
+  for (auto _ : state) {
+    sketch.Insert(values[i]);
+    i = (i + 1) % values.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GkSketchInsert);
+
+void BM_EmdFromSketches(benchmark::State& state) {
+  Rng rng(13);
+  GkSketch a(0.01);
+  GkSketch b(0.01);
+  for (int i = 0; i < 50000; ++i) {
+    a.Insert(rng.UniformDouble(0.0, 0.6));
+    b.Insert(rng.UniformDouble(0.4, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmdFromSketches(a, b, 256).value());
+  }
+}
+BENCHMARK(BM_EmdFromSketches);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (double& v : values) v = rng.NextDouble();
+  for (auto _ : state) {
+    Histogram h(10, 0.0, 1.0);
+    for (double v : values) h.Add(v);
+    benchmark::DoNotOptimize(h.total());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramBuild)->Arg(500)->Arg(7300)->Arg(50000);
+
+}  // namespace
+}  // namespace fairrank
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Micro benchmarks: partition splitting, histogram building per partition,
+// average-pairwise evaluation, and end-to-end algorithm runs at several
+// population sizes — the cost drivers behind the runtime columns of
+// Tables 1 and 2.
+
+#include <benchmark/benchmark.h>
+
+#include "fairness/registry.h"
+#include "fairness/splitter.h"
+#include "marketplace/generator.h"
+#include "marketplace/scoring.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+Table MakeWorkers(size_t n) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = 42;
+  return GenerateWorkers(options).value();
+}
+
+UnfairnessEvaluator MakeEval(const Table& workers) {
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  return UnfairnessEvaluator::Make(&workers, fn->ScoreAll(workers).value(),
+                                   EvaluatorOptions())
+      .value();
+}
+
+void BM_SplitPartition(benchmark::State& state) {
+  Table workers = MakeWorkers(static_cast<size_t>(state.range(0)));
+  Partition root = MakeRootPartition(workers.num_rows());
+  size_t gender = workers.schema().FindIndex(worker_attrs::kGender).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitPartition(workers, root, gender));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SplitPartition)->Arg(500)->Arg(7300)->Arg(50000);
+
+void BM_SplitAllFullTree(benchmark::State& state) {
+  Table workers = MakeWorkers(static_cast<size_t>(state.range(0)));
+  std::vector<size_t> attrs = workers.schema().ProtectedIndices();
+  for (auto _ : state) {
+    Partitioning current{MakeRootPartition(workers.num_rows())};
+    for (size_t attr : attrs) current = SplitAll(workers, current, attr);
+    benchmark::DoNotOptimize(current.size());
+  }
+}
+BENCHMARK(BM_SplitAllFullTree)->Arg(500)->Arg(7300);
+
+void BM_AveragePairwiseUnfairness(benchmark::State& state) {
+  Table workers = MakeWorkers(7300);
+  UnfairnessEvaluator eval = MakeEval(workers);
+  // Partitioning with state.range(0) partitions (split on enough attrs).
+  std::vector<size_t> attrs = workers.schema().ProtectedIndices();
+  Partitioning p{MakeRootPartition(workers.num_rows())};
+  for (size_t attr : attrs) {
+    if (static_cast<int64_t>(p.size()) >= state.range(0)) break;
+    p = SplitAll(workers, p, attr);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.AveragePairwiseUnfairness(p).value());
+  }
+  state.counters["partitions"] = static_cast<double>(p.size());
+}
+BENCHMARK(BM_AveragePairwiseUnfairness)->Arg(2)->Arg(6)->Arg(30)->Arg(300);
+
+void BM_Algorithm(benchmark::State& state, const std::string& name) {
+  Table workers = MakeWorkers(static_cast<size_t>(state.range(0)));
+  UnfairnessEvaluator eval = MakeEval(workers);
+  std::vector<size_t> attrs = workers.schema().ProtectedIndices();
+  AlgorithmConfig config;
+  config.seed = 1;
+  for (auto _ : state) {
+    auto algo = MakeAlgorithmByName(name, config).value();
+    benchmark::DoNotOptimize(algo->Run(eval, attrs).value());
+  }
+}
+BENCHMARK_CAPTURE(BM_Algorithm, balanced, "balanced")->Arg(500)->Arg(7300);
+BENCHMARK_CAPTURE(BM_Algorithm, unbalanced, "unbalanced")->Arg(500)->Arg(7300);
+BENCHMARK_CAPTURE(BM_Algorithm, all_attributes, "all-attributes")
+    ->Arg(500)
+    ->Arg(7300);
+
+}  // namespace
+}  // namespace fairrank
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Extension bench: audits on a *realistic* correlated population (modeled
+// on the TaskRabbit/Fiverr findings of Hannak et al., the paper's reference
+// [4]) instead of the paper's uniform simulation. Sweeps the strength of
+// the demographic rating bias and reports what each audit channel sees:
+// the maximized partition-search unfairness, the restricted gender and
+// ethnicity audits, and the single-attribute eta^2 screen.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/profile.h"
+#include "marketplace/realistic.h"
+#include "marketplace/worker.h"
+
+int main() {
+  using namespace fairrank;
+  using namespace fairrank::bench;
+
+  const size_t n = SizeFromEnv("FAIRRANK_WORKERS", 5000);
+  auto f5 = MakeAlphaFunction("f5 (ApprovalRate only)", 0.0);
+
+  std::printf(
+      "=== Realistic population: rating-bias sweep (workers=%zu) ===\n\n", n);
+  TextTable t;
+  t.SetHeader({"bias", "full audit", "gender+ethnicity audit",
+               "eta^2 gender", "eta^2 ethnicity"});
+  for (double bias : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    RealisticGeneratorOptions gen;
+    gen.num_workers = n;
+    gen.seed = kDataSeed;
+    gen.bias_strength = bias;
+    StatusOr<Table> workers = GenerateRealisticWorkers(gen);
+    if (!workers.ok()) {
+      std::fprintf(stderr, "%s\n", workers.status().ToString().c_str());
+      return 1;
+    }
+    FairnessAuditor auditor(&workers.value());
+
+    AuditOptions full;
+    full.algorithm = "balanced";
+    StatusOr<AuditResult> full_audit = auditor.Audit(*f5, full);
+    AuditOptions restricted = full;
+    restricted.protected_attributes = {worker_attrs::kGender,
+                                       worker_attrs::kEthnicity};
+    StatusOr<AuditResult> restricted_audit = auditor.Audit(*f5, restricted);
+    if (!full_audit.ok() || !restricted_audit.ok()) {
+      std::fprintf(stderr, "audit failed\n");
+      return 1;
+    }
+
+    StatusOr<std::vector<double>> scores = f5->ScoreAll(*workers);
+    StatusOr<std::vector<ScoreAssociation>> associations =
+        ScoreAssociations(*workers, *scores);
+    if (!associations.ok()) return 1;
+    double eta_gender = 0.0;
+    double eta_ethnicity = 0.0;
+    for (const ScoreAssociation& a : *associations) {
+      if (a.attribute == worker_attrs::kGender) eta_gender = a.eta_squared;
+      if (a.attribute == worker_attrs::kEthnicity) {
+        eta_ethnicity = a.eta_squared;
+      }
+    }
+    t.AddRow({FormatDouble(bias, 2), FormatDouble(full_audit->unfairness, 3),
+              FormatDouble(restricted_audit->unfairness, 3),
+              FormatDouble(eta_gender, 3), FormatDouble(eta_ethnicity, 3)});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Expected: the restricted audit and both eta^2 columns grow\n"
+      "monotonically with the injected rating bias. The full maximized\n"
+      "audit barely moves: its ~0.1 sampling floor (maximizing over all\n"
+      "six attributes) swamps the moderate rating penalties — exactly why\n"
+      "the significance tooling (bench/significance_check) matters before\n"
+      "reading the maximized number as discrimination.\n");
+  return 0;
+}

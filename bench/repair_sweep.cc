@@ -1,0 +1,80 @@
+// Extension bench: the paper's future work is "repairing bias in the
+// context of ranking". For each biased function f6..f9 this harness audits
+// with balanced, repairs the scores on the audited partitioning with each
+// strategy, and reports the fairness/utility trade-off.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "marketplace/biased_scoring.h"
+#include "repair/repair.h"
+
+int main() {
+  using namespace fairrank;
+  using namespace fairrank::bench;
+
+  const size_t n = SizeFromEnv("FAIRRANK_WORKERS", 2000);
+  Table workers = MakeWorkers(n);
+  FairnessAuditor auditor(&workers);
+
+  std::vector<std::unique_ptr<RepairStrategy>> strategies;
+  strategies.push_back(MakeQuantileRepair());
+  strategies.push_back(MakeAffineRepair());
+  strategies.push_back(MakeInterpolationRepair(0.5));
+
+  std::printf("=== Repair sweep (workers=%zu) ===\n\n", n);
+  TextTable t;
+  t.SetHeader({"function", "repair", "unfairness before", "after",
+               "mean |delta score|", "rank correlation"});
+  for (const auto& fn : MakePaperBiasedFunctions(7)) {
+    AuditOptions options;
+    options.algorithm = "balanced";
+    StatusOr<AuditResult> audit = auditor.Audit(*fn, options);
+    if (!audit.ok()) {
+      std::fprintf(stderr, "%s\n", audit.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<double> scores = fn->ScoreAll(workers).value();
+    for (const auto& strategy : strategies) {
+      StatusOr<RepairEvaluation> eval =
+          EvaluateRepair(workers, audit->partitioning, scores, *strategy,
+                         EvaluatorOptions());
+      if (!eval.ok()) {
+        std::fprintf(stderr, "%s\n", eval.status().ToString().c_str());
+        return 1;
+      }
+      t.AddRow({fn->Name(), strategy->Name(),
+                FormatDouble(eval->unfairness_before, 3),
+                FormatDouble(eval->unfairness_after, 3),
+                FormatDouble(eval->mean_score_change, 3),
+                FormatDouble(eval->rank_correlation, 3)});
+    }
+  }
+  std::printf("%s\n", t.ToString().c_str());
+
+  // Lambda sweep on f6: the fairness/utility frontier.
+  std::printf("Interpolation frontier on f6:\n");
+  TextTable frontier;
+  frontier.SetHeader({"lambda", "unfairness after", "rank correlation"});
+  auto f6 = MakeF6(13);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  AuditResult audit = auditor.Audit(*f6, options).value();
+  std::vector<double> scores = f6->ScoreAll(workers).value();
+  for (double lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    auto strategy = MakeInterpolationRepair(lambda);
+    RepairEvaluation eval =
+        EvaluateRepair(workers, audit.partitioning, scores, *strategy,
+                       EvaluatorOptions())
+            .value();
+    frontier.AddRow({FormatDouble(lambda, 2),
+                     FormatDouble(eval.unfairness_after, 3),
+                     FormatDouble(eval.rank_correlation, 3)});
+  }
+  std::printf("%s\n", frontier.ToString().c_str());
+  std::printf(
+      "Expected: quantile repair drives unfairness to ~0 at the cost of\n"
+      "global rank reshuffling; affine gets close; the interpolation\n"
+      "frontier trades the two monotonically in lambda.\n");
+  return 0;
+}

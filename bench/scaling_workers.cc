@@ -1,0 +1,77 @@
+// Scaling study: runtime and unfairness of every paper algorithm as the
+// worker population grows. Backs the paper's efficiency claims ("the larger
+// the dataset, the more time it took for all algorithms to finish";
+// balanced slowest) with a full curve rather than the two sizes of
+// Tables 1-2, and adds the evaluator's thread knob.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+
+int main() {
+  using namespace fairrank;
+  using namespace fairrank::bench;
+
+  const size_t kMax = SizeFromEnv("FAIRRANK_WORKERS", 50000);
+  std::vector<size_t> sizes;
+  for (size_t n : {size_t{500}, size_t{2000}, size_t{7300}, size_t{20000},
+                   size_t{50000}}) {
+    if (n <= kMax) sizes.push_back(n);
+  }
+
+  std::printf("=== Scaling: runtime vs population size (f1, seed %llu) ===\n\n",
+              static_cast<unsigned long long>(kDataSeed));
+  TextTable t;
+  t.SetHeader({"workers", "algorithm", "avg EMD", "seconds"});
+  for (size_t n : sizes) {
+    Table workers = MakeWorkers(n);
+    FairnessAuditor auditor(&workers);
+    auto fn = MakeAlphaFunction("f1", 0.5);
+    for (const std::string& algorithm : PaperAlgorithmNames()) {
+      AuditOptions options;
+      options.algorithm = algorithm;
+      options.seed = 1;
+      StatusOr<AuditResult> result = auditor.Audit(*fn, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      t.AddRow({std::to_string(n), algorithm,
+                FormatDouble(result->unfairness, 3),
+                FormatDouble(result->seconds, 3)});
+    }
+  }
+  std::printf("%s\n", t.ToString().c_str());
+
+  // Thread scaling of the evaluation itself on the largest size.
+  const size_t n = sizes.back();
+  Table workers = MakeWorkers(n);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  std::printf("Evaluator thread scaling (%zu workers, full partitioning, "
+              "%d hardware threads):\n",
+              n, HardwareThreads());
+  TextTable threads_table;
+  threads_table.SetHeader({"threads", "avg EMD", "seconds"});
+  for (int threads : {1, 2, 4, 8}) {
+    EvaluatorOptions evaluator;
+    evaluator.num_threads = threads;
+    StatusOr<UnfairnessEvaluator> eval = UnfairnessEvaluator::Make(
+        &workers, fn->ScoreAll(workers).value(), evaluator);
+    if (!eval.ok()) {
+      std::fprintf(stderr, "%s\n", eval.status().ToString().c_str());
+      return 1;
+    }
+    StatusOr<std::unique_ptr<PartitioningAlgorithm>> algo =
+        MakeAlgorithmByName("all-attributes");
+    Partitioning p =
+        (*algo)->Run(*eval, workers.schema().ProtectedIndices()).value();
+    Stopwatch watch;
+    double u = eval->AveragePairwiseUnfairness(p).value();
+    threads_table.AddRow({std::to_string(threads), FormatDouble(u, 3),
+                          FormatDouble(watch.ElapsedSeconds(), 3)});
+  }
+  std::printf("%s\n", threads_table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Statistical significance of audited unfairness (our extension): the
+// paper's random functions still show avg EMD ~0.15-0.33 because finite
+// random partitions always differ and the search maximizes over
+// partitionings. The permutation test separates that sampling floor from
+// genuine score-attribute association, and the bootstrap quantifies the
+// estimate's stability.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairness/significance.h"
+#include "marketplace/biased_scoring.h"
+
+int main() {
+  using namespace fairrank;
+  using namespace fairrank::bench;
+
+  const size_t n = SizeFromEnv("FAIRRANK_WORKERS", 2000);
+  const size_t kIterations = 99;
+  Table workers = MakeWorkers(n);
+  FairnessAuditor auditor(&workers);
+
+  std::vector<std::unique_ptr<ScoringFunction>> functions =
+      MakePaperRandomFunctions();
+  for (auto& fn : MakePaperBiasedFunctions(7)) {
+    functions.push_back(std::move(fn));
+  }
+
+  std::printf(
+      "=== Significance of audited unfairness (workers=%zu, %zu "
+      "permutations) ===\n\n",
+      n, kIterations);
+  TextTable t;
+  t.SetHeader({"function", "observed", "null mean", "p-value",
+               "bootstrap 95% CI"});
+  for (const auto& fn : functions) {
+    AuditOptions options;
+    options.algorithm = "balanced";
+    StatusOr<AuditResult> audit = auditor.Audit(*fn, options);
+    if (!audit.ok()) {
+      std::fprintf(stderr, "%s\n", audit.status().ToString().c_str());
+      return 1;
+    }
+    StatusOr<UnfairnessEvaluator> eval = UnfairnessEvaluator::Make(
+        &workers, fn->ScoreAll(workers).value(), options.evaluator);
+    if (!eval.ok()) return 1;
+    StatusOr<PermutationResult> permutation = PermutationTestUnfairness(
+        *eval, audit->partitioning, kIterations, /*seed=*/5);
+    StatusOr<BootstrapResult> bootstrap =
+        BootstrapUnfairness(*eval, audit->partitioning, kIterations,
+                            /*seed=*/6);
+    if (!permutation.ok() || !bootstrap.ok()) {
+      std::fprintf(stderr, "significance computation failed\n");
+      return 1;
+    }
+    t.AddRow({fn->Name(), FormatDouble(permutation->observed, 3),
+              FormatDouble(permutation->null_mean, 3),
+              FormatDouble(permutation->p_value, 3),
+              "[" + FormatDouble(bootstrap->ci_lo, 3) + ", " +
+                  FormatDouble(bootstrap->ci_hi, 3) + "]"});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Expected: biased f6-f9 have p = 0.01 (the minimum with 99\n"
+      "permutations) and observed far above the null mean. Random f1-f5\n"
+      "sit near their null (the audit maximizes over partitionings, so\n"
+      "their observed EMD is the sampling floor, not discrimination).\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table 1: average EMD and runtime for 500 workers under the five random
+// linear scoring functions f1..f5, for all five algorithms.
+//
+// Expected shapes (paper): f4/f5 (single observed attribute) show the
+// highest average EMD; unbalanced/balanced match or beat the baselines;
+// balanced is the slowest algorithm.
+//
+// Override the population size with FAIRRANK_WORKERS=<n>.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace fairrank;
+  using namespace fairrank::bench;
+
+  const size_t n = SizeFromEnv("FAIRRANK_WORKERS", 500);
+  std::printf("workers=%zu seed=%llu\n\n", n,
+              static_cast<unsigned long long>(kDataSeed));
+  Table workers = MakeWorkers(n);
+  auto functions = MakePaperRandomFunctions();
+  RunAndPrintGrid("Table 1: 500 workers, random functions", workers,
+                  functions, /*baseline_seed=*/1, /*print_times=*/true);
+  return 0;
+}

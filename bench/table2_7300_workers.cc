@@ -1,0 +1,27 @@
+// Table 2: average EMD and runtime for 7300 workers (the estimated number
+// of concurrently-active Amazon Mechanical Turk workers) under f1..f5.
+//
+// Expected shapes (paper): all algorithms converge to (nearly) the full
+// partitioning, so the average EMDs coincide across algorithms; f4/f5
+// remain the most unfair; runtimes grow with the dataset size, balanced
+// slowest.
+//
+// Override the population size with FAIRRANK_WORKERS=<n>.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace fairrank;
+  using namespace fairrank::bench;
+
+  const size_t n = SizeFromEnv("FAIRRANK_WORKERS", 7300);
+  std::printf("workers=%zu seed=%llu\n\n", n,
+              static_cast<unsigned long long>(kDataSeed));
+  Table workers = MakeWorkers(n);
+  auto functions = MakePaperRandomFunctions();
+  RunAndPrintGrid("Table 2: 7300 workers, random functions", workers,
+                  functions, /*baseline_seed=*/2, /*print_times=*/true);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Qualitative experiment (paper, Table 3): audit the four scoring functions
+// that are unfair by design — f6 (anti-female), f7 (gender x country), f8
+// (female x country), f9 (ethnicity x language x birth) — and show that the
+// balanced algorithm recovers exactly the attributes each function was
+// designed to discriminate on.
+
+#include <cstdio>
+
+#include "fairness/auditor.h"
+#include "fairness/report.h"
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+
+namespace {
+
+int Fail(const fairrank::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fairrank;
+
+  GeneratorOptions gen;
+  gen.num_workers = 3000;
+  gen.seed = 19;
+  StatusOr<Table> workers = GenerateWorkers(gen);
+  if (!workers.ok()) return Fail(workers.status());
+
+  FairnessAuditor auditor(&workers.value());
+  for (const auto& fn : MakePaperBiasedFunctions(/*seed=*/5)) {
+    AuditOptions options;
+    options.algorithm = "balanced";
+    StatusOr<AuditResult> result = auditor.Audit(*fn, options);
+    if (!result.ok()) return Fail(result.status());
+
+    ReportOptions report;
+    report.max_partitions = 6;
+    std::printf("%s", FormatAuditReport(*result, report).c_str());
+
+    // Compare against a fair control: the same audit under f1.
+    std::printf("\n");
+  }
+
+  // Control: a random linear function audited the same way shows far lower
+  // unfairness.
+  auto control = MakeAlphaFunction("f1 (alpha=0.5), fair control", 0.5);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  StatusOr<AuditResult> result = auditor.Audit(*control, options);
+  if (!result.ok()) return Fail(result.status());
+  ReportOptions report;
+  report.max_partitions = 6;
+  std::printf("%s", FormatAuditReport(*result, report).c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: audit a scoring function on the paper's Figure 1 toy example.
+//
+// Builds the 10-worker toy table, runs the exhaustive optimum plus the two
+// heuristics, and prints the partitionings they find. The expected optimum
+// is {Male-English, Male-Indian, Male-Other, Female}.
+
+#include <cstdio>
+#include <string>
+
+#include "fairness/auditor.h"
+#include "fairness/report.h"
+#include "marketplace/worker.h"
+
+namespace {
+
+int Fail(const fairrank::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  fairrank::StatusOr<fairrank::Table> table = fairrank::MakeToyTable();
+  if (!table.ok()) return Fail(table.status());
+
+  // The toy table carries the score as its observed attribute.
+  fairrank::LinearScoringFunction score("toy score", {{"Score", 1.0}});
+
+  fairrank::FairnessAuditor auditor(&table.value());
+  for (const std::string& algorithm :
+       {std::string("exhaustive"), std::string("balanced"),
+        std::string("unbalanced")}) {
+    fairrank::AuditOptions options;
+    options.algorithm = algorithm;
+    fairrank::StatusOr<fairrank::AuditResult> result =
+        auditor.Audit(score, options);
+    if (!result.ok()) return Fail(result.status());
+    fairrank::ReportOptions report;
+    report.include_histograms = false;
+    std::printf("%s\n", FormatAuditReport(*result, report).c_str());
+  }
+  return 0;
+}

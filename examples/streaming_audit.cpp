@@ -1,0 +1,85 @@
+// Streaming audit: score streams too large or too transient to buffer are
+// summarized per demographic group with Greenwald-Khanna quantile sketches,
+// and group unfairness is read off as the Wasserstein-1 distance between
+// sketched distributions — no per-worker storage.
+//
+// The stream here replays a large simulated population through f6 (the
+// paper's anti-female function); the sketch audit recovers the ~0.8 exact
+// sample-based EMD while storing a few hundred tuples per group.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+#include "marketplace/worker.h"
+#include "stats/emd.h"
+#include "stats/quantile_sketch.h"
+
+namespace {
+
+int Fail(const fairrank::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fairrank;
+
+  // A population too big to want in memory per-score (here: 200k workers).
+  GeneratorOptions gen;
+  gen.num_workers = 200000;
+  gen.seed = 37;
+  StatusOr<Table> workers = GenerateWorkers(gen);
+  if (!workers.ok()) return Fail(workers.status());
+  auto f6 = MakeF6(53);
+  StatusOr<std::vector<double>> scores = f6->ScoreAll(*workers);
+  if (!scores.ok()) return Fail(scores.status());
+
+  const size_t gender_col =
+      workers->schema().FindIndex(worker_attrs::kGender).value();
+
+  // Stream: one GK sketch per gender; also keep exact buffers purely to
+  // report the approximation error (a real deployment would not).
+  const double kEpsilon = 0.005;
+  GkSketch male_sketch(kEpsilon);
+  GkSketch female_sketch(kEpsilon);
+  std::vector<double> male_exact;
+  std::vector<double> female_exact;
+  for (size_t row = 0; row < workers->num_rows(); ++row) {
+    double score = (*scores)[row];
+    if (workers->column(gender_col).CodeAt(row) == 0) {
+      male_sketch.Insert(score);
+      male_exact.push_back(score);
+    } else {
+      female_sketch.Insert(score);
+      female_exact.push_back(score);
+    }
+  }
+
+  StatusOr<double> sketched = EmdFromSketches(male_sketch, female_sketch);
+  if (!sketched.ok()) return Fail(sketched.status());
+  StatusOr<double> exact = EmdSamples1D(male_exact, female_exact);
+  if (!exact.ok()) return Fail(exact.status());
+
+  std::printf("streamed %zu scores under %s\n", scores->size(),
+              f6->Name().c_str());
+  std::printf("  male sketch:   %zu observations in %zu tuples\n",
+              male_sketch.count(), male_sketch.tuples());
+  std::printf("  female sketch: %zu observations in %zu tuples\n",
+              female_sketch.count(), female_sketch.tuples());
+  std::printf("gender unfairness (Wasserstein-1):\n");
+  std::printf("  sketched: %.5f\n", *sketched);
+  std::printf("  exact:    %.5f\n", *exact);
+  std::printf("  |error|:  %.5f (epsilon %.3f)\n",
+              std::abs(*sketched - *exact), kEpsilon);
+  std::printf(
+      "\nMemory: %zu vs %zu stored values (%.1fx compression).\n",
+      male_sketch.tuples() + female_sketch.tuples(), scores->size(),
+      static_cast<double>(scores->size()) /
+          static_cast<double>(male_sketch.tuples() + female_sketch.tuples()));
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "common/flags.h"
+
+#include "common/str_util.h"
+
+namespace fairrank {
+
+StatusOr<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  FlagParser parser;
+  bool flags_done = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_done || !StartsWith(arg, "--")) {
+      parser.positional_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        return Status::InvalidArgument("malformed flag '" + arg + "'");
+      }
+      parser.flags_[name] = body.substr(eq + 1);
+      continue;
+    }
+    if (body.empty()) {
+      return Status::InvalidArgument("malformed flag '" + arg + "'");
+    }
+    // `--name value` if the next token is not a flag; else bare boolean.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      parser.flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      parser.flags_[body] = "true";
+    }
+  }
+  return parser;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+StatusOr<int64_t> FlagParser::GetInt(const std::string& name,
+                                     int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  int64_t value = 0;
+  if (!ParseInt64(it->second, &value)) {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
+StatusOr<double> FlagParser::GetDouble(const std::string& name,
+                                       double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  double value = 0.0;
+  if (!ParseDouble(it->second, &value)) {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
+StatusOr<bool> FlagParser::GetBool(const std::string& name,
+                                   bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  std::string v = ToLower(it->second);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("--" + name + " expects a boolean, got '" +
+                                 it->second + "'");
+}
+
+std::vector<std::string> FlagParser::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,59 @@
+#ifndef FAIRRANK_COMMON_FLAGS_H_
+#define FAIRRANK_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairrank {
+
+/// Minimal command-line parser for the fairaudit CLI and the bench
+/// harnesses. Understands:
+///
+///   --name=value     --name value     --flag         (bare boolean)
+///
+/// Everything that does not start with `--` is a positional argument.
+/// A literal `--` ends flag parsing; the rest is positional.
+class FlagParser {
+ public:
+  /// Parses argv (excluding argv[0]). Fails on malformed input such as a
+  /// flag with an empty name.
+  static StatusOr<FlagParser> Parse(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` if absent. A bare boolean flag
+  /// has value "true".
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+
+  /// Integer value of --name; fails if present but unparsable.
+  StatusOr<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Double value of --name; fails if present but unparsable.
+  StatusOr<double> GetDouble(const std::string& name, double fallback) const;
+
+  /// Boolean value: absent -> fallback; bare flag or "true"/"1" -> true;
+  /// "false"/"0" -> false; anything else fails.
+  StatusOr<bool> GetBool(const std::string& name, bool fallback) const;
+
+  /// Positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all flags seen, for unknown-flag validation by callers.
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  FlagParser() = default;
+
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_COMMON_FLAGS_H_

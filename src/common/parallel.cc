@@ -1,0 +1,38 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace fairrank {
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  // Not worth spawning threads for tiny ranges.
+  const size_t kMinPerThread = 64;
+  size_t usable = std::min<size_t>(static_cast<size_t>(std::max(num_threads, 1)),
+                                   (n + kMinPerThread - 1) / kMinPerThread);
+  if (usable <= 1) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(usable - 1);
+  size_t chunk = (n + usable - 1) / usable;
+  for (size_t t = 1; t < usable; ++t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end]() { body(begin, end); });
+  }
+  body(0, std::min(n, chunk));
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace fairrank

@@ -1,0 +1,23 @@
+#ifndef FAIRRANK_COMMON_PARALLEL_H_
+#define FAIRRANK_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace fairrank {
+
+/// Runs `body(begin, end)` over a partition of [0, n) across up to
+/// `num_threads` worker threads (including the calling thread) and joins.
+/// With num_threads <= 1 or tiny n the body runs inline — callers never
+/// need a special single-threaded path.
+///
+/// `body` must be safe to call concurrently on disjoint ranges.
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Number of hardware threads, at least 1.
+int HardwareThreads();
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_COMMON_PARALLEL_H_

@@ -1,0 +1,21 @@
+#include "common/stopwatch.h"
+
+namespace fairrank {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedMicros()) / 1e6;
+}
+
+double Stopwatch::ElapsedMillis() const {
+  return static_cast<double>(ElapsedMicros()) / 1e3;
+}
+
+int64_t Stopwatch::ElapsedMicros() const {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now - start_)
+      .count();
+}
+
+}  // namespace fairrank

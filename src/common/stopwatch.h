@@ -1,0 +1,33 @@
+#ifndef FAIRRANK_COMMON_STOPWATCH_H_
+#define FAIRRANK_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fairrank {
+
+/// Simple wall-clock stopwatch used by benchmark harnesses to report the
+/// runtime columns of the paper's tables.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+  /// Microseconds elapsed since construction or the last Restart().
+  int64_t ElapsedMicros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_COMMON_STOPWATCH_H_

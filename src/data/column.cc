@@ -1,0 +1,60 @@
+#include "data/column.h"
+
+namespace fairrank {
+
+Column::Column(AttributeKind kind) : kind_(kind) {}
+
+size_t Column::size() const {
+  switch (kind_) {
+    case AttributeKind::kCategorical:
+      return codes_.size();
+    case AttributeKind::kInteger:
+      return ints_.size();
+    case AttributeKind::kReal:
+      return reals_.size();
+  }
+  return 0;
+}
+
+void Column::AppendCode(int32_t code) {
+  assert(kind_ == AttributeKind::kCategorical);
+  codes_.push_back(code);
+}
+
+void Column::AppendInt(int64_t value) {
+  assert(kind_ == AttributeKind::kInteger);
+  ints_.push_back(value);
+}
+
+void Column::AppendReal(double value) {
+  assert(kind_ == AttributeKind::kReal);
+  reals_.push_back(value);
+}
+
+double Column::AsDouble(size_t row) const {
+  switch (kind_) {
+    case AttributeKind::kCategorical:
+      return static_cast<double>(codes_[row]);
+    case AttributeKind::kInteger:
+      return static_cast<double>(ints_[row]);
+    case AttributeKind::kReal:
+      return reals_[row];
+  }
+  return 0.0;
+}
+
+void Column::Reserve(size_t n) {
+  switch (kind_) {
+    case AttributeKind::kCategorical:
+      codes_.reserve(n);
+      break;
+    case AttributeKind::kInteger:
+      ints_.reserve(n);
+      break;
+    case AttributeKind::kReal:
+      reals_.reserve(n);
+      break;
+  }
+}
+
+}  // namespace fairrank

@@ -1,0 +1,190 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace fairrank {
+
+StatusOr<std::vector<std::string>> ParseCsvRecord(const std::string& line,
+                                                  char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument(
+            "unexpected quote inside unquoted field: " + line);
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    if (c == '\r' && i + 1 == line.size()) {
+      ++i;  // Tolerate CRLF line endings.
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+std::string QuoteIfNeeded(const std::string& field, char delimiter) {
+  bool needs_quoting = false;
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+      needs_quoting = true;
+      break;
+    }
+  }
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Table> ReadCsv(std::istream& in, const Schema& schema,
+                        const CsvOptions& options) {
+  Table table(schema);
+  std::string line;
+  size_t line_number = 0;
+
+  // column_of_attr[i] = CSV column index feeding schema attribute i.
+  std::vector<size_t> column_of_attr(schema.num_attributes());
+  bool mapped = false;
+
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("CSV stream empty: missing header");
+    }
+    ++line_number;
+    FAIRRANK_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                              ParseCsvRecord(line, options.delimiter));
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const std::string& want = schema.attribute(a).name();
+      bool found = false;
+      for (size_t c = 0; c < header.size(); ++c) {
+        if (std::string(Trim(header[c])) == want) {
+          column_of_attr[a] = c;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("CSV header has no column named '" + want +
+                                "'");
+      }
+    }
+    mapped = true;
+  } else {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) column_of_attr[a] = a;
+    mapped = true;
+  }
+  (void)mapped;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (options.skip_blank_lines && Trim(line).empty()) continue;
+    FAIRRANK_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                              ParseCsvRecord(line, options.delimiter));
+    std::vector<Cell> cells;
+    cells.reserve(schema.num_attributes());
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      size_t c = column_of_attr[a];
+      if (c >= fields.size()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": only " +
+            std::to_string(fields.size()) + " fields, need column " +
+            std::to_string(c + 1) + " for attribute '" +
+            schema.attribute(a).name() + "'");
+      }
+      cells.emplace_back(std::string(Trim(fields[c])));
+    }
+    Status st = table.AppendRow(cells);
+    if (!st.ok()) {
+      return Status(st.code(), "line " + std::to_string(line_number) + ": " +
+                                   st.message());
+    }
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                            const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadCsv(in, schema, options);
+}
+
+Status WriteCsv(std::ostream& out, const Table& table,
+                const CsvOptions& options) {
+  const Schema& schema = table.schema();
+  const std::string delim(1, options.delimiter);
+  if (options.has_header) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (a > 0) out << delim;
+      out << QuoteIfNeeded(schema.attribute(a).name(), options.delimiter);
+    }
+    out << "\n";
+  }
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (a > 0) out << delim;
+      out << QuoteIfNeeded(table.CellToString(row, a), options.delimiter);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const std::string& path, const Table& table,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return WriteCsv(out, table, options);
+}
+
+}  // namespace fairrank

@@ -1,0 +1,52 @@
+#ifndef FAIRRANK_DATA_CSV_H_
+#define FAIRRANK_DATA_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace fairrank {
+
+/// Options for CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row is a header naming the columns. Columns are matched to schema
+  /// attributes by name; extra CSV columns are ignored, and every schema
+  /// attribute must be present.
+  bool has_header = true;
+  /// Skip blank lines instead of failing on them.
+  bool skip_blank_lines = true;
+};
+
+/// Parses one CSV record with RFC 4180 quoting (quoted fields may contain the
+/// delimiter; doubled quotes escape a quote). Exposed for testing.
+StatusOr<std::vector<std::string>> ParseCsvRecord(const std::string& line,
+                                                  char delimiter);
+
+/// Reads a table from a CSV stream against `schema`. With a header, schema
+/// attributes are matched by column name; without one, the first
+/// schema.num_attributes() columns are used positionally.
+StatusOr<Table> ReadCsv(std::istream& in, const Schema& schema,
+                        const CsvOptions& options = CsvOptions());
+
+/// Reads a table from a CSV file. See ReadCsv.
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                            const CsvOptions& options = CsvOptions());
+
+/// Writes `table` as CSV (header + one record per row); categorical cells
+/// are written as labels. Fields containing the delimiter, quotes or
+/// newlines are quoted.
+Status WriteCsv(std::ostream& out, const Table& table,
+                const CsvOptions& options = CsvOptions());
+
+/// Writes `table` to a CSV file. See WriteCsv.
+Status WriteCsvFile(const std::string& path, const Table& table,
+                    const CsvOptions& options = CsvOptions());
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_DATA_CSV_H_

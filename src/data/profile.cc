@@ -1,0 +1,137 @@
+#include "data/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace fairrank {
+
+StatusOr<TableProfile> ProfileTable(const Table& table) {
+  if (table.num_rows() == 0) {
+    return Status::FailedPrecondition("cannot profile an empty table");
+  }
+  TableProfile profile;
+  profile.num_rows = table.num_rows();
+  const Schema& schema = table.schema();
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const AttributeSpec& spec = schema.attribute(a);
+    AttributeProfile ap;
+    ap.name = spec.name();
+    ap.kind = spec.kind();
+    ap.role = spec.role();
+
+    std::vector<size_t> counts(static_cast<size_t>(spec.num_groups()), 0);
+    double sum = 0.0;
+    double sq = 0.0;
+    double mn = 0.0;
+    double mx = 0.0;
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      ++counts[static_cast<size_t>(table.GroupIndex(row, a))];
+      if (spec.kind() != AttributeKind::kCategorical) {
+        double v = table.ValueAsDouble(row, a);
+        if (row == 0) {
+          mn = mx = v;
+        } else {
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+        sum += v;
+        sq += v * v;
+      }
+    }
+    for (size_t g = 0; g < counts.size(); ++g) {
+      GroupCount gc;
+      gc.label = spec.GroupLabel(static_cast<int>(g));
+      gc.count = counts[g];
+      gc.fraction =
+          static_cast<double>(counts[g]) / static_cast<double>(table.num_rows());
+      ap.groups.push_back(std::move(gc));
+    }
+    if (spec.kind() != AttributeKind::kCategorical) {
+      double n = static_cast<double>(table.num_rows());
+      ap.min = mn;
+      ap.max = mx;
+      ap.mean = sum / n;
+      double variance = std::max(0.0, sq / n - ap.mean * ap.mean);
+      ap.stddev = std::sqrt(variance);
+    }
+    profile.attributes.push_back(std::move(ap));
+  }
+  return profile;
+}
+
+StatusOr<std::vector<ScoreAssociation>> ScoreAssociations(
+    const Table& table, const std::vector<double>& scores) {
+  if (scores.size() != table.num_rows()) {
+    return Status::InvalidArgument("scores/table size mismatch");
+  }
+  if (table.num_rows() == 0) {
+    return Status::FailedPrecondition("empty table");
+  }
+  const double n = static_cast<double>(scores.size());
+  double overall_mean = 0.0;
+  for (double s : scores) overall_mean += s;
+  overall_mean /= n;
+  double total_ss = 0.0;
+  for (double s : scores) {
+    total_ss += (s - overall_mean) * (s - overall_mean);
+  }
+
+  std::vector<ScoreAssociation> associations;
+  for (size_t a : table.schema().ProtectedIndices()) {
+    const AttributeSpec& spec = table.schema().attribute(a);
+    std::vector<double> group_sum(static_cast<size_t>(spec.num_groups()), 0.0);
+    std::vector<size_t> group_count(static_cast<size_t>(spec.num_groups()), 0);
+    for (size_t row = 0; row < table.num_rows(); ++row) {
+      size_t g = static_cast<size_t>(table.GroupIndex(row, a));
+      group_sum[g] += scores[row];
+      ++group_count[g];
+    }
+    double between_ss = 0.0;
+    double max_gap = 0.0;
+    for (size_t g = 0; g < group_sum.size(); ++g) {
+      if (group_count[g] == 0) continue;
+      double mean = group_sum[g] / static_cast<double>(group_count[g]);
+      between_ss += static_cast<double>(group_count[g]) *
+                    (mean - overall_mean) * (mean - overall_mean);
+      max_gap = std::max(max_gap, std::abs(mean - overall_mean));
+    }
+    ScoreAssociation assoc;
+    assoc.attribute = spec.name();
+    assoc.eta_squared = (total_ss > 0.0) ? between_ss / total_ss : 0.0;
+    assoc.max_mean_gap = max_gap;
+    associations.push_back(std::move(assoc));
+  }
+  std::stable_sort(associations.begin(), associations.end(),
+                   [](const ScoreAssociation& x, const ScoreAssociation& y) {
+                     return x.eta_squared > y.eta_squared;
+                   });
+  return associations;
+}
+
+std::string FormatTableProfile(const TableProfile& profile) {
+  std::string out =
+      "rows: " + std::to_string(profile.num_rows) + "\n";
+  for (const AttributeProfile& ap : profile.attributes) {
+    out += ap.name;
+    out += " (";
+    out += AttributeKindToString(ap.kind);
+    out += ", ";
+    out += AttributeRoleToString(ap.role);
+    out += ")";
+    if (ap.kind != AttributeKind::kCategorical) {
+      out += "  min " + FormatDouble(ap.min, 2) + "  max " +
+             FormatDouble(ap.max, 2) + "  mean " + FormatDouble(ap.mean, 2) +
+             "  stddev " + FormatDouble(ap.stddev, 2);
+    }
+    out += "\n";
+    for (const GroupCount& g : ap.groups) {
+      out += "  " + g.label + ": " + std::to_string(g.count) + " (" +
+             FormatDouble(100.0 * g.fraction, 1) + "%)\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,67 @@
+#ifndef FAIRRANK_DATA_PROFILE_H_
+#define FAIRRANK_DATA_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace fairrank {
+
+/// Per-group occupancy of one attribute.
+struct GroupCount {
+  std::string label;
+  size_t count = 0;
+  double fraction = 0.0;
+};
+
+/// Profile of one attribute: group occupancy plus numeric summaries where
+/// applicable.
+struct AttributeProfile {
+  std::string name;
+  AttributeKind kind = AttributeKind::kCategorical;
+  AttributeRole role = AttributeRole::kOther;
+  std::vector<GroupCount> groups;  ///< In group-index order; empty groups kept.
+  // Numeric attributes only:
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Whole-table profile.
+struct TableProfile {
+  size_t num_rows = 0;
+  std::vector<AttributeProfile> attributes;
+};
+
+/// Summarizes every attribute of `table`: group counts (category or bucket
+/// occupancy) and, for numeric attributes, min/max/mean/stddev. Fails only
+/// on an empty table.
+StatusOr<TableProfile> ProfileTable(const Table& table);
+
+/// Association between one protected attribute's groups and a score vector,
+/// the cheap single-attribute screen that motivates the full subgroup
+/// search: a strong single-attribute association will be found by any
+/// method; the partition search exists for the combinations this misses.
+struct ScoreAssociation {
+  std::string attribute;
+  /// Correlation ratio eta^2 in [0, 1]: fraction of score variance
+  /// explained by the group assignment (ANOVA between/total).
+  double eta_squared = 0.0;
+  /// Largest |group mean - overall mean| across groups.
+  double max_mean_gap = 0.0;
+};
+
+/// Computes eta^2 and the max mean gap for every protected attribute,
+/// sorted by descending eta^2. `scores` must have one entry per row.
+StatusOr<std::vector<ScoreAssociation>> ScoreAssociations(
+    const Table& table, const std::vector<double>& scores);
+
+/// Human-readable rendering of a table profile.
+std::string FormatTableProfile(const TableProfile& profile);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_DATA_PROFILE_H_

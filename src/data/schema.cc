@@ -1,0 +1,55 @@
+#include "data/schema.h"
+
+namespace fairrank {
+
+Status Schema::AddAttribute(AttributeSpec spec) {
+  FAIRRANK_RETURN_NOT_OK(spec.Validate());
+  if (index_by_name_.count(spec.name()) > 0) {
+    return Status::AlreadyExists("attribute '" + spec.name() +
+                                 "' already in schema");
+  }
+  index_by_name_.emplace(spec.name(), attributes_.size());
+  attributes_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+StatusOr<size_t> Schema::FindIndex(const std::string& name) const {
+  auto it = index_by_name_.find(name);
+  if (it == index_by_name_.end()) {
+    return Status::NotFound("no attribute named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<size_t> Schema::ProtectedIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].is_protected()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Schema::ObservedIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].is_observed()) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (const AttributeSpec& a : attributes_) {
+    out += a.name();
+    out += " (";
+    out += AttributeKindToString(a.kind());
+    out += ", ";
+    out += AttributeRoleToString(a.role());
+    out += ", ";
+    out += std::to_string(a.num_groups());
+    out += " groups)\n";
+  }
+  return out;
+}
+
+}  // namespace fairrank

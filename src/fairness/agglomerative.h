@@ -1,0 +1,32 @@
+#ifndef FAIRRANK_FAIRNESS_AGGLOMERATIVE_H_
+#define FAIRRANK_FAIRNESS_AGGLOMERATIVE_H_
+
+#include <memory>
+
+#include "fairness/algorithm.h"
+
+namespace fairrank {
+
+/// Bottom-up counterpart of the paper's top-down heuristics (our
+/// extension): start from the *full* partitioning (the all-attributes
+/// baseline), repeatedly merge the closest pair of score histograms all the
+/// way down to two clusters, and return the partitioning with the highest
+/// average pairwise divergence seen anywhere along the trajectory.
+///
+/// Running to the bottom matters: the average is not monotone along the
+/// merge path — collapsing same-treatment cells first *lowers* it before
+/// the cross-treatment structure emerges (under f6 the trajectory ends at
+/// {all-male cells, all-female cells} with average ~0.8, twice what any
+/// intermediate step shows). `merge` therefore reaches partitionings no
+/// tree-structured algorithm can represent: merged cells need not share a
+/// split prefix.
+///
+/// Merged partitions carry every constituent cell path in
+/// `Partition::merged_paths` ("A | B" labels). Cost: one full pairwise
+/// distance matrix up front (O(k^2) divergence evaluations for k initial
+/// cells), then O(k) divergences plus an O(k^2) matrix scan per merge.
+std::unique_ptr<PartitioningAlgorithm> MakeAgglomerativeAlgorithm();
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_AGGLOMERATIVE_H_

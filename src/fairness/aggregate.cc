@@ -1,0 +1,192 @@
+#include "fairness/aggregate.h"
+
+#include <algorithm>
+
+namespace fairrank {
+
+CellStore::CellStore(std::vector<AttributeSpec> protected_specs, int num_bins,
+                     double score_lo, double score_hi)
+    : specs_(std::move(protected_specs)),
+      num_bins_(num_bins),
+      score_lo_(score_lo),
+      score_hi_(score_hi) {}
+
+Status CellStore::Add(const std::vector<int>& groups, double score) {
+  if (groups.size() != specs_.size()) {
+    return Status::InvalidArgument(
+        "cell key has " + std::to_string(groups.size()) + " groups, store has " +
+        std::to_string(specs_.size()) + " attributes");
+  }
+  for (size_t a = 0; a < groups.size(); ++a) {
+    if (groups[a] < 0 || groups[a] >= specs_[a].num_groups()) {
+      return Status::OutOfRange("group " + std::to_string(groups[a]) +
+                                " out of range for attribute '" +
+                                specs_[a].name() + "'");
+    }
+  }
+  auto it = cells_.find(groups);
+  if (it == cells_.end()) {
+    it = cells_.emplace(groups, Histogram(num_bins_, score_lo_, score_hi_))
+             .first;
+  }
+  it->second.Add(score);
+  ++observations_;
+  return Status::OK();
+}
+
+Status CellStore::AddRow(const Table& table, size_t row, double score) {
+  std::vector<int> groups(specs_.size());
+  for (size_t a = 0; a < specs_.size(); ++a) {
+    FAIRRANK_ASSIGN_OR_RETURN(size_t index,
+                              table.schema().FindIndex(specs_[a].name()));
+    groups[a] = table.GroupIndex(row, index);
+  }
+  return Add(groups, score);
+}
+
+std::string AggregatePartitionLabel(const std::vector<AttributeSpec>& specs,
+                                    const AggregatePartition& partition) {
+  if (partition.constraints.empty()) return "<all>";
+  std::string label;
+  for (size_t i = 0; i < partition.constraints.size(); ++i) {
+    const auto& [spec_index, group] = partition.constraints[i];
+    if (i > 0) label += " & ";
+    label += specs[spec_index].name();
+    label += "=";
+    label += specs[spec_index].GroupLabel(group);
+  }
+  return label;
+}
+
+namespace {
+
+/// Internal partition: constraints plus the keys of the cells it unions.
+struct WorkingPartition {
+  std::vector<std::pair<size_t, int>> constraints;
+  std::vector<const std::pair<const std::vector<int>, Histogram>*> cells;
+  Histogram histogram;
+
+  explicit WorkingPartition(int bins, double lo, double hi)
+      : histogram(bins, lo, hi) {}
+};
+
+StatusOr<double> AvgPairwise(const std::vector<WorkingPartition>& parts,
+                             const Divergence& divergence) {
+  if (parts.size() < 2) return 0.0;
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    for (size_t j = i + 1; j < parts.size(); ++j) {
+      FAIRRANK_ASSIGN_OR_RETURN(
+          double d,
+          divergence.Distance(parts[i].histogram, parts[j].histogram));
+      sum += d;
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+/// Splits every partition on spec `attr`; cells group by key[attr].
+StatusOr<std::vector<WorkingPartition>> SplitAllCells(
+    const CellStore& store, const std::vector<WorkingPartition>& parts,
+    size_t attr) {
+  std::vector<WorkingPartition> result;
+  for (const WorkingPartition& part : parts) {
+    std::map<int, WorkingPartition> children;
+    for (const auto* cell : part.cells) {
+      int group = cell->first[attr];
+      auto it = children.find(group);
+      if (it == children.end()) {
+        WorkingPartition child(store.num_bins(), store.score_lo(),
+                               store.score_hi());
+        child.constraints = part.constraints;
+        child.constraints.emplace_back(attr, group);
+        it = children.emplace(group, std::move(child)).first;
+      }
+      it->second.cells.push_back(cell);
+      FAIRRANK_RETURN_NOT_OK(it->second.histogram.MergeWith(cell->second));
+    }
+    for (auto& [group, child] : children) {
+      result.push_back(std::move(child));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<AggregateAuditResult> AuditAggregateBalanced(
+    const CellStore& store, const std::string& divergence_name) {
+  if (store.num_cells() == 0) {
+    return Status::FailedPrecondition("cell store is empty");
+  }
+  FAIRRANK_ASSIGN_OR_RETURN(std::unique_ptr<Divergence> divergence,
+                            MakeDivergenceByName(divergence_name));
+
+  // Root partition holding every cell.
+  WorkingPartition root(store.num_bins(), store.score_lo(), store.score_hi());
+  for (const auto& cell : store.cells()) {
+    root.cells.push_back(&cell);
+    FAIRRANK_RETURN_NOT_OK(root.histogram.MergeWith(cell.second));
+  }
+  std::vector<WorkingPartition> current;
+  current.push_back(std::move(root));
+
+  std::vector<size_t> attrs(store.specs().size());
+  for (size_t i = 0; i < attrs.size(); ++i) attrs[i] = i;
+  std::vector<size_t> used;
+
+  // Balanced (Algorithm 1) over cells: pick the worst attribute, split all,
+  // stop when the average pairwise divergence no longer increases.
+  auto select_worst = [&](const std::vector<WorkingPartition>& parts,
+                          const std::vector<size_t>& remaining)
+      -> StatusOr<size_t> {
+    size_t best_pos = 0;
+    double best_avg = -1.0;
+    for (size_t pos = 0; pos < remaining.size(); ++pos) {
+      FAIRRANK_ASSIGN_OR_RETURN(
+          std::vector<WorkingPartition> candidate,
+          SplitAllCells(store, parts, remaining[pos]));
+      FAIRRANK_ASSIGN_OR_RETURN(double avg,
+                                AvgPairwise(candidate, *divergence));
+      if (avg > best_avg) {
+        best_avg = avg;
+        best_pos = pos;
+      }
+    }
+    return best_pos;
+  };
+
+  double current_avg = 0.0;
+  bool first = true;
+  while (!attrs.empty()) {
+    FAIRRANK_ASSIGN_OR_RETURN(size_t pos, select_worst(current, attrs));
+    size_t attr = attrs[pos];
+    attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(pos));
+    FAIRRANK_ASSIGN_OR_RETURN(std::vector<WorkingPartition> children,
+                              SplitAllCells(store, current, attr));
+    FAIRRANK_ASSIGN_OR_RETURN(double children_avg,
+                              AvgPairwise(children, *divergence));
+    if (!first && current_avg >= children_avg) break;
+    current = std::move(children);
+    current_avg = children_avg;
+    used.push_back(attr);
+    first = false;
+  }
+
+  AggregateAuditResult result;
+  result.unfairness = current_avg;
+  result.attributes_used = std::move(used);
+  result.partitions.reserve(current.size());
+  for (WorkingPartition& part : current) {
+    AggregatePartition out;
+    out.constraints = std::move(part.constraints);
+    out.size = static_cast<size_t>(part.histogram.total());
+    out.histogram = std::move(part.histogram);
+    result.partitions.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,95 @@
+#ifndef FAIRRANK_FAIRNESS_AGGREGATE_H_
+#define FAIRRANK_FAIRNESS_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/attribute.h"
+#include "data/table.h"
+#include "stats/divergence.h"
+#include "stats/histogram.h"
+
+namespace fairrank {
+
+/// Audit from aggregates: per-demographic-cell score histograms are a
+/// *sufficient statistic* for every partitioning the search space contains
+/// — any partition is a union of cells and its histogram is the bin-wise
+/// sum — so the full balanced search can run without retaining a single
+/// individual record. Use cases: privacy-constrained audits (only
+/// aggregate counts leave the platform) and continuous audits over streams.
+///
+/// CellStore accumulates the cells; AuditAggregate runs the paper's
+/// balanced algorithm directly on them and provably matches the table-based
+/// audit with the same bin configuration (tested in aggregate_test).
+class CellStore {
+ public:
+  /// `protected_specs` fixes the cell key order; scores land in equal-width
+  /// bins over [score_lo, score_hi] as in the evaluator.
+  CellStore(std::vector<AttributeSpec> protected_specs, int num_bins,
+            double score_lo, double score_hi);
+
+  /// Adds one observation for the worker whose protected attribute groups
+  /// are `groups` (one group index per spec, in spec order). Fails on a
+  /// wrong arity or an out-of-range group.
+  Status Add(const std::vector<int>& groups, double score);
+
+  /// Convenience: adds row `row` of `table` (whose schema must contain
+  /// every spec attribute by name) with the given score.
+  Status AddRow(const Table& table, size_t row, double score);
+
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_observations() const { return observations_; }
+  const std::vector<AttributeSpec>& specs() const { return specs_; }
+  int num_bins() const { return num_bins_; }
+  double score_lo() const { return score_lo_; }
+  double score_hi() const { return score_hi_; }
+
+  /// Read-only view of the cells (key = group vector).
+  const std::map<std::vector<int>, Histogram>& cells() const { return cells_; }
+
+ private:
+  std::vector<AttributeSpec> specs_;
+  int num_bins_;
+  double score_lo_;
+  double score_hi_;
+  std::map<std::vector<int>, Histogram> cells_;
+  size_t observations_ = 0;
+};
+
+/// One partition of an aggregate audit: which attribute/group constraints
+/// define it, its histogram, and how many workers it covers.
+struct AggregatePartition {
+  /// Pairs (spec index, group index), in split order.
+  std::vector<std::pair<size_t, int>> constraints;
+  Histogram histogram;
+  size_t size = 0;
+
+  AggregatePartition() : histogram(1, 0.0, 1.0) {}
+};
+
+/// Result of an aggregate audit.
+struct AggregateAuditResult {
+  std::vector<AggregatePartition> partitions;
+  double unfairness = 0.0;
+  /// Spec indices split on, in order.
+  std::vector<size_t> attributes_used;
+};
+
+/// Human-readable label of an aggregate partition ("Gender=Male &
+/// Country=India", "<all>").
+std::string AggregatePartitionLabel(const std::vector<AttributeSpec>& specs,
+                                    const AggregatePartition& partition);
+
+/// Runs the paper's balanced algorithm (worst-attribute greedy with the
+/// global stopping condition) directly on the store's cells, using
+/// `divergence` ("emd" reproduces the paper). Empty cells never exist (the
+/// store only materializes observed combinations), matching the splitter's
+/// empty-group behaviour.
+StatusOr<AggregateAuditResult> AuditAggregateBalanced(
+    const CellStore& store, const std::string& divergence = "emd");
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_AGGREGATE_H_

@@ -1,0 +1,69 @@
+#ifndef FAIRRANK_FAIRNESS_ALGORITHM_H_
+#define FAIRRANK_FAIRNESS_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "fairness/evaluator.h"
+#include "fairness/partition.h"
+
+namespace fairrank {
+
+/// Strategy for picking the next attribute to split on. The paper's
+/// algorithms pick the *worst* attribute (highest resulting average pairwise
+/// EMD); the r-balanced / r-unbalanced baselines pick uniformly at random.
+///
+/// Both methods return a *position into `attrs`* (not an attribute index),
+/// so callers can erase the chosen entry.
+class AttributeSelector {
+ public:
+  virtual ~AttributeSelector() = default;
+
+  /// Picks the attribute for a global split of `current` (Algorithm 1's
+  /// worstAttribute(current, f, A)). `attrs` must be non-empty.
+  virtual StatusOr<size_t> SelectGlobal(const UnfairnessEvaluator& eval,
+                                        const Partitioning& current,
+                                        const std::vector<size_t>& attrs) = 0;
+
+  /// Picks the attribute for a local split of one partition against its
+  /// siblings (Algorithm 2's worstAttribute(current, f, A)). `attrs` must be
+  /// non-empty.
+  virtual StatusOr<size_t> SelectLocal(const UnfairnessEvaluator& eval,
+                                       const Partition& current,
+                                       const std::vector<Partition>& siblings,
+                                       const std::vector<size_t>& attrs) = 0;
+};
+
+/// Greedy selector: tries every remaining attribute and returns the one
+/// whose split yields the highest average pairwise divergence (globally for
+/// SelectGlobal; children-vs-siblings for SelectLocal). Ties break toward
+/// the earliest position, keeping runs deterministic.
+std::unique_ptr<AttributeSelector> MakeWorstAttributeSelector();
+
+/// Uniform-random selector for the r-* baselines. Deterministic given the
+/// seed.
+std::unique_ptr<AttributeSelector> MakeRandomAttributeSelector(uint64_t seed);
+
+/// A partition-search algorithm. Implementations must return a valid full
+/// disjoint partitioning of the evaluator's table (IsValidPartitioning).
+class PartitioningAlgorithm {
+ public:
+  virtual ~PartitioningAlgorithm() = default;
+
+  /// Stable identifier, e.g. "balanced".
+  virtual std::string Name() const = 0;
+
+  /// Searches for an unfair partitioning over the protected attributes
+  /// `attrs` (indices into the evaluator's table schema). `attrs` may be
+  /// consumed in any order; passing an empty list yields the trivial
+  /// root partitioning.
+  virtual StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
+                                     std::vector<size_t> attrs) = 0;
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_ALGORITHM_H_

@@ -1,0 +1,98 @@
+#include "fairness/auditor.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace fairrank {
+
+StatusOr<std::vector<size_t>> FairnessAuditor::ResolveProtectedAttributes(
+    const AuditOptions& options) const {
+  const Schema& schema = table_->schema();
+  if (options.protected_attributes.empty()) {
+    std::vector<size_t> indices = schema.ProtectedIndices();
+    if (indices.empty()) {
+      return Status::FailedPrecondition(
+          "schema has no protected attributes and none were requested");
+    }
+    return indices;
+  }
+  std::vector<size_t> indices;
+  indices.reserve(options.protected_attributes.size());
+  for (const std::string& name : options.protected_attributes) {
+    FAIRRANK_ASSIGN_OR_RETURN(size_t index, schema.FindIndex(name));
+    indices.push_back(index);
+  }
+  return indices;
+}
+
+StatusOr<AuditResult> FairnessAuditor::Audit(const ScoringFunction& fn,
+                                             const AuditOptions& options) const {
+  FAIRRANK_ASSIGN_OR_RETURN(std::vector<double> scores,
+                            fn.ScoreAll(*table_));
+  return AuditScores(std::move(scores), fn.Name(), options);
+}
+
+StatusOr<AuditResult> FairnessAuditor::AuditScores(
+    std::vector<double> scores, const std::string& score_name,
+    const AuditOptions& options) const {
+  if (table_->num_rows() == 0) {
+    return Status::FailedPrecondition("cannot audit an empty table");
+  }
+  FAIRRANK_ASSIGN_OR_RETURN(std::vector<size_t> attrs,
+                            ResolveProtectedAttributes(options));
+  FAIRRANK_ASSIGN_OR_RETURN(
+      UnfairnessEvaluator eval,
+      UnfairnessEvaluator::Make(table_, std::move(scores), options.evaluator));
+
+  AlgorithmConfig config;
+  config.seed = options.seed;
+  config.exhaustive = options.exhaustive;
+  config.beam_width = options.beam_width;
+  FAIRRANK_ASSIGN_OR_RETURN(std::unique_ptr<PartitioningAlgorithm> algorithm,
+                            MakeAlgorithmByName(options.algorithm, config));
+
+  Stopwatch stopwatch;
+  FAIRRANK_ASSIGN_OR_RETURN(Partitioning partitioning,
+                            algorithm->Run(eval, std::move(attrs)));
+  double seconds = stopwatch.ElapsedSeconds();
+
+  AuditResult result;
+  result.algorithm = algorithm->Name();
+  result.scoring_function = score_name;
+  result.seconds = seconds;
+  FAIRRANK_ASSIGN_OR_RETURN(result.unfairness,
+                            eval.AveragePairwiseUnfairness(partitioning));
+  result.attributes_used = AttributesUsed(table_->schema(), partitioning);
+  if (options.num_worst_pairs > 0) {
+    FAIRRANK_ASSIGN_OR_RETURN(
+        std::vector<DivergentPair> pairs,
+        TopDivergentPairs(eval, partitioning, options.num_worst_pairs));
+    for (const DivergentPair& pair : pairs) {
+      result.worst_pairs.push_back(
+          {PartitionLabel(table_->schema(), partitioning[pair.index_a]),
+           PartitionLabel(table_->schema(), partitioning[pair.index_b]),
+           pair.distance});
+    }
+  }
+
+  result.partitions.reserve(partitioning.size());
+  for (const Partition& p : partitioning) {
+    PartitionSummary summary;
+    summary.label = PartitionLabel(table_->schema(), p);
+    summary.size = p.size();
+    summary.histogram = eval.BuildHistogram(p);
+    double sum = 0.0;
+    for (size_t row : p.rows) sum += eval.scores()[row];
+    summary.mean_score = p.rows.empty() ? 0.0 : sum / p.size();
+    result.partitions.push_back(std::move(summary));
+  }
+  std::stable_sort(result.partitions.begin(), result.partitions.end(),
+                   [](const PartitionSummary& a, const PartitionSummary& b) {
+                     return a.size > b.size;
+                   });
+  result.partitioning = std::move(partitioning);
+  return result;
+}
+
+}  // namespace fairrank

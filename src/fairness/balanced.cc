@@ -1,0 +1,60 @@
+#include "fairness/balanced.h"
+
+#include "fairness/splitter.h"
+
+namespace fairrank {
+
+namespace {
+
+class BalancedAlgorithm : public PartitioningAlgorithm {
+ public:
+  BalancedAlgorithm(std::string name,
+                    std::unique_ptr<AttributeSelector> selector)
+      : name_(std::move(name)), selector_(std::move(selector)) {}
+
+  std::string Name() const override { return name_; }
+
+  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs) override {
+    Partitioning current{MakeRootPartition(eval.table().num_rows())};
+    if (attrs.empty()) return current;
+
+    // First split (Algorithm 1, lines 1-4).
+    FAIRRANK_ASSIGN_OR_RETURN(size_t pos,
+                              selector_->SelectGlobal(eval, current, attrs));
+    size_t attr = attrs[pos];
+    attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(pos));
+    current = SplitAll(eval.table(), current, attr);
+    FAIRRANK_ASSIGN_OR_RETURN(double current_avg,
+                              eval.AveragePairwiseUnfairness(current));
+
+    // Iterative deepening (lines 5-16).
+    while (!attrs.empty()) {
+      FAIRRANK_ASSIGN_OR_RETURN(pos,
+                                selector_->SelectGlobal(eval, current, attrs));
+      attr = attrs[pos];
+      attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(pos));
+      Partitioning children = SplitAll(eval.table(), current, attr);
+      FAIRRANK_ASSIGN_OR_RETURN(double children_avg,
+                                eval.AveragePairwiseUnfairness(children));
+      if (current_avg >= children_avg) break;
+      current = std::move(children);
+      current_avg = children_avg;
+    }
+    return current;
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<AttributeSelector> selector_;
+};
+
+}  // namespace
+
+std::unique_ptr<PartitioningAlgorithm> MakeBalancedAlgorithm(
+    std::string name, std::unique_ptr<AttributeSelector> selector) {
+  return std::make_unique<BalancedAlgorithm>(std::move(name),
+                                             std::move(selector));
+}
+
+}  // namespace fairrank

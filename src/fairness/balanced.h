@@ -1,0 +1,23 @@
+#ifndef FAIRRANK_FAIRNESS_BALANCED_H_
+#define FAIRRANK_FAIRNESS_BALANCED_H_
+
+#include <memory>
+
+#include "fairness/algorithm.h"
+
+namespace fairrank {
+
+/// Algorithm 1 of the paper (`balanced`): repeatedly split *every* current
+/// partition on the attribute chosen by `selector` (the worst attribute for
+/// the paper's variant, a random one for r-balanced), stopping when the
+/// average pairwise divergence no longer increases. Produces a balanced
+/// partitioning tree — all leaves share the same split attributes.
+///
+/// `name` lets the registry reuse this implementation for "balanced" and
+/// "r-balanced".
+std::unique_ptr<PartitioningAlgorithm> MakeBalancedAlgorithm(
+    std::string name, std::unique_ptr<AttributeSelector> selector);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_BALANCED_H_

@@ -1,0 +1,29 @@
+#include "fairness/baselines.h"
+
+#include "fairness/splitter.h"
+
+namespace fairrank {
+
+namespace {
+
+class AllAttributesAlgorithm : public PartitioningAlgorithm {
+ public:
+  std::string Name() const override { return "all-attributes"; }
+
+  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs) override {
+    Partitioning current{MakeRootPartition(eval.table().num_rows())};
+    for (size_t attr : attrs) {
+      current = SplitAll(eval.table(), current, attr);
+    }
+    return current;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PartitioningAlgorithm> MakeAllAttributesAlgorithm() {
+  return std::make_unique<AllAttributesAlgorithm>();
+}
+
+}  // namespace fairrank

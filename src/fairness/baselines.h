@@ -1,0 +1,17 @@
+#ifndef FAIRRANK_FAIRNESS_BASELINES_H_
+#define FAIRRANK_FAIRNESS_BASELINES_H_
+
+#include <memory>
+
+#include "fairness/algorithm.h"
+
+namespace fairrank {
+
+/// The paper's third baseline (`all-attributes`): split the workers on every
+/// protected attribute, in the order given, producing the full partitioning
+/// tree. No stopping condition, no attribute selection.
+std::unique_ptr<PartitioningAlgorithm> MakeAllAttributesAlgorithm();
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_BASELINES_H_

@@ -1,0 +1,83 @@
+#include "fairness/beam.h"
+
+#include <algorithm>
+
+#include "fairness/splitter.h"
+
+namespace fairrank {
+
+namespace {
+
+/// One beam entry: a partitioning, the attributes its subtree may still
+/// use, and its unfairness score.
+struct BeamEntry {
+  Partitioning partitioning;
+  std::vector<size_t> remaining;
+  double unfairness = 0.0;
+};
+
+class BeamAlgorithm : public PartitioningAlgorithm {
+ public:
+  explicit BeamAlgorithm(int width) : width_(width) {}
+
+  std::string Name() const override { return "beam"; }
+
+  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs) override {
+    if (width_ < 1) {
+      return Status::InvalidArgument("beam width must be >= 1");
+    }
+    BeamEntry root;
+    root.partitioning = {MakeRootPartition(eval.table().num_rows())};
+    root.remaining = std::move(attrs);
+    root.unfairness = 0.0;
+
+    std::vector<BeamEntry> beam = {root};
+    BeamEntry best = std::move(root);
+
+    while (true) {
+      std::vector<BeamEntry> candidates;
+      for (const BeamEntry& entry : beam) {
+        for (size_t pos = 0; pos < entry.remaining.size(); ++pos) {
+          BeamEntry child;
+          child.partitioning = SplitAll(eval.table(), entry.partitioning,
+                                        entry.remaining[pos]);
+          child.remaining = entry.remaining;
+          child.remaining.erase(child.remaining.begin() +
+                                static_cast<ptrdiff_t>(pos));
+          FAIRRANK_ASSIGN_OR_RETURN(
+              child.unfairness,
+              eval.AveragePairwiseUnfairness(child.partitioning));
+          candidates.push_back(std::move(child));
+        }
+      }
+      if (candidates.empty()) break;
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const BeamEntry& a, const BeamEntry& b) {
+                         return a.unfairness > b.unfairness;
+                       });
+      if (candidates.size() > static_cast<size_t>(width_)) {
+        candidates.resize(static_cast<size_t>(width_));
+      }
+      bool improved = false;
+      if (candidates.front().unfairness > best.unfairness) {
+        best = candidates.front();
+        improved = true;
+      }
+      if (!improved) break;  // Best-so-far plateaued: stop expanding.
+      beam = std::move(candidates);
+    }
+    return best.partitioning;
+  }
+
+ private:
+  int width_;
+};
+
+}  // namespace
+
+std::unique_ptr<PartitioningAlgorithm> MakeBeamAlgorithm(int width) {
+  return std::make_unique<BeamAlgorithm>(width);
+}
+
+}  // namespace fairrank

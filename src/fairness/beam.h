@@ -1,0 +1,26 @@
+#ifndef FAIRRANK_FAIRNESS_BEAM_H_
+#define FAIRRANK_FAIRNESS_BEAM_H_
+
+#include <memory>
+
+#include "fairness/algorithm.h"
+
+namespace fairrank {
+
+/// Beam-search generalization of Algorithm 1 (our extension; the paper's
+/// future work asks for "other formulations"). Where balanced commits to
+/// the single worst attribute at every depth, beam keeps the `width` best
+/// partitionings found so far and expands each of them with every remaining
+/// attribute, keeping global (balanced-style) splits.
+///
+/// width = 1 reduces to `balanced` with one difference: beam compares
+/// against the best-so-far across *all* depths, so it cannot get stuck on a
+/// locally flat step the way balanced's immediate stopping condition can.
+/// Larger widths trade runtime for a better chance of escaping greedy
+/// mistakes; the search is still exponential only in depth (bounded by the
+/// attribute count), not in the number of partitionings.
+std::unique_ptr<PartitioningAlgorithm> MakeBeamAlgorithm(int width);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_BEAM_H_

@@ -1,0 +1,186 @@
+#include "fairness/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/parallel.h"
+
+namespace fairrank {
+
+StatusOr<UnfairnessEvaluator> UnfairnessEvaluator::Make(
+    const Table* table, std::vector<double> scores,
+    const EvaluatorOptions& options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table is null");
+  }
+  if (scores.size() != table->num_rows()) {
+    return Status::InvalidArgument(
+        "got " + std::to_string(scores.size()) + " scores for " +
+        std::to_string(table->num_rows()) + " rows");
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!std::isfinite(scores[i])) {
+      return Status::InvalidArgument("score " + std::to_string(i) +
+                                     " is not finite");
+    }
+  }
+  if (options.num_bins < 1) {
+    return Status::InvalidArgument("num_bins must be >= 1");
+  }
+  if (!(options.score_lo < options.score_hi)) {
+    return Status::InvalidArgument("empty score range");
+  }
+  FAIRRANK_ASSIGN_OR_RETURN(std::unique_ptr<Divergence> divergence,
+                            MakeDivergenceByName(options.divergence));
+  return UnfairnessEvaluator(table, std::move(scores), options,
+                             std::move(divergence));
+}
+
+Histogram UnfairnessEvaluator::BuildHistogram(
+    const Partition& partition) const {
+  Histogram h(options_.num_bins, options_.score_lo, options_.score_hi);
+  for (size_t row : partition.rows) h.Add(scores_[row]);
+  return h;
+}
+
+StatusOr<double> UnfairnessEvaluator::Distance(const Partition& a,
+                                               const Partition& b) const {
+  return divergence_->Distance(BuildHistogram(a), BuildHistogram(b));
+}
+
+StatusOr<double> UnfairnessEvaluator::AveragePairwiseUnfairness(
+    const Partitioning& partitioning) const {
+  if (partitioning.size() < 2) return 0.0;
+  std::vector<Histogram> hists;
+  hists.reserve(partitioning.size());
+  for (const Partition& p : partitioning) hists.push_back(BuildHistogram(p));
+
+  const size_t k = hists.size();
+  const size_t num_pairs = k * (k - 1) / 2;
+  // Flatten the upper triangle so pair m maps to (i, j) and distances land
+  // in a fixed slot — the final reduction order is deterministic regardless
+  // of thread count.
+  std::vector<double> distances(num_pairs, 0.0);
+  Status first_error;
+  std::mutex error_mutex;
+  ParallelFor(num_pairs, options_.num_threads,
+              [&](size_t begin, size_t end) {
+                // Locate (i, j) for `begin`, then walk forward.
+                size_t m = 0;
+                size_t i = 0;
+                size_t j = 1;
+                // Advance row-by-row; k is small relative to pair count.
+                while (m + (k - 1 - i) <= begin) {
+                  m += k - 1 - i;
+                  ++i;
+                }
+                j = i + 1 + (begin - m);
+                for (size_t p = begin; p < end; ++p) {
+                  StatusOr<double> d =
+                      divergence_->Distance(hists[i], hists[j]);
+                  if (!d.ok()) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (first_error.ok()) first_error = d.status();
+                    return;
+                  }
+                  distances[p] = *d;
+                  if (++j == k) {
+                    ++i;
+                    j = i + 1;
+                  }
+                }
+              });
+  FAIRRANK_RETURN_NOT_OK(first_error);
+  double sum = 0.0;
+  for (double d : distances) sum += d;
+  return sum / static_cast<double>(num_pairs);
+}
+
+StatusOr<std::vector<DivergentPair>> TopDivergentPairs(
+    const UnfairnessEvaluator& eval, const Partitioning& partitioning,
+    size_t k) {
+  std::vector<DivergentPair> pairs;
+  if (partitioning.size() < 2 || k == 0) return pairs;
+  std::vector<Histogram> hists;
+  hists.reserve(partitioning.size());
+  for (const Partition& p : partitioning) {
+    hists.push_back(eval.BuildHistogram(p));
+  }
+  for (size_t i = 0; i < hists.size(); ++i) {
+    for (size_t j = i + 1; j < hists.size(); ++j) {
+      FAIRRANK_ASSIGN_OR_RETURN(double d,
+                                eval.divergence().Distance(hists[i], hists[j]));
+      pairs.push_back({i, j, d});
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const DivergentPair& a, const DivergentPair& b) {
+                     return a.distance > b.distance;
+                   });
+  if (pairs.size() > k) pairs.resize(k);
+  return pairs;
+}
+
+StatusOr<double> UnfairnessEvaluator::AverageWithSiblings(
+    const Partition& current, const std::vector<Partition>& siblings) const {
+  if (siblings.empty()) return 0.0;
+  Histogram current_hist = BuildHistogram(current);
+  double sum = 0.0;
+  for (const Partition& s : siblings) {
+    FAIRRANK_ASSIGN_OR_RETURN(
+        double d, divergence_->Distance(current_hist, BuildHistogram(s)));
+    sum += d;
+  }
+  return sum / static_cast<double>(siblings.size());
+}
+
+StatusOr<double> UnfairnessEvaluator::AverageChildrenWithSiblings(
+    const std::vector<Partition>& children,
+    const std::vector<Partition>& siblings) const {
+  std::vector<Histogram> child_hists;
+  child_hists.reserve(children.size());
+  for (const Partition& c : children) child_hists.push_back(BuildHistogram(c));
+  std::vector<Histogram> sibling_hists;
+  sibling_hists.reserve(siblings.size());
+  for (const Partition& s : siblings) {
+    sibling_hists.push_back(BuildHistogram(s));
+  }
+
+  double sum = 0.0;
+  size_t pairs = 0;
+  // Child-child pairs.
+  for (size_t i = 0; i < child_hists.size(); ++i) {
+    for (size_t j = i + 1; j < child_hists.size(); ++j) {
+      FAIRRANK_ASSIGN_OR_RETURN(
+          double d, divergence_->Distance(child_hists[i], child_hists[j]));
+      sum += d;
+      ++pairs;
+    }
+  }
+  // Child-sibling pairs.
+  for (const Histogram& ch : child_hists) {
+    for (const Histogram& sh : sibling_hists) {
+      FAIRRANK_ASSIGN_OR_RETURN(double d, divergence_->Distance(ch, sh));
+      sum += d;
+      ++pairs;
+    }
+  }
+  if (options_.sibling_comparison == SiblingComparison::kAllPairs) {
+    // Also count sibling-sibling pairs: the result is then the average
+    // pairwise unfairness of (children ∪ siblings).
+    for (size_t i = 0; i < sibling_hists.size(); ++i) {
+      for (size_t j = i + 1; j < sibling_hists.size(); ++j) {
+        FAIRRANK_ASSIGN_OR_RETURN(
+            double d,
+            divergence_->Distance(sibling_hists[i], sibling_hists[j]));
+        sum += d;
+        ++pairs;
+      }
+    }
+  }
+  if (pairs == 0) return 0.0;
+  return sum / static_cast<double>(pairs);
+}
+
+}  // namespace fairrank

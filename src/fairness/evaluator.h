@@ -1,0 +1,128 @@
+#ifndef FAIRRANK_FAIRNESS_EVALUATOR_H_
+#define FAIRRANK_FAIRNESS_EVALUATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "fairness/partition.h"
+#include "stats/divergence.h"
+#include "stats/histogram.h"
+
+namespace fairrank {
+
+/// Two readings of Algorithm 2's `averageEMD(children, siblings, f)` — the
+/// paper's prose ("the average pairwise EMD of its potential children with
+/// the partition's siblings") is ambiguous; both are implemented and the
+/// choice is an option so the difference can be studied
+/// (bench/ablation_divergence reports it).
+enum class SiblingComparison {
+  /// Average over pairs within (children ∪ siblings) that involve at least
+  /// one child (child-child and child-sibling pairs). This is the natural
+  /// counterpart of `averageEMD(current, siblings)` = pairs involving
+  /// `current`, and the default.
+  kChildPairs,
+  /// Average over all pairs of (children ∪ siblings), i.e. the average
+  /// pairwise unfairness of the candidate partitioning after replacing the
+  /// partition by its children (sibling-sibling pairs included).
+  kAllPairs,
+};
+
+/// Configuration of the unfairness measure.
+struct EvaluatorOptions {
+  /// Histogram bin count over the score range ("equal bins over the range
+  /// of f").
+  int num_bins = 10;
+  /// Score range of f; the paper's functions map into [0, 1].
+  double score_lo = 0.0;
+  double score_hi = 1.0;
+  SiblingComparison sibling_comparison = SiblingComparison::kChildPairs;
+  /// Divergence name resolved via MakeDivergenceByName; "emd" reproduces
+  /// the paper.
+  std::string divergence = "emd";
+  /// Worker threads for the pairwise-distance loops of
+  /// AveragePairwiseUnfairness. 1 = fully serial (default); results are
+  /// bit-identical across thread counts (per-pair sums are accumulated in
+  /// a deterministic order).
+  int num_threads = 1;
+};
+
+/// Computes unfairness(P, f) (Definition 2): the average pairwise divergence
+/// between the score histograms of a partitioning's partitions. Owns the
+/// scores of every row under the audited scoring function, builds per-
+/// partition histograms on demand, and exposes the sibling-relative averages
+/// Algorithm 2 needs.
+///
+/// Thread-compatible: const after construction; all accessors are const.
+class UnfairnessEvaluator {
+ public:
+  /// `table` must outlive the evaluator; `scores` must have one entry per
+  /// table row. Fails on size mismatch, bad options, or unknown divergence.
+  static StatusOr<UnfairnessEvaluator> Make(const Table* table,
+                                            std::vector<double> scores,
+                                            const EvaluatorOptions& options);
+
+  /// Score histogram of one partition.
+  Histogram BuildHistogram(const Partition& partition) const;
+
+  /// Divergence between two partitions' histograms. Both must be non-empty
+  /// (guaranteed for splitter-produced partitions).
+  StatusOr<double> Distance(const Partition& a, const Partition& b) const;
+
+  /// unfairness(P, f): average pairwise divergence over all partition pairs.
+  /// A partitioning with fewer than two partitions has unfairness 0.
+  StatusOr<double> AveragePairwiseUnfairness(
+      const Partitioning& partitioning) const;
+
+  /// Algorithm 2's averageEMD(current, siblings, f): mean divergence between
+  /// `current` and each sibling; 0 when `siblings` is empty.
+  StatusOr<double> AverageWithSiblings(
+      const Partition& current, const std::vector<Partition>& siblings) const;
+
+  /// Algorithm 2's averageEMD(children, siblings, f), per the configured
+  /// SiblingComparison reading; 0 when there are fewer than two histograms
+  /// or no qualifying pairs.
+  StatusOr<double> AverageChildrenWithSiblings(
+      const std::vector<Partition>& children,
+      const std::vector<Partition>& siblings) const;
+
+  const Table& table() const { return *table_; }
+  const std::vector<double>& scores() const { return scores_; }
+  const EvaluatorOptions& options() const { return options_; }
+  const Divergence& divergence() const { return *divergence_; }
+
+ private:
+  UnfairnessEvaluator(const Table* table, std::vector<double> scores,
+                      const EvaluatorOptions& options,
+                      std::unique_ptr<Divergence> divergence)
+      : table_(table),
+        scores_(std::move(scores)),
+        options_(options),
+        divergence_(std::move(divergence)) {}
+
+  const Table* table_;
+  std::vector<double> scores_;
+  EvaluatorOptions options_;
+  std::unique_ptr<Divergence> divergence_;
+};
+
+/// One highly divergent partition pair — the "who exactly is treated
+/// differently from whom" answer an auditor reads off first.
+struct DivergentPair {
+  size_t index_a = 0;  ///< Index into the partitioning.
+  size_t index_b = 0;
+  double distance = 0.0;
+};
+
+/// The k partition pairs with the largest pairwise divergence, sorted
+/// descending (ties broken by pair order, deterministic). k larger than the
+/// number of pairs is clamped; a partitioning with < 2 partitions yields an
+/// empty list.
+StatusOr<std::vector<DivergentPair>> TopDivergentPairs(
+    const UnfairnessEvaluator& eval, const Partitioning& partitioning,
+    size_t k);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_EVALUATOR_H_

@@ -1,0 +1,145 @@
+#include "fairness/exhaustive.h"
+
+#include "common/stopwatch.h"
+#include "fairness/splitter.h"
+
+namespace fairrank {
+
+namespace {
+
+/// One unresolved node of the partitioning tree being enumerated: a
+/// partition plus the attributes still allowed on its subtree.
+struct PendingNode {
+  Partition partition;
+  std::vector<size_t> attrs;
+};
+
+class ExhaustiveAlgorithm : public PartitioningAlgorithm {
+ public:
+  explicit ExhaustiveAlgorithm(const ExhaustiveOptions& options)
+      : options_(options) {}
+
+  std::string Name() const override { return "exhaustive"; }
+
+  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs) override {
+    evaluated_ = 0;
+    best_avg_ = -1.0;
+    best_.clear();
+    stopwatch_.Restart();
+    std::vector<PendingNode> pending;
+    pending.push_back(
+        {MakeRootPartition(eval.table().num_rows()), std::move(attrs)});
+    Partitioning leaves;
+    FAIRRANK_RETURN_NOT_OK(Recurse(eval, &pending, &leaves));
+    return best_;
+  }
+
+  /// Number of complete partitionings evaluated by the last Run.
+  uint64_t evaluated() const { return evaluated_; }
+
+ private:
+  Status Recurse(const UnfairnessEvaluator& eval,
+                 std::vector<PendingNode>* pending, Partitioning* leaves) {
+    if (pending->empty()) {
+      // A complete partitioning: score it against the incumbent.
+      ++evaluated_;
+      if (evaluated_ > options_.max_partitionings) {
+        return Status::ResourceExhausted(
+            "exhaustive search exceeded max_partitionings = " +
+            std::to_string(options_.max_partitionings));
+      }
+      if (options_.max_seconds > 0.0 &&
+          stopwatch_.ElapsedSeconds() > options_.max_seconds) {
+        return Status::ResourceExhausted(
+            "exhaustive search exceeded time budget");
+      }
+      FAIRRANK_ASSIGN_OR_RETURN(double avg,
+                                eval.AveragePairwiseUnfairness(*leaves));
+      if (avg > best_avg_) {
+        best_avg_ = avg;
+        best_ = *leaves;
+      }
+      return Status::OK();
+    }
+
+    PendingNode node = std::move(pending->back());
+    pending->pop_back();
+
+    // Option 1: close this node as a leaf.
+    leaves->push_back(node.partition);
+    FAIRRANK_RETURN_NOT_OK(Recurse(eval, pending, leaves));
+    leaves->pop_back();
+
+    // Option 2: split on each remaining attribute with >= 2 represented
+    // values (single-child splits would re-enumerate the same partitioning).
+    for (size_t pos = 0; pos < node.attrs.size(); ++pos) {
+      std::vector<Partition> children =
+          SplitPartition(eval.table(), node.partition, node.attrs[pos]);
+      if (children.size() < 2) continue;
+      std::vector<size_t> remaining = node.attrs;
+      remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pos));
+      size_t old_size = pending->size();
+      for (Partition& child : children) {
+        pending->push_back({std::move(child), remaining});
+      }
+      FAIRRANK_RETURN_NOT_OK(Recurse(eval, pending, leaves));
+      pending->resize(old_size);
+    }
+
+    pending->push_back(std::move(node));
+    return Status::OK();
+  }
+
+  ExhaustiveOptions options_;
+  uint64_t evaluated_ = 0;
+  double best_avg_ = -1.0;
+  Partitioning best_;
+  Stopwatch stopwatch_;
+};
+
+uint64_t CountRecurse(const Table& table, std::vector<PendingNode>* pending,
+                      uint64_t cap, uint64_t count_so_far) {
+  if (count_so_far >= cap) return cap;
+  if (pending->empty()) return count_so_far + 1;
+
+  PendingNode node = std::move(pending->back());
+  pending->pop_back();
+
+  uint64_t count = CountRecurse(table, pending, cap, count_so_far);
+
+  for (size_t pos = 0; pos < node.attrs.size() && count < cap; ++pos) {
+    std::vector<Partition> children =
+        SplitPartition(table, node.partition, node.attrs[pos]);
+    if (children.size() < 2) continue;
+    std::vector<size_t> remaining = node.attrs;
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pos));
+    size_t old_size = pending->size();
+    for (Partition& child : children) {
+      pending->push_back({std::move(child), remaining});
+    }
+    count = CountRecurse(table, pending, cap, count);
+    pending->resize(old_size);
+  }
+
+  pending->push_back(std::move(node));
+  return count;
+}
+
+}  // namespace
+
+std::unique_ptr<PartitioningAlgorithm> MakeExhaustiveAlgorithm(
+    const ExhaustiveOptions& options) {
+  return std::make_unique<ExhaustiveAlgorithm>(options);
+}
+
+uint64_t CountHierarchicalPartitionings(const UnfairnessEvaluator& eval,
+                                        std::vector<size_t> attrs,
+                                        uint64_t cap) {
+  std::vector<PendingNode> pending;
+  pending.push_back(
+      {MakeRootPartition(eval.table().num_rows()), std::move(attrs)});
+  return CountRecurse(eval.table(), &pending, cap, 0);
+}
+
+}  // namespace fairrank

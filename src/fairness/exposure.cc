@@ -1,0 +1,106 @@
+#include "fairness/exposure.h"
+
+#include <cmath>
+
+namespace fairrank {
+
+namespace {
+
+double BiasAt(const ExposureOptions& options, size_t rank_1based) {
+  switch (options.bias) {
+    case PositionBias::kLogarithmic:
+      return 1.0 / std::log2(static_cast<double>(rank_1based) + 1.0);
+    case PositionBias::kReciprocal:
+      return 1.0 / static_cast<double>(rank_1based);
+    case PositionBias::kTopK:
+      return rank_1based <= options.top_k ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+StatusOr<ExposureReport> ComputeExposure(const Table& table,
+                                         const std::vector<RankedWorker>& ranking,
+                                         const std::string& attr_name,
+                                         const ExposureOptions& options) {
+  FAIRRANK_ASSIGN_OR_RETURN(size_t attr_index,
+                            table.schema().FindIndex(attr_name));
+  const AttributeSpec& spec = table.schema().attribute(attr_index);
+  if (ranking.size() != table.num_rows()) {
+    return Status::InvalidArgument(
+        "ranking has " + std::to_string(ranking.size()) + " entries for " +
+        std::to_string(table.num_rows()) + " rows");
+  }
+  std::vector<bool> seen(table.num_rows(), false);
+
+  const size_t num_groups = static_cast<size_t>(spec.num_groups());
+  std::vector<double> exposure_sum(num_groups, 0.0);
+  std::vector<double> score_sum(num_groups, 0.0);
+  std::vector<size_t> count(num_groups, 0);
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    size_t row = ranking[i].row;
+    if (row >= table.num_rows() || seen[row]) {
+      return Status::InvalidArgument(
+          "ranking is not a permutation of the table rows");
+    }
+    seen[row] = true;
+    size_t g = static_cast<size_t>(table.GroupIndex(row, attr_index));
+    exposure_sum[g] += BiasAt(options, i + 1);
+    score_sum[g] += ranking[i].score;
+    ++count[g];
+  }
+
+  ExposureReport report;
+  report.attribute = attr_name;
+  double min_exposure = 0.0;
+  double max_exposure = 0.0;
+  bool first = true;
+  std::vector<double> ratios;
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (count[g] == 0) continue;
+    GroupExposure group;
+    group.group_label = spec.GroupLabel(static_cast<int>(g));
+    group.group_size = count[g];
+    group.mean_exposure = exposure_sum[g] / static_cast<double>(count[g]);
+    group.mean_score = score_sum[g] / static_cast<double>(count[g]);
+    if (first) {
+      min_exposure = max_exposure = group.mean_exposure;
+      first = false;
+    } else {
+      min_exposure = std::min(min_exposure, group.mean_exposure);
+      max_exposure = std::max(max_exposure, group.mean_exposure);
+    }
+    if (group.mean_score > 0.0) {
+      ratios.push_back(group.mean_exposure / group.mean_score);
+    }
+    report.groups.push_back(std::move(group));
+  }
+  report.exposure_gap = first ? 0.0 : max_exposure - min_exposure;
+  if (ratios.size() >= 2 && ratios.size() == report.groups.size()) {
+    double lo = ratios[0];
+    double hi = ratios[0];
+    for (double r : ratios) {
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    report.treatment_disparity = hi - lo;
+  }
+  return report;
+}
+
+StatusOr<std::vector<ExposureReport>> ComputeAllExposures(
+    const Table& table, const std::vector<RankedWorker>& ranking,
+    const ExposureOptions& options) {
+  std::vector<ExposureReport> reports;
+  for (size_t index : table.schema().ProtectedIndices()) {
+    FAIRRANK_ASSIGN_OR_RETURN(
+        ExposureReport report,
+        ComputeExposure(table, ranking, table.schema().attribute(index).name(),
+                        options));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace fairrank

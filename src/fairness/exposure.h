@@ -1,0 +1,73 @@
+#ifndef FAIRRANK_FAIRNESS_EXPOSURE_H_
+#define FAIRRANK_FAIRNESS_EXPOSURE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "marketplace/ranking.h"
+
+namespace fairrank {
+
+/// Position-bias model for exposure: the attention a worker receives at
+/// 1-based rank r.
+enum class PositionBias {
+  /// 1 / log2(r + 1) — the DCG discount used by Singh & Joachims (KDD'18),
+  /// which the paper cites as the pre-defined-groups approach it extends.
+  kLogarithmic,
+  /// 1 / r.
+  kReciprocal,
+  /// 1 for the top k positions, 0 below (set `top_k`).
+  kTopK,
+};
+
+struct ExposureOptions {
+  PositionBias bias = PositionBias::kLogarithmic;
+  /// Used only by PositionBias::kTopK.
+  size_t top_k = 10;
+};
+
+/// Per-group exposure of one protected attribute under a ranking.
+struct GroupExposure {
+  std::string group_label;
+  size_t group_size = 0;
+  /// Mean position-bias weight over the group's members.
+  double mean_exposure = 0.0;
+  /// Mean score of the group's members (the "merit" side of a disparate-
+  /// treatment check).
+  double mean_score = 0.0;
+};
+
+/// Exposure audit of one attribute: the per-group numbers plus two
+/// disparity summaries.
+struct ExposureReport {
+  std::string attribute;
+  std::vector<GroupExposure> groups;
+  /// max_g mean_exposure - min_g mean_exposure (demographic-parity gap).
+  double exposure_gap = 0.0;
+  /// max over group pairs of |e_i/s_i - e_j/s_j| where e is mean exposure
+  /// and s mean score — Singh & Joachims' disparate-treatment view
+  /// (exposure should be proportional to merit). 0 when any group has mean
+  /// score 0.
+  double treatment_disparity = 0.0;
+};
+
+/// Computes the exposure report of `attr_name` (a protected attribute)
+/// under `ranking`, which must be a permutation of the table rows as
+/// produced by RankingEngine::Rank. Complements the EMD audit: EMD compares
+/// score *distributions*; exposure measures who actually gets seen at the
+/// top of the list.
+StatusOr<ExposureReport> ComputeExposure(
+    const Table& table, const std::vector<RankedWorker>& ranking,
+    const std::string& attr_name,
+    const ExposureOptions& options = ExposureOptions());
+
+/// Exposure reports for every protected attribute of the table's schema.
+StatusOr<std::vector<ExposureReport>> ComputeAllExposures(
+    const Table& table, const std::vector<RankedWorker>& ranking,
+    const ExposureOptions& options = ExposureOptions());
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_EXPOSURE_H_

@@ -1,0 +1,43 @@
+#ifndef FAIRRANK_FAIRNESS_REGISTRY_H_
+#define FAIRRANK_FAIRNESS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fairness/algorithm.h"
+#include "fairness/exhaustive.h"
+
+namespace fairrank {
+
+/// Configuration shared by algorithm construction.
+struct AlgorithmConfig {
+  /// Seed for the randomized baselines (r-balanced, r-unbalanced).
+  uint64_t seed = 0;
+  /// Budgets for the exhaustive brute force.
+  ExhaustiveOptions exhaustive;
+  /// Beam width for the "beam" extension algorithm.
+  int beam_width = 3;
+};
+
+/// Builds an algorithm by its stable name:
+///   "balanced", "unbalanced"       — the paper's two heuristics
+///   "r-balanced", "r-unbalanced"   — random-attribute baselines
+///   "all-attributes"               — full-split baseline
+///   "exhaustive"                   — bounded brute force (toy sizes only)
+///   "beam"                         — beam-search extension (ours)
+///   "merge"                        — bottom-up agglomerative extension
+/// NotFound for anything else.
+StatusOr<std::unique_ptr<PartitioningAlgorithm>> MakeAlgorithmByName(
+    const std::string& name, const AlgorithmConfig& config = AlgorithmConfig());
+
+/// The five algorithms of the paper's tables, in table row order.
+std::vector<std::string> PaperAlgorithmNames();
+
+/// Every name accepted by MakeAlgorithmByName.
+std::vector<std::string> KnownAlgorithmNames();
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_REGISTRY_H_

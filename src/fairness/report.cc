@@ -1,0 +1,180 @@
+#include "fairness/report.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace fairrank {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  size_t num_columns = header_.size();
+  for (const auto& row : rows_) num_columns = std::max(num_columns, row.size());
+  std::vector<size_t> widths(num_columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "  ";
+      line += row[i];
+      if (i + 1 < row.size()) {
+        line.append(widths[i] - row[i].size(), ' ');
+      }
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render(header_);
+    size_t rule_width = 0;
+    for (size_t i = 0; i < num_columns; ++i) {
+      rule_width += widths[i] + (i > 0 ? 2 : 0);
+    }
+    out.append(rule_width, '-');
+    out += "\n";
+  }
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+std::string FormatAuditReport(const AuditResult& result,
+                              const ReportOptions& options) {
+  std::string out;
+  out += "Audit: " + result.scoring_function + " via " + result.algorithm +
+         "\n";
+  out += "  unfairness (avg pairwise divergence): " +
+         FormatDouble(result.unfairness, 4) + "\n";
+  out += "  runtime: " + FormatDouble(result.seconds, 4) + " s\n";
+  out += "  partitions: " + std::to_string(result.partitions.size()) + "\n";
+  out += "  attributes used: " +
+         (result.attributes_used.empty()
+              ? std::string("<none>")
+              : Join(result.attributes_used, ", ")) +
+         "\n";
+  if (!result.worst_pairs.empty()) {
+    out += "  most divergent pairs:\n";
+    for (const DivergentPairSummary& pair : result.worst_pairs) {
+      out += "    " + pair.label_a + "  vs  " + pair.label_b + "  (" +
+             FormatDouble(pair.distance, 3) + ")\n";
+    }
+  }
+  out += "\n";
+
+  TextTable table;
+  table.SetHeader({"partition", "size", "mean score"});
+  size_t limit = options.max_partitions == 0
+                     ? result.partitions.size()
+                     : std::min(options.max_partitions,
+                                result.partitions.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const PartitionSummary& p = result.partitions[i];
+    table.AddRow({p.label, std::to_string(p.size),
+                  FormatDouble(p.mean_score, 3)});
+  }
+  out += table.ToString();
+  if (limit < result.partitions.size()) {
+    out += "... (" + std::to_string(result.partitions.size() - limit) +
+           " more partitions)\n";
+  }
+
+  if (options.include_histograms) {
+    for (size_t i = 0; i < limit; ++i) {
+      const PartitionSummary& p = result.partitions[i];
+      out += "\n" + p.label + ":\n" + p.histogram.ToAscii();
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatAuditJson(const AuditResult& result) {
+  std::string out = "{";
+  out += "\"algorithm\":\"" + JsonEscape(result.algorithm) + "\",";
+  out += "\"scoring_function\":\"" + JsonEscape(result.scoring_function) +
+         "\",";
+  out += "\"unfairness\":" + FormatDouble(result.unfairness, 6) + ",";
+  out += "\"seconds\":" + FormatDouble(result.seconds, 6) + ",";
+  out += "\"attributes_used\":[";
+  for (size_t i = 0; i < result.attributes_used.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(result.attributes_used[i]) + "\"";
+  }
+  out += "],\"partitions\":[";
+  for (size_t i = 0; i < result.partitions.size(); ++i) {
+    const PartitionSummary& p = result.partitions[i];
+    if (i > 0) out += ",";
+    out += "{\"label\":\"" + JsonEscape(p.label) + "\",";
+    out += "\"size\":" + std::to_string(p.size) + ",";
+    out += "\"mean_score\":" + FormatDouble(p.mean_score, 6) + ",";
+    out += "\"histogram\":[";
+    for (size_t b = 0; b < p.histogram.counts().size(); ++b) {
+      if (b > 0) out += ",";
+      out += FormatDouble(p.histogram.counts()[b], 0);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FormatAuditCsvRow(const AuditResult& result) {
+  std::vector<std::string> fields = {
+      result.algorithm,
+      result.scoring_function,
+      FormatDouble(result.unfairness, 6),
+      FormatDouble(result.seconds, 6),
+      std::to_string(result.partitions.size()),
+      Join(result.attributes_used, "|"),
+  };
+  return Join(fields, ",");
+}
+
+}  // namespace fairrank

@@ -1,0 +1,48 @@
+#ifndef FAIRRANK_FAIRNESS_SERIALIZE_H_
+#define FAIRRANK_FAIRNESS_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "fairness/partition.h"
+
+namespace fairrank {
+
+/// How ApplyPartitioningSpec treats rows whose attribute groups match no
+/// serialized leaf (possible when the spec was built on a different sample
+/// whose split dropped groups that were empty *there*).
+enum class UnmatchedRowPolicy {
+  /// Fail with InvalidArgument listing the first unmatched row.
+  kError,
+  /// Collect unmatched rows into one extra partition with an empty path.
+  kCollectRest,
+};
+
+/// Serializes a partitioning's *structure* (not its row sets) as a stable,
+/// human-readable text format:
+///
+///   # fairrank partitioning v1
+///   partition: Gender=0 & Language=2
+///   partition: Gender=1
+///
+/// Steps are `attribute_name=group_index`. A root partition serializes as
+/// `partition: <all>`. The structure can be re-applied to any table whose
+/// schema has the referenced attributes with at least as many groups —
+/// e.g. audit a sample, then apply the found partitioning to the full
+/// dataset or to next month's workers.
+std::string SerializePartitioning(const Schema& schema,
+                                  const Partitioning& partitioning);
+
+/// Parses the text format produced by SerializePartitioning and assigns
+/// every row of `table` to the partition whose path it matches. Paths must
+/// be mutually exclusive (guaranteed for hierarchical partitionings; a row
+/// matching two paths fails with InvalidArgument). Partitions that match no
+/// row are dropped, mirroring the splitter's empty-group behaviour.
+StatusOr<Partitioning> ApplyPartitioningSpec(
+    const Table& table, const std::string& serialized,
+    UnmatchedRowPolicy policy = UnmatchedRowPolicy::kError);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_SERIALIZE_H_

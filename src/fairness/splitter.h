@@ -1,0 +1,30 @@
+#ifndef FAIRRANK_FAIRNESS_SPLITTER_H_
+#define FAIRRANK_FAIRNESS_SPLITTER_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "fairness/partition.h"
+
+namespace fairrank {
+
+/// Splits one partition on protected attribute `attr_index`: rows are
+/// grouped by their attribute group (category code or numeric bucket); only
+/// non-empty groups are returned, each with the parent's path extended by
+/// the corresponding SplitStep. Row order within children preserves the
+/// parent's order, keeping everything deterministic.
+///
+/// A partition in which the attribute takes a single value yields exactly
+/// one child (identical row set, longer path).
+std::vector<Partition> SplitPartition(const Table& table,
+                                      const Partition& partition,
+                                      size_t attr_index);
+
+/// Splits every partition of `partitioning` on `attr_index` and concatenates
+/// the children — the `split(current, a)` of Algorithm 1 (balanced).
+Partitioning SplitAll(const Table& table, const Partitioning& partitioning,
+                      size_t attr_index);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_SPLITTER_H_

@@ -1,0 +1,92 @@
+#include "fairness/suite.h"
+
+#include "common/str_util.h"
+#include "fairness/report.h"
+
+namespace fairrank {
+
+StatusOr<SuiteResult> AuditSuite::Run(
+    const std::vector<const ScoringFunction*>& functions,
+    const SuiteOptions& options) const {
+  if (functions.empty()) {
+    return Status::InvalidArgument("suite needs at least one function");
+  }
+  SuiteResult result;
+  result.algorithms = options.algorithms.empty() ? PaperAlgorithmNames()
+                                                 : options.algorithms;
+  for (const ScoringFunction* fn : functions) {
+    if (fn == nullptr) {
+      return Status::InvalidArgument("null scoring function");
+    }
+    result.functions.push_back(fn->Name());
+  }
+
+  FairnessAuditor auditor(table_);
+  result.cells.resize(result.algorithms.size());
+  for (size_t a = 0; a < result.algorithms.size(); ++a) {
+    for (size_t f = 0; f < functions.size(); ++f) {
+      AuditOptions audit_options;
+      audit_options.algorithm = result.algorithms[a];
+      audit_options.evaluator = options.evaluator;
+      audit_options.seed = options.seed + f;
+      audit_options.protected_attributes = options.protected_attributes;
+      audit_options.num_worst_pairs = 0;
+      FAIRRANK_ASSIGN_OR_RETURN(AuditResult audit,
+                                auditor.Audit(*functions[f], audit_options));
+      SuiteCell cell;
+      cell.algorithm = result.algorithms[a];
+      cell.function = result.functions[f];
+      cell.unfairness = audit.unfairness;
+      cell.seconds = audit.seconds;
+      cell.num_partitions = audit.partitions.size();
+      cell.attributes_used = std::move(audit.attributes_used);
+      result.cells[a].push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::string FormatGrid(const SuiteResult& result, bool runtime) {
+  TextTable table;
+  std::vector<std::string> header = {"Algorithm"};
+  header.insert(header.end(), result.functions.begin(),
+                result.functions.end());
+  table.SetHeader(header);
+  for (size_t a = 0; a < result.algorithms.size(); ++a) {
+    std::vector<std::string> row = {result.algorithms[a]};
+    for (const SuiteCell& cell : result.cells[a]) {
+      row.push_back(FormatDouble(runtime ? cell.seconds : cell.unfairness, 3));
+    }
+    table.AddRow(row);
+  }
+  return table.ToString();
+}
+
+}  // namespace
+
+std::string FormatSuiteUnfairness(const SuiteResult& result) {
+  return FormatGrid(result, /*runtime=*/false);
+}
+
+std::string FormatSuiteRuntime(const SuiteResult& result) {
+  return FormatGrid(result, /*runtime=*/true);
+}
+
+std::string FormatSuiteCsv(const SuiteResult& result) {
+  std::string out =
+      "algorithm,function,unfairness,seconds,num_partitions,attributes\n";
+  for (const auto& row : result.cells) {
+    for (const SuiteCell& cell : row) {
+      out += cell.algorithm + "," + cell.function + "," +
+             FormatDouble(cell.unfairness, 6) + "," +
+             FormatDouble(cell.seconds, 6) + "," +
+             std::to_string(cell.num_partitions) + "," +
+             Join(cell.attributes_used, "|") + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace fairrank

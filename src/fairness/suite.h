@@ -1,0 +1,72 @@
+#ifndef FAIRRANK_FAIRNESS_SUITE_H_
+#define FAIRRANK_FAIRNESS_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fairness/auditor.h"
+
+namespace fairrank {
+
+/// Configuration of a comparative audit grid (the shape of the paper's
+/// Tables 1-3: rows = algorithms, columns = scoring functions).
+struct SuiteOptions {
+  /// Algorithm names; empty means the paper's five (PaperAlgorithmNames).
+  std::vector<std::string> algorithms;
+  /// Evaluator configuration shared by every cell.
+  EvaluatorOptions evaluator;
+  /// Base seed; cell (a, f) derives seed + f for its randomized baseline so
+  /// every algorithm sees the same stream per function.
+  uint64_t seed = 0;
+  /// Restrict the searched protected attributes (empty = all).
+  std::vector<std::string> protected_attributes;
+};
+
+/// One (algorithm, function) cell of the grid.
+struct SuiteCell {
+  std::string algorithm;
+  std::string function;
+  double unfairness = 0.0;
+  double seconds = 0.0;
+  size_t num_partitions = 0;
+  std::vector<std::string> attributes_used;
+};
+
+/// A full grid of audits.
+struct SuiteResult {
+  std::vector<std::string> algorithms;           ///< Row labels.
+  std::vector<std::string> functions;            ///< Column labels.
+  std::vector<std::vector<SuiteCell>> cells;     ///< [algorithm][function].
+};
+
+/// Runs every algorithm against every function on one table — the
+/// programmatic form of the paper's evaluation; bench/table* are thin
+/// wrappers over this.
+class AuditSuite {
+ public:
+  /// `table` must outlive the suite.
+  explicit AuditSuite(const Table* table) : table_(table) {}
+
+  /// Runs the grid. Functions are borrowed, not owned.
+  StatusOr<SuiteResult> Run(
+      const std::vector<const ScoringFunction*>& functions,
+      const SuiteOptions& options = SuiteOptions()) const;
+
+ private:
+  const Table* table_;
+};
+
+/// Renders the "Average EMD" (unfairness) table of a suite result.
+std::string FormatSuiteUnfairness(const SuiteResult& result);
+
+/// Renders the "time (in secs)" table of a suite result.
+std::string FormatSuiteRuntime(const SuiteResult& result);
+
+/// Renders the grid as CSV rows:
+/// algorithm,function,unfairness,seconds,num_partitions,attributes.
+std::string FormatSuiteCsv(const SuiteResult& result);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_SUITE_H_

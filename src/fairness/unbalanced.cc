@@ -1,0 +1,95 @@
+#include "fairness/unbalanced.h"
+
+#include "fairness/splitter.h"
+
+namespace fairrank {
+
+namespace {
+
+class UnbalancedAlgorithm : public PartitioningAlgorithm {
+ public:
+  UnbalancedAlgorithm(std::string name,
+                      std::unique_ptr<AttributeSelector> selector)
+      : name_(std::move(name)), selector_(std::move(selector)) {}
+
+  std::string Name() const override { return name_; }
+
+  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs) override {
+    Partition root = MakeRootPartition(eval.table().num_rows());
+    if (attrs.empty()) return Partitioning{root};
+
+    // Initial split on the selector's attribute, "as in the case of
+    // balanced"; Algorithm 2 is then invoked once per resulting partition.
+    Partitioning current{root};
+    FAIRRANK_ASSIGN_OR_RETURN(size_t pos,
+                              selector_->SelectGlobal(eval, current, attrs));
+    size_t attr = attrs[pos];
+    attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(pos));
+    std::vector<Partition> children = SplitPartition(eval.table(), root, attr);
+
+    Partitioning output;
+    for (size_t i = 0; i < children.size(); ++i) {
+      std::vector<Partition> siblings = SiblingsOf(children, i);
+      FAIRRANK_RETURN_NOT_OK(
+          Recurse(eval, children[i], siblings, attrs, &output));
+    }
+    return output;
+  }
+
+ private:
+  static std::vector<Partition> SiblingsOf(const std::vector<Partition>& all,
+                                           size_t skip) {
+    std::vector<Partition> siblings;
+    siblings.reserve(all.size() - 1);
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (i != skip) siblings.push_back(all[i]);
+    }
+    return siblings;
+  }
+
+  /// Algorithm 2. `attrs` is passed by value: each branch of the recursion
+  /// consumes its own copy, so sibling subtrees may split on different
+  /// attributes (the "unbalanced" tree).
+  Status Recurse(const UnfairnessEvaluator& eval, const Partition& current,
+                 const std::vector<Partition>& siblings,
+                 std::vector<size_t> attrs, Partitioning* output) {
+    if (attrs.empty()) {  // Line 1-2.
+      output->push_back(current);
+      return Status::OK();
+    }
+    FAIRRANK_ASSIGN_OR_RETURN(double current_avg,
+                              eval.AverageWithSiblings(current, siblings));
+    FAIRRANK_ASSIGN_OR_RETURN(
+        size_t pos, selector_->SelectLocal(eval, current, siblings, attrs));
+    size_t attr = attrs[pos];
+    attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(pos));
+    std::vector<Partition> children =
+        SplitPartition(eval.table(), current, attr);
+    FAIRRANK_ASSIGN_OR_RETURN(
+        double children_avg,
+        eval.AverageChildrenWithSiblings(children, siblings));
+    if (current_avg >= children_avg) {  // Line 9-10.
+      output->push_back(current);
+      return Status::OK();
+    }
+    for (size_t i = 0; i < children.size(); ++i) {  // Lines 12-14.
+      FAIRRANK_RETURN_NOT_OK(Recurse(eval, children[i],
+                                     SiblingsOf(children, i), attrs, output));
+    }
+    return Status::OK();
+  }
+
+  std::string name_;
+  std::unique_ptr<AttributeSelector> selector_;
+};
+
+}  // namespace
+
+std::unique_ptr<PartitioningAlgorithm> MakeUnbalancedAlgorithm(
+    std::string name, std::unique_ptr<AttributeSelector> selector) {
+  return std::make_unique<UnbalancedAlgorithm>(std::move(name),
+                                               std::move(selector));
+}
+
+}  // namespace fairrank

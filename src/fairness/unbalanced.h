@@ -1,0 +1,23 @@
+#ifndef FAIRRANK_FAIRNESS_UNBALANCED_H_
+#define FAIRRANK_FAIRNESS_UNBALANCED_H_
+
+#include <memory>
+
+#include "fairness/algorithm.h"
+
+namespace fairrank {
+
+/// Algorithm 2 of the paper (`unbalanced`): after an initial global split,
+/// recursively decides per partition whether to split further, comparing the
+/// partition's average divergence with its siblings against that of its
+/// potential children with the same siblings. Produces an unbalanced
+/// partitioning tree — different leaves may use different attributes.
+///
+/// `name` lets the registry reuse this implementation for "unbalanced" and
+/// "r-unbalanced".
+std::unique_ptr<PartitioningAlgorithm> MakeUnbalancedAlgorithm(
+    std::string name, std::unique_ptr<AttributeSelector> selector);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_UNBALANCED_H_

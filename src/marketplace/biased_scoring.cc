@@ -1,0 +1,170 @@
+#include "marketplace/biased_scoring.h"
+
+#include "common/rng.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+
+BiasedScoringFunction::BiasedScoringFunction(std::string name,
+                                             std::vector<BiasRule> rules,
+                                             uint64_t seed, double default_lo,
+                                             double default_hi)
+    : name_(std::move(name)),
+      rules_(std::move(rules)),
+      seed_(seed),
+      default_lo_(default_lo),
+      default_hi_(default_hi) {}
+
+StatusOr<std::vector<double>> BiasedScoringFunction::ScoreAll(
+    const Table& table) const {
+  // Resolve attribute references once per call.
+  struct ResolvedCondition {
+    size_t attr_index;
+    bool is_categorical;
+    int code;  // Categorical: required code.
+    double lo;
+    double hi;
+  };
+  std::vector<std::vector<ResolvedCondition>> resolved(rules_.size());
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    if (rules_[r].score_lo > rules_[r].score_hi) {
+      return Status::InvalidArgument("rule with empty score range in " +
+                                     name_);
+    }
+    for (const BiasCondition& cond : rules_[r].conditions) {
+      FAIRRANK_ASSIGN_OR_RETURN(size_t index,
+                                table.schema().FindIndex(cond.attribute));
+      const AttributeSpec& spec = table.schema().attribute(index);
+      ResolvedCondition rc;
+      rc.attr_index = index;
+      rc.is_categorical = cond.is_categorical;
+      rc.code = 0;
+      rc.lo = cond.lo;
+      rc.hi = cond.hi;
+      if (cond.is_categorical) {
+        if (spec.kind() != AttributeKind::kCategorical) {
+          return Status::InvalidArgument("condition on '" + cond.attribute +
+                                         "' expects a categorical attribute");
+        }
+        FAIRRANK_ASSIGN_OR_RETURN(rc.code, spec.CodeOf(cond.label));
+      } else if (spec.kind() == AttributeKind::kCategorical) {
+        return Status::InvalidArgument("range condition on categorical '" +
+                                       cond.attribute + "'");
+      }
+      resolved[r].push_back(rc);
+    }
+  }
+
+  Rng rng(seed_);
+  std::vector<double> scores(table.num_rows(), 0.0);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    double lo = default_lo_;
+    double hi = default_hi_;
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      bool match = true;
+      for (const ResolvedCondition& rc : resolved[r]) {
+        if (rc.is_categorical) {
+          if (table.column(rc.attr_index).CodeAt(row) != rc.code) {
+            match = false;
+            break;
+          }
+        } else {
+          double v = table.ValueAsDouble(row, rc.attr_index);
+          if (v < rc.lo || v > rc.hi) {
+            match = false;
+            break;
+          }
+        }
+      }
+      if (match) {
+        lo = rules_[r].score_lo;
+        hi = rules_[r].score_hi;
+        break;
+      }
+    }
+    scores[row] = (lo == hi) ? lo : rng.UniformDouble(lo, hi);
+  }
+  return scores;
+}
+
+namespace {
+namespace wa = worker_attrs;
+}  // namespace
+
+std::unique_ptr<ScoringFunction> MakeF6(uint64_t seed) {
+  std::vector<BiasRule> rules;
+  rules.push_back({{BiasCondition::Equals(wa::kGender, "Male")}, 0.8, 1.0});
+  rules.push_back({{BiasCondition::Equals(wa::kGender, "Female")}, 0.0, 0.2});
+  return std::make_unique<BiasedScoringFunction>("f6 (anti-female)",
+                                                 std::move(rules), seed);
+}
+
+std::unique_ptr<ScoringFunction> MakeF7(uint64_t seed) {
+  std::vector<BiasRule> rules;
+  rules.push_back({{BiasCondition::Equals(wa::kGender, "Male"),
+                    BiasCondition::Equals(wa::kCountry, "America")},
+                   0.8,
+                   1.0});
+  rules.push_back({{BiasCondition::Equals(wa::kGender, "Female"),
+                    BiasCondition::Equals(wa::kCountry, "America")},
+                   0.0,
+                   0.2});
+  rules.push_back({{BiasCondition::Equals(wa::kCountry, "India")}, 0.5, 0.7});
+  rules.push_back({{BiasCondition::Equals(wa::kGender, "Female"),
+                    BiasCondition::Equals(wa::kCountry, "Other")},
+                   0.8,
+                   1.0});
+  rules.push_back({{BiasCondition::Equals(wa::kGender, "Male"),
+                    BiasCondition::Equals(wa::kCountry, "Other")},
+                   0.0,
+                   0.2});
+  return std::make_unique<BiasedScoringFunction>("f7 (gender x country)",
+                                                 std::move(rules), seed);
+}
+
+std::unique_ptr<ScoringFunction> MakeF8(uint64_t seed) {
+  std::vector<BiasRule> rules;
+  rules.push_back({{BiasCondition::Equals(wa::kGender, "Female"),
+                    BiasCondition::Equals(wa::kCountry, "America")},
+                   0.8,
+                   1.0});
+  rules.push_back({{BiasCondition::Equals(wa::kGender, "Female"),
+                    BiasCondition::Equals(wa::kCountry, "India")},
+                   0.5,
+                   0.8});
+  rules.push_back({{BiasCondition::Equals(wa::kGender, "Female"),
+                    BiasCondition::Equals(wa::kCountry, "Other")},
+                   0.0,
+                   0.2});
+  // Males are unspecified in the paper; they draw from the default [0,1].
+  return std::make_unique<BiasedScoringFunction>("f8 (female x country)",
+                                                 std::move(rules), seed);
+}
+
+std::unique_ptr<ScoringFunction> MakeF9(uint64_t seed) {
+  std::vector<BiasRule> rules;
+  rules.push_back({{BiasCondition::Equals(wa::kEthnicity, "White"),
+                    BiasCondition::Equals(wa::kLanguage, "English"),
+                    BiasCondition::InRange(wa::kYearOfBirth, 1950, 1979)},
+                   0.8,
+                   1.0});
+  rules.push_back(
+      {{BiasCondition::Equals(wa::kEthnicity, "Indian")}, 0.5, 0.7});
+  rules.push_back(
+      {{BiasCondition::Equals(wa::kLanguage, "Indian")}, 0.5, 0.7});
+  rules.push_back({{}, 0.0, 0.2});  // Catch-all: everyone else scores low.
+  return std::make_unique<BiasedScoringFunction>(
+      "f9 (ethnicity x language x birth)", std::move(rules), seed);
+}
+
+std::vector<std::unique_ptr<ScoringFunction>> MakePaperBiasedFunctions(
+    uint64_t seed) {
+  std::vector<std::unique_ptr<ScoringFunction>> fns;
+  fns.push_back(MakeF6(seed + 6));
+  fns.push_back(MakeF7(seed + 7));
+  fns.push_back(MakeF8(seed + 8));
+  fns.push_back(MakeF9(seed + 9));
+  return fns;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,106 @@
+#ifndef FAIRRANK_MARKETPLACE_BIASED_SCORING_H_
+#define FAIRRANK_MARKETPLACE_BIASED_SCORING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "marketplace/scoring.h"
+
+namespace fairrank {
+
+/// One predicate of a bias rule: either "categorical attribute == label" or
+/// "numeric attribute within [lo, hi]".
+struct BiasCondition {
+  std::string attribute;
+
+  /// Categorical match (used when `is_categorical` is true).
+  std::string label;
+
+  /// Numeric range match, inclusive (used when `is_categorical` is false).
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool is_categorical = true;
+
+  static BiasCondition Equals(std::string attribute, std::string label) {
+    BiasCondition c;
+    c.attribute = std::move(attribute);
+    c.label = std::move(label);
+    c.is_categorical = true;
+    return c;
+  }
+  static BiasCondition InRange(std::string attribute, double lo, double hi) {
+    BiasCondition c;
+    c.attribute = std::move(attribute);
+    c.lo = lo;
+    c.hi = hi;
+    c.is_categorical = false;
+    return c;
+  }
+};
+
+/// A bias rule: when every condition matches a worker, their score is drawn
+/// uniformly from [score_lo, score_hi).
+struct BiasRule {
+  std::vector<BiasCondition> conditions;
+  double score_lo = 0.0;
+  double score_hi = 1.0;
+};
+
+/// A scoring function that is *unfair by design*: it ignores the observed
+/// attributes and assigns each worker a score drawn uniformly from the range
+/// of the first matching rule (rules are checked in order; workers matching
+/// no rule draw from [default_lo, default_hi)).
+///
+/// This models the paper's hand-crafted f6-f9 ("the function scores were
+/// generated at random within the specified range"). Deterministic per
+/// (seed, table): ScoreAll reseeds its own generator on every call.
+class BiasedScoringFunction : public ScoringFunction {
+ public:
+  BiasedScoringFunction(std::string name, std::vector<BiasRule> rules,
+                        uint64_t seed, double default_lo = 0.0,
+                        double default_hi = 1.0);
+
+  std::string Name() const override { return name_; }
+  StatusOr<std::vector<double>> ScoreAll(const Table& table) const override;
+
+  const std::vector<BiasRule>& rules() const { return rules_; }
+
+ private:
+  std::string name_;
+  std::vector<BiasRule> rules_;
+  uint64_t seed_;
+  double default_lo_;
+  double default_hi_;
+};
+
+/// f6: discriminates against females — males draw from (0.8, 1], females
+/// from [0, 0.2).
+std::unique_ptr<ScoringFunction> MakeF6(uint64_t seed);
+
+/// f7: biased on gender x country — male&American high, female&American low,
+/// Indians mid regardless of gender, female&Other high, male&Other low.
+std::unique_ptr<ScoringFunction> MakeF7(uint64_t seed);
+
+/// f8: biased among females by country — female&American high, female&Indian
+/// mid, female&Other low; males draw uniformly from [0,1] (the paper leaves
+/// male scores unspecified).
+std::unique_ptr<ScoringFunction> MakeF8(uint64_t seed);
+
+/// f9: correlates with ethnicity, language and year of birth "similarly to
+/// previous ones". The paper does not print the exact rules; we use a
+/// three-attribute analogue of f7/f8: White & English & born before 1980
+/// high; Indian ethnicity or Indian language mid; everyone else low. See
+/// EXPERIMENTS.md.
+std::unique_ptr<ScoringFunction> MakeF9(uint64_t seed);
+
+/// All four biased functions f6..f9 with per-function derived seeds.
+std::vector<std::unique_ptr<ScoringFunction>> MakePaperBiasedFunctions(
+    uint64_t seed);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_MARKETPLACE_BIASED_SCORING_H_

@@ -1,0 +1,46 @@
+#include "marketplace/generator.h"
+
+#include "marketplace/worker.h"
+
+namespace fairrank {
+
+Status AppendRandomWorkers(Table* table, size_t rows, Rng* rng) {
+  const Schema& schema = table->schema();
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Cell> cells;
+    cells.reserve(schema.num_attributes());
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const AttributeSpec& spec = schema.attribute(a);
+      switch (spec.kind()) {
+        case AttributeKind::kCategorical:
+          cells.emplace_back(
+              static_cast<int64_t>(rng->UniformIndex(
+                  static_cast<size_t>(spec.num_groups()))));
+          break;
+        case AttributeKind::kInteger:
+          cells.emplace_back(rng->UniformInt(
+              static_cast<int64_t>(spec.min()),
+              static_cast<int64_t>(spec.max())));
+          break;
+        case AttributeKind::kReal:
+          cells.emplace_back(rng->UniformDouble(spec.min(), spec.max()));
+          break;
+      }
+    }
+    FAIRRANK_RETURN_NOT_OK(table->AppendRow(cells));
+  }
+  return Status::OK();
+}
+
+StatusOr<Table> GenerateWorkers(const GeneratorOptions& options) {
+  FAIRRANK_ASSIGN_OR_RETURN(Schema schema,
+                            MakePaperWorkerSchema(options.numeric_buckets));
+  Table table(std::move(schema));
+  table.Reserve(options.num_workers);
+  Rng rng(options.seed);
+  FAIRRANK_RETURN_NOT_OK(
+      AppendRandomWorkers(&table, options.num_workers, &rng));
+  return table;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,33 @@
+#ifndef FAIRRANK_MARKETPLACE_GENERATOR_H_
+#define FAIRRANK_MARKETPLACE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace fairrank {
+
+/// Options for the synthetic worker population.
+struct GeneratorOptions {
+  size_t num_workers = 500;
+  uint64_t seed = 42;
+  /// Bucket count for the numeric protected attributes (paper: <= 5 values
+  /// per attribute).
+  int numeric_buckets = 5;
+};
+
+/// Generates the paper's simulated worker population: every attribute value
+/// drawn uniformly at random over its domain ("populated randomly so as to
+/// avoid injecting any bias in the data ourselves"). Deterministic given the
+/// seed.
+StatusOr<Table> GenerateWorkers(const GeneratorOptions& options);
+
+/// Fills `rows` additional uniformly-random rows into an existing table that
+/// uses the paper worker schema. Exposed for incremental/scaling benches.
+Status AppendRandomWorkers(Table* table, size_t rows, Rng* rng);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_MARKETPLACE_GENERATOR_H_

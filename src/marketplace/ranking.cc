@@ -1,0 +1,32 @@
+#include "marketplace/ranking.h"
+
+#include <algorithm>
+
+namespace fairrank {
+
+StatusOr<std::vector<RankedWorker>> RankingEngine::Rank(
+    const ScoringFunction& fn) const {
+  FAIRRANK_ASSIGN_OR_RETURN(std::vector<double> scores, fn.ScoreAll(*table_));
+  std::vector<RankedWorker> ranking(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) ranking[i] = {i, scores[i]};
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const RankedWorker& a, const RankedWorker& b) {
+                     return a.score > b.score;
+                   });
+  return ranking;
+}
+
+StatusOr<std::vector<RankedWorker>> RankingEngine::Rank(
+    const TaskQuery& query) const {
+  LinearScoringFunction fn(query.description, query.weights);
+  return Rank(fn);
+}
+
+StatusOr<std::vector<RankedWorker>> RankingEngine::TopK(
+    const ScoringFunction& fn, size_t k) const {
+  FAIRRANK_ASSIGN_OR_RETURN(std::vector<RankedWorker> ranking, Rank(fn));
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,56 @@
+#ifndef FAIRRANK_MARKETPLACE_RANKING_H_
+#define FAIRRANK_MARKETPLACE_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "marketplace/scoring.h"
+
+namespace fairrank {
+
+/// One entry of a ranking: a table row and its score.
+struct RankedWorker {
+  size_t row;
+  double score;
+};
+
+/// A hiring query on the marketplace: a short description plus the weights
+/// a requester assigns to observed attributes, which induce the scoring
+/// function used to rank candidates.
+struct TaskQuery {
+  std::string description;
+  /// Observed attribute name -> weight. Converted to a
+  /// LinearScoringFunction by RankingEngine::Rank.
+  std::vector<std::pair<std::string, double>> weights;
+};
+
+/// Ranks workers for tasks — the marketplace-facing substrate whose output
+/// the fairness audit inspects. Scores with the query-induced (or supplied)
+/// scoring function and sorts descending with deterministic tie-breaking by
+/// row index.
+class RankingEngine {
+ public:
+  /// `table` must outlive the engine.
+  explicit RankingEngine(const Table* table) : table_(table) {}
+
+  /// Full ranking under an arbitrary scoring function.
+  StatusOr<std::vector<RankedWorker>> Rank(const ScoringFunction& fn) const;
+
+  /// Full ranking under the linear function induced by `query`.
+  StatusOr<std::vector<RankedWorker>> Rank(const TaskQuery& query) const;
+
+  /// Top-k prefix of Rank(fn). k larger than the table is clamped.
+  StatusOr<std::vector<RankedWorker>> TopK(const ScoringFunction& fn,
+                                           size_t k) const;
+
+  const Table& table() const { return *table_; }
+
+ private:
+  const Table* table_;
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_MARKETPLACE_RANKING_H_

@@ -1,0 +1,108 @@
+#include "marketplace/realistic.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace
+
+StatusOr<Table> GenerateRealisticWorkers(
+    const RealisticGeneratorOptions& options) {
+  if (options.bias_strength < 0.0 || options.bias_strength > 1.0) {
+    return Status::InvalidArgument("bias_strength must be in [0,1]");
+  }
+  FAIRRANK_ASSIGN_OR_RETURN(Schema schema,
+                            MakePaperWorkerSchema(options.numeric_buckets));
+  Table table(std::move(schema));
+  table.Reserve(options.num_workers);
+  Rng rng(options.seed);
+  const double bias = options.bias_strength;
+
+  for (size_t i = 0; i < options.num_workers; ++i) {
+    // Demographics: skewed and correlated.
+    const bool male = rng.Bernoulli(0.60);
+
+    // Country: America 60%, India 25%, Other 15%.
+    const size_t country = rng.WeightedIndex({0.60, 0.25, 0.15});
+
+    // Language follows country.
+    size_t language;  // 0 English, 1 Indian, 2 Other.
+    switch (country) {
+      case 0:
+        language = rng.WeightedIndex({0.90, 0.02, 0.08});
+        break;
+      case 1:
+        language = rng.WeightedIndex({0.25, 0.70, 0.05});
+        break;
+      default:
+        language = rng.WeightedIndex({0.35, 0.05, 0.60});
+        break;
+    }
+
+    // Ethnicity follows country. Codes: White, African-American, Indian,
+    // Other.
+    size_t ethnicity;
+    switch (country) {
+      case 0:
+        ethnicity = rng.WeightedIndex({0.60, 0.18, 0.07, 0.15});
+        break;
+      case 1:
+        ethnicity = rng.WeightedIndex({0.02, 0.01, 0.92, 0.05});
+        break;
+      default:
+        ethnicity = rng.WeightedIndex({0.35, 0.10, 0.10, 0.45});
+        break;
+    }
+
+    // Age: young-skewed gig workforce; experience follows age.
+    int64_t year_of_birth = static_cast<int64_t>(
+        std::llround(Clamp(rng.Gaussian(1985.0, 9.0), 1950.0, 2009.0)));
+    double age_in_2019 = 2019.0 - static_cast<double>(year_of_birth);
+    int64_t experience = static_cast<int64_t>(std::llround(
+        Clamp(rng.Gaussian(std::max(0.0, (age_in_2019 - 18.0) * 0.5), 3.0),
+              0.0, 30.0)));
+
+    // Latent merit drives both observed signals.
+    double merit = rng.Gaussian(0.0, 1.0);
+
+    // LanguageTest: merit + English familiarity - bias against non-English
+    // speakers.
+    double language_test = 70.0 + 10.0 * merit;
+    if (language == 0) language_test += 8.0;
+    language_test -= bias * (language != 0 ? 6.0 : 0.0);
+    language_test += rng.Gaussian(0.0, 5.0);
+    language_test = Clamp(language_test, 25.0, 100.0);
+
+    // ApprovalRate: merit + rating penalties for female and
+    // African-American workers (the Hannak et al. effect), scaled by
+    // bias_strength.
+    double approval = 75.0 + 8.0 * merit;
+    if (!male) approval -= bias * 8.0;
+    if (ethnicity == 1) approval -= bias * 6.0;
+    approval += rng.Gaussian(0.0, 4.0);
+    approval = Clamp(approval, 25.0, 100.0);
+
+    FAIRRANK_RETURN_NOT_OK(table.AppendRow({
+        static_cast<int64_t>(male ? 0 : 1),
+        static_cast<int64_t>(country),
+        year_of_birth,
+        static_cast<int64_t>(language),
+        static_cast<int64_t>(ethnicity),
+        experience,
+        language_test,
+        approval,
+    }));
+  }
+  return table;
+}
+
+}  // namespace fairrank

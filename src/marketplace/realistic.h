@@ -1,0 +1,48 @@
+#ifndef FAIRRANK_MARKETPLACE_REALISTIC_H_
+#define FAIRRANK_MARKETPLACE_REALISTIC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace fairrank {
+
+/// Options for the realistic population generator.
+struct RealisticGeneratorOptions {
+  size_t num_workers = 1000;
+  uint64_t seed = 42;
+  /// Bucket count for the numeric protected attributes (as in the paper's
+  /// uniform generator).
+  int numeric_buckets = 5;
+  /// How strongly the *observed* attributes (the rating-like signals) are
+  /// skewed against disadvantaged demographics. 0 = merit only (no bias
+  /// channel), 1 = the full effect sizes below. Rating penalties at 1:
+  /// female -8 ApprovalRate points, African-American -6, non-English
+  /// speakers -6 LanguageTest points on top of the merit model.
+  double bias_strength = 1.0;
+};
+
+/// Generates a *non-uniform, correlated* worker population modeled on the
+/// published observations about real freelancing platforms (Hannák et al.,
+/// CSCW 2017 — the paper's reference [4] — found that perceived gender and
+/// race correlate with worker ratings on TaskRabbit and Fiverr):
+///
+///   * skewed demographics (60/40 gender, America-heavy country mix),
+///   * correlated attributes (language and ethnicity follow country; years
+///     of experience follows age),
+///   * observed attributes built from a latent merit score plus
+///     `bias_strength`-scaled demographic rating penalties.
+///
+/// The paper's own evaluation uses the uniform generator "to avoid
+/// injecting any bias"; this substrate serves its future-work question —
+/// what audits look like on realistic data, where even merit-looking
+/// scoring functions inherit rating bias. Same schema as
+/// MakePaperWorkerSchema, so every scoring function and audit works
+/// unchanged. Deterministic given the seed.
+StatusOr<Table> GenerateRealisticWorkers(
+    const RealisticGeneratorOptions& options);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_MARKETPLACE_REALISTIC_H_

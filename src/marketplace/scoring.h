@@ -1,0 +1,68 @@
+#ifndef FAIRRANK_MARKETPLACE_SCORING_H_
+#define FAIRRANK_MARKETPLACE_SCORING_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace fairrank {
+
+/// A task-qualification scoring function f : W -> [0,1] (Definition 1).
+/// Implementations score an entire table at once (columnar access) and are
+/// stateless across calls — scoring the same table twice yields identical
+/// scores, including for the randomized biased functions (they reseed per
+/// call).
+class ScoringFunction {
+ public:
+  virtual ~ScoringFunction() = default;
+
+  /// Display name, e.g. "f1 (alpha=0.5)".
+  virtual std::string Name() const = 0;
+
+  /// Scores every row of `table`; result[i] is the score of row i, in [0,1].
+  virtual StatusOr<std::vector<double>> ScoreAll(const Table& table) const = 0;
+};
+
+/// The paper's linear family f(w) = sum_i alpha_i * b_i with observed
+/// attributes min-max normalized to [0,1] by their schema range (the raw
+/// domains are [25,100]; f must land in [0,1]).
+///
+/// Weights must be non-negative; a zero weight means "attribute not relevant
+/// for the user". If the weights sum to 1 the scores are guaranteed in
+/// [0,1].
+class LinearScoringFunction : public ScoringFunction {
+ public:
+  /// `weights` maps observed attribute name -> alpha.
+  LinearScoringFunction(std::string name,
+                        std::vector<std::pair<std::string, double>> weights);
+
+  std::string Name() const override { return name_; }
+  StatusOr<std::vector<double>> ScoreAll(const Table& table) const override;
+
+  const std::vector<std::pair<std::string, double>>& weights() const {
+    return weights_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> weights_;
+};
+
+/// Builds the paper's two-attribute function
+///   f = alpha * LanguageTest + (1 - alpha) * ApprovalRate.
+/// The paper's five random functions use alpha in {0, 0.3, 0.5, 0.7, 1}.
+std::unique_ptr<ScoringFunction> MakeAlphaFunction(std::string name,
+                                                   double alpha);
+
+/// The paper's f1..f5 in order. f4 uses only LanguageTest (alpha=1) and f5
+/// only ApprovalRate (alpha=0), matching the paper's statement that f4/f5
+/// "rely on one observed attribute only"; f1..f3 use alpha 0.5, 0.3, 0.7.
+std::vector<std::unique_ptr<ScoringFunction>> MakePaperRandomFunctions();
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_MARKETPLACE_SCORING_H_

@@ -1,0 +1,103 @@
+#include "marketplace/tasks.h"
+
+#include <algorithm>
+
+#include "marketplace/worker.h"
+
+namespace fairrank {
+
+TaskCatalog TaskCatalog::MakeDefaultCatalog() {
+  namespace wa = worker_attrs;
+  TaskCatalog catalog;
+  auto add = [&](const char* name, double alpha) {
+    TaskCategory category;
+    category.name = name;
+    category.weights = {{wa::kLanguageTest, alpha},
+                        {wa::kApprovalRate, 1.0 - alpha}};
+    Status st = catalog.AddCategory(std::move(category));
+    (void)st;  // Static catalog: inputs are valid by construction.
+  };
+  add("content writing", 0.9);
+  add("web development", 0.7);
+  add("customer support", 0.5);
+  add("data entry", 0.3);
+  add("general labor", 0.0);
+  return catalog;
+}
+
+Status TaskCatalog::AddCategory(TaskCategory category) {
+  if (category.name.empty()) {
+    return Status::InvalidArgument("category has empty name");
+  }
+  if (category.weights.empty()) {
+    return Status::InvalidArgument("category '" + category.name +
+                                   "' has no weights");
+  }
+  for (const TaskCategory& existing : categories_) {
+    if (existing.name == category.name) {
+      return Status::AlreadyExists("category '" + category.name +
+                                   "' already in catalog");
+    }
+  }
+  categories_.push_back(std::move(category));
+  return Status::OK();
+}
+
+StatusOr<size_t> TaskCatalog::FindCategory(const std::string& name) const {
+  for (size_t i = 0; i < categories_.size(); ++i) {
+    if (categories_[i].name == name) return i;
+  }
+  return Status::NotFound("no category named '" + name + "'");
+}
+
+TaskQuery TaskCatalog::QueryFor(size_t category_index) const {
+  const TaskCategory& category = categories_[category_index];
+  TaskQuery query;
+  query.description = category.name;
+  query.weights = category.weights;
+  return query;
+}
+
+std::vector<PostedTask> TaskCatalog::GenerateTasks(size_t n, Rng* rng,
+                                                   size_t first_id) const {
+  std::vector<PostedTask> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PostedTask task;
+    task.id = first_id + i;
+    task.category_index = rng->UniformIndex(categories_.size());
+    task.description = categories_[task.category_index].name + " gig #" +
+                       std::to_string(task.id);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+StatusOr<std::vector<CategoryAuditRow>> AuditCatalog(
+    const Table& workers, const TaskCatalog& catalog,
+    const AuditOptions& options) {
+  if (catalog.num_categories() == 0) {
+    return Status::InvalidArgument("catalog has no categories");
+  }
+  FairnessAuditor auditor(&workers);
+  std::vector<CategoryAuditRow> rows;
+  rows.reserve(catalog.num_categories());
+  for (size_t c = 0; c < catalog.num_categories(); ++c) {
+    const TaskCategory& category = catalog.category(c);
+    LinearScoringFunction fn(category.name, category.weights);
+    FAIRRANK_ASSIGN_OR_RETURN(AuditResult audit, auditor.Audit(fn, options));
+    CategoryAuditRow row;
+    row.category = category.name;
+    row.unfairness = audit.unfairness;
+    row.num_partitions = audit.partitions.size();
+    row.attributes_used = std::move(audit.attributes_used);
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const CategoryAuditRow& a, const CategoryAuditRow& b) {
+                     return a.unfairness > b.unfairness;
+                   });
+  return rows;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,83 @@
+#ifndef FAIRRANK_MARKETPLACE_TASKS_H_
+#define FAIRRANK_MARKETPLACE_TASKS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "fairness/auditor.h"
+#include "marketplace/ranking.h"
+
+namespace fairrank {
+
+/// A task category with its canonical requester weight profile over
+/// observed attributes — different job types weight the language test and
+/// the approval rate differently, inducing different scoring functions
+/// (the paper's alpha family, one alpha per category).
+struct TaskCategory {
+  std::string name;
+  std::vector<std::pair<std::string, double>> weights;
+};
+
+/// One posted task on the platform.
+struct PostedTask {
+  size_t id = 0;
+  std::string description;
+  size_t category_index = 0;
+};
+
+/// The platform's task inventory: categories plus posted tasks drawn from
+/// them. Categories are the audit unit — every task in a category shares
+/// the category's scoring function.
+class TaskCatalog {
+ public:
+  TaskCatalog() = default;
+
+  /// The default five-category catalog spanning the alpha spectrum: from
+  /// language-test-dominated ("content writing", the paper's f4 end) to
+  /// approval-rate-dominated ("general labor", the f5 end).
+  static TaskCatalog MakeDefaultCatalog();
+
+  /// Adds a category. Fails on an empty name, a duplicate, or an empty
+  /// weight list.
+  Status AddCategory(TaskCategory category);
+
+  size_t num_categories() const { return categories_.size(); }
+  const TaskCategory& category(size_t index) const {
+    return categories_[index];
+  }
+
+  /// Index of the named category, or NotFound.
+  StatusOr<size_t> FindCategory(const std::string& name) const;
+
+  /// The category's scoring function as a TaskQuery for RankingEngine.
+  TaskQuery QueryFor(size_t category_index) const;
+
+  /// Draws `n` posted tasks with uniformly random categories, numbered from
+  /// `first_id`. Deterministic given the Rng state.
+  std::vector<PostedTask> GenerateTasks(size_t n, Rng* rng,
+                                        size_t first_id = 0) const;
+
+ private:
+  std::vector<TaskCategory> categories_;
+};
+
+/// One row of a per-category audit.
+struct CategoryAuditRow {
+  std::string category;
+  double unfairness = 0.0;
+  size_t num_partitions = 0;
+  std::vector<std::string> attributes_used;
+};
+
+/// Audits every category's scoring function against `workers` with the
+/// given options — "which job types does this platform rank least fairly?".
+/// Rows come back sorted by descending unfairness.
+StatusOr<std::vector<CategoryAuditRow>> AuditCatalog(
+    const Table& workers, const TaskCatalog& catalog,
+    const AuditOptions& options);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_MARKETPLACE_TASKS_H_

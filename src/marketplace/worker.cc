@@ -1,0 +1,67 @@
+#include "marketplace/worker.h"
+
+namespace fairrank {
+
+StatusOr<Schema> MakePaperWorkerSchema(int numeric_buckets) {
+  namespace wa = worker_attrs;
+  Schema schema;
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Categorical(
+      wa::kGender, AttributeRole::kProtected, {"Male", "Female"})));
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Categorical(
+      wa::kCountry, AttributeRole::kProtected, {"America", "India", "Other"})));
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Integer(
+      wa::kYearOfBirth, AttributeRole::kProtected, 1950, 2009,
+      numeric_buckets)));
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Categorical(
+      wa::kLanguage, AttributeRole::kProtected,
+      {"English", "Indian", "Other"})));
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Categorical(
+      wa::kEthnicity, AttributeRole::kProtected,
+      {"White", "African-American", "Indian", "Other"})));
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Integer(
+      wa::kYearsExperience, AttributeRole::kProtected, 0, 30,
+      numeric_buckets)));
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Real(
+      wa::kLanguageTest, AttributeRole::kObserved, 25.0, 100.0, 10)));
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Real(
+      wa::kApprovalRate, AttributeRole::kObserved, 25.0, 100.0, 10)));
+  return schema;
+}
+
+StatusOr<Schema> MakeToySchema() {
+  Schema schema;
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Categorical(
+      worker_attrs::kGender, AttributeRole::kProtected, {"Male", "Female"})));
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(AttributeSpec::Categorical(
+      worker_attrs::kLanguage, AttributeRole::kProtected,
+      {"English", "Indian", "Other"})));
+  FAIRRANK_RETURN_NOT_OK(schema.AddAttribute(
+      AttributeSpec::Real("Score", AttributeRole::kObserved, 0.0, 1.0, 10)));
+  return schema;
+}
+
+StatusOr<Table> MakeToyTable() {
+  FAIRRANK_ASSIGN_OR_RETURN(Schema schema, MakeToySchema());
+  Table table(std::move(schema));
+  struct ToyWorker {
+    const char* gender;
+    const char* language;
+    double score;
+  };
+  // Males cluster by language at distinct score levels; females share one
+  // score regardless of language.
+  const ToyWorker kWorkers[] = {
+      {"Male", "English", 0.90}, {"Male", "English", 0.85},
+      {"Male", "Indian", 0.60},  {"Male", "Indian", 0.65},
+      {"Male", "Other", 0.10},   {"Male", "Other", 0.15},
+      {"Female", "English", 0.42}, {"Female", "Indian", 0.42},
+      {"Female", "Other", 0.42},   {"Female", "Other", 0.42},
+  };
+  for (const ToyWorker& w : kWorkers) {
+    FAIRRANK_RETURN_NOT_OK(table.AppendRow(
+        {std::string(w.gender), std::string(w.language), w.score}));
+  }
+  return table;
+}
+
+}  // namespace fairrank

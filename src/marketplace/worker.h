@@ -1,0 +1,51 @@
+#ifndef FAIRRANK_MARKETPLACE_WORKER_H_
+#define FAIRRANK_MARKETPLACE_WORKER_H_
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace fairrank {
+
+/// Attribute names of the paper's crowdsourcing simulation, kept in one
+/// place so generators, scoring functions and benches cannot drift apart.
+namespace worker_attrs {
+inline constexpr const char kGender[] = "Gender";
+inline constexpr const char kCountry[] = "Country";
+inline constexpr const char kYearOfBirth[] = "YearOfBirth";
+inline constexpr const char kLanguage[] = "Language";
+inline constexpr const char kEthnicity[] = "Ethnicity";
+inline constexpr const char kYearsExperience[] = "YearsExperience";
+inline constexpr const char kLanguageTest[] = "LanguageTest";
+inline constexpr const char kApprovalRate[] = "ApprovalRate";
+}  // namespace worker_attrs
+
+/// Schema of the paper's simulated crowdsourcing platform (Evaluation,
+/// "Setting"): six protected attributes
+///   Gender          = {Male, Female}
+///   Country         = {America, India, Other}
+///   YearOfBirth     = [1950, 2009]            (bucketized)
+///   Language        = {English, Indian, Other}
+///   Ethnicity       = {White, African-American, Indian, Other}
+///   YearsExperience = [0, 30]                 (bucketized)
+/// and two observed attributes LanguageTest, ApprovalRate in [25, 100].
+///
+/// `numeric_buckets` controls the bucketization of the two numeric protected
+/// attributes; the paper caps every attribute at 5 values, hence default 5.
+StatusOr<Schema> MakePaperWorkerSchema(int numeric_buckets = 5);
+
+/// Schema of the Figure 1 toy example: protected Gender = {Male, Female}
+/// and Language = {English, Indian, Other}; observed Score in [0, 1].
+StatusOr<Schema> MakeToySchema();
+
+/// The 10-worker toy table of Figure 1, constructed so that the optimum
+/// hierarchical partitioning is {Male-English, Male-Indian, Male-Other,
+/// Female}: each male language group has a tight score cluster at a distinct
+/// level, while female scores are identical across languages (so splitting
+/// the Female partition only adds zero-distance pairs and lowers the
+/// average pairwise EMD). Verified against exhaustive search in tests.
+StatusOr<Table> MakeToyTable();
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_MARKETPLACE_WORKER_H_

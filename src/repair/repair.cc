@@ -1,0 +1,173 @@
+#include "repair/repair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace fairrank {
+
+namespace {
+
+Status CheckInputs(const Table& table, const Partitioning& partitioning,
+                   const std::vector<double>& scores) {
+  if (scores.size() != table.num_rows()) {
+    return Status::InvalidArgument("scores/table size mismatch");
+  }
+  if (!IsValidPartitioning(partitioning, table.num_rows())) {
+    return Status::InvalidArgument("invalid partitioning for this table");
+  }
+  return Status::OK();
+}
+
+/// Linear-interpolated value of sorted `pooled` at quantile q in [0,1].
+double PooledQuantile(const std::vector<double>& pooled, double q) {
+  double pos = q * static_cast<double>(pooled.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return pooled[lo] * (1.0 - frac) + pooled[hi] * frac;
+}
+
+std::vector<double> QuantileRepairScores(const Table& table,
+                                         const Partitioning& partitioning,
+                                         const std::vector<double>& scores) {
+  std::vector<double> pooled = scores;
+  std::sort(pooled.begin(), pooled.end());
+  std::vector<double> repaired(scores.size(), 0.0);
+  (void)table;
+  for (const Partition& p : partitioning) {
+    // Rank members within the partition (stable: ties keep row order).
+    std::vector<size_t> order(p.rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return scores[p.rows[a]] < scores[p.rows[b]];
+    });
+    const double k = static_cast<double>(p.rows.size());
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      double q = (static_cast<double>(rank) + 0.5) / k;
+      repaired[p.rows[order[rank]]] = PooledQuantile(pooled, q);
+    }
+  }
+  return repaired;
+}
+
+class QuantileRepair : public RepairStrategy {
+ public:
+  std::string Name() const override { return "quantile"; }
+  StatusOr<std::vector<double>> Repair(
+      const Table& table, const Partitioning& partitioning,
+      const std::vector<double>& scores) const override {
+    FAIRRANK_RETURN_NOT_OK(CheckInputs(table, partitioning, scores));
+    return QuantileRepairScores(table, partitioning, scores);
+  }
+};
+
+class InterpolationRepair : public RepairStrategy {
+ public:
+  explicit InterpolationRepair(double lambda) : lambda_(lambda) {}
+  std::string Name() const override { return "interpolation"; }
+  StatusOr<std::vector<double>> Repair(
+      const Table& table, const Partitioning& partitioning,
+      const std::vector<double>& scores) const override {
+    if (lambda_ < 0.0 || lambda_ > 1.0) {
+      return Status::InvalidArgument("lambda must be in [0,1]");
+    }
+    FAIRRANK_RETURN_NOT_OK(CheckInputs(table, partitioning, scores));
+    std::vector<double> full = QuantileRepairScores(table, partitioning,
+                                                    scores);
+    for (size_t i = 0; i < full.size(); ++i) {
+      full[i] = (1.0 - lambda_) * scores[i] + lambda_ * full[i];
+    }
+    return full;
+  }
+
+ private:
+  double lambda_;
+};
+
+class AffineRepair : public RepairStrategy {
+ public:
+  AffineRepair(double clamp_lo, double clamp_hi)
+      : clamp_lo_(clamp_lo), clamp_hi_(clamp_hi) {}
+  std::string Name() const override { return "affine"; }
+  StatusOr<std::vector<double>> Repair(
+      const Table& table, const Partitioning& partitioning,
+      const std::vector<double>& scores) const override {
+    FAIRRANK_RETURN_NOT_OK(CheckInputs(table, partitioning, scores));
+    FAIRRANK_ASSIGN_OR_RETURN(Summary pooled, Describe(scores));
+    std::vector<double> repaired(scores.size(), 0.0);
+    for (const Partition& p : partitioning) {
+      std::vector<double> member_scores;
+      member_scores.reserve(p.rows.size());
+      for (size_t row : p.rows) member_scores.push_back(scores[row]);
+      FAIRRANK_ASSIGN_OR_RETURN(Summary local, Describe(member_scores));
+      // Degenerate partitions (constant scores) collapse onto the pooled
+      // mean.
+      double scale =
+          (local.stddev > 0.0) ? pooled.stddev / local.stddev : 0.0;
+      for (size_t row : p.rows) {
+        double v = pooled.mean + (scores[row] - local.mean) * scale;
+        repaired[row] = std::clamp(v, clamp_lo_, clamp_hi_);
+      }
+    }
+    return repaired;
+  }
+
+ private:
+  double clamp_lo_;
+  double clamp_hi_;
+};
+
+}  // namespace
+
+std::unique_ptr<RepairStrategy> MakeQuantileRepair() {
+  return std::make_unique<QuantileRepair>();
+}
+
+std::unique_ptr<RepairStrategy> MakeInterpolationRepair(double lambda) {
+  return std::make_unique<InterpolationRepair>(lambda);
+}
+
+std::unique_ptr<RepairStrategy> MakeAffineRepair(double clamp_lo,
+                                                 double clamp_hi) {
+  return std::make_unique<AffineRepair>(clamp_lo, clamp_hi);
+}
+
+StatusOr<RepairEvaluation> EvaluateRepair(
+    const Table& table, const Partitioning& partitioning,
+    const std::vector<double>& scores, const RepairStrategy& strategy,
+    const EvaluatorOptions& evaluator_options) {
+  FAIRRANK_ASSIGN_OR_RETURN(
+      UnfairnessEvaluator before,
+      UnfairnessEvaluator::Make(&table, scores, evaluator_options));
+  RepairEvaluation eval;
+  FAIRRANK_ASSIGN_OR_RETURN(eval.unfairness_before,
+                            before.AveragePairwiseUnfairness(partitioning));
+  FAIRRANK_ASSIGN_OR_RETURN(eval.repaired_scores,
+                            strategy.Repair(table, partitioning, scores));
+  FAIRRANK_ASSIGN_OR_RETURN(
+      UnfairnessEvaluator after,
+      UnfairnessEvaluator::Make(&table, eval.repaired_scores,
+                                evaluator_options));
+  FAIRRANK_ASSIGN_OR_RETURN(eval.unfairness_after,
+                            after.AveragePairwiseUnfairness(partitioning));
+  double change = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    change += std::abs(eval.repaired_scores[i] - scores[i]);
+  }
+  eval.mean_score_change =
+      scores.empty() ? 0.0 : change / static_cast<double>(scores.size());
+  if (scores.size() >= 2) {
+    StatusOr<double> rho =
+        SpearmanCorrelation(scores, eval.repaired_scores);
+    // Degenerate (constant) score vectors have no defined correlation;
+    // report 1 (order trivially preserved).
+    eval.rank_correlation = rho.ok() ? *rho : 1.0;
+  } else {
+    eval.rank_correlation = 1.0;
+  }
+  return eval;
+}
+
+}  // namespace fairrank

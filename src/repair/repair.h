@@ -1,0 +1,79 @@
+#ifndef FAIRRANK_REPAIR_REPAIR_H_
+#define FAIRRANK_REPAIR_REPAIR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "fairness/evaluator.h"
+#include "fairness/partition.h"
+
+namespace fairrank {
+
+/// Score repair: given the most unfair partitioning an audit found, rewrite
+/// scores so the partitions' score distributions (approximately) coincide —
+/// the paper lists "repairing bias in the context of ranking" as its next
+/// step; these strategies implement the standard distribution-alignment
+/// approaches from the fair-ranking literature.
+///
+/// Implementations take the original scores and return repaired scores of
+/// the same length; they never mutate the table.
+class RepairStrategy {
+ public:
+  virtual ~RepairStrategy() = default;
+
+  /// Short stable identifier ("quantile", "affine", ...).
+  virtual std::string Name() const = 0;
+
+  /// Produces repaired scores. `partitioning` must be a valid full disjoint
+  /// partitioning of the table rows and `scores` must have one entry per
+  /// row.
+  virtual StatusOr<std::vector<double>> Repair(
+      const Table& table, const Partitioning& partitioning,
+      const std::vector<double>& scores) const = 0;
+};
+
+/// Full quantile normalization: each worker's score is replaced by the
+/// pooled (whole-population) quantile of their *within-partition* rank.
+/// After repair every partition's score distribution matches the pooled
+/// distribution, driving pairwise EMD to ~0 while preserving the ranking
+/// *within* each partition.
+std::unique_ptr<RepairStrategy> MakeQuantileRepair();
+
+/// Partial quantile repair: linear interpolation
+///   repaired = (1 - lambda) * original + lambda * quantile-repaired
+/// lambda in [0, 1]; 0 is a no-op, 1 equals MakeQuantileRepair. Lets a
+/// platform trade ranking utility against fairness.
+std::unique_ptr<RepairStrategy> MakeInterpolationRepair(double lambda);
+
+/// Affine (mean/variance) alignment: per partition, scores are shifted and
+/// scaled so the partition mean and standard deviation match the pooled
+/// ones, then clamped into [clamp_lo, clamp_hi]. Cheaper but weaker than
+/// quantile repair (only two moments aligned).
+std::unique_ptr<RepairStrategy> MakeAffineRepair(double clamp_lo = 0.0,
+                                                 double clamp_hi = 1.0);
+
+/// Before/after unfairness of a repair on a fixed partitioning.
+struct RepairEvaluation {
+  double unfairness_before = 0.0;
+  double unfairness_after = 0.0;
+  /// Mean |repaired - original| over all workers: the utility cost.
+  double mean_score_change = 0.0;
+  /// Spearman correlation between original and repaired global rankings
+  /// (1 = order fully preserved).
+  double rank_correlation = 0.0;
+  std::vector<double> repaired_scores;
+};
+
+/// Runs `strategy` and measures unfairness (per `evaluator_options`) on
+/// `partitioning` before and after, plus utility metrics.
+StatusOr<RepairEvaluation> EvaluateRepair(
+    const Table& table, const Partitioning& partitioning,
+    const std::vector<double>& scores, const RepairStrategy& strategy,
+    const EvaluatorOptions& evaluator_options);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_REPAIR_REPAIR_H_

@@ -1,0 +1,112 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fairrank {
+
+StatusOr<double> Mean(const std::vector<double>& values) {
+  if (values.empty()) return Status::InvalidArgument("mean of empty sample");
+  double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+StatusOr<Summary> Describe(const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("describe of empty sample");
+  }
+  Summary s;
+  s.count = values.size();
+  s.mean = Mean(values).value();
+  double sq = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sq += (v - s.mean) * (v - s.mean);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.variance = sq / static_cast<double>(values.size());
+  s.stddev = std::sqrt(s.variance);
+  s.median = Quantile(values, 0.5).value();
+  return s;
+}
+
+StatusOr<double> Quantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return Status::InvalidArgument("quantile of empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile q must be in [0,1]");
+  }
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+StatusOr<double> PearsonCorrelation(const std::vector<double>& x,
+                                    const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("correlation inputs differ in length");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("correlation needs at least two points");
+  }
+  double mx = Mean(x).value();
+  double my = Mean(y).value();
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return Status::FailedPrecondition("zero variance in correlation input");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+/// Average ranks (1-based) with ties sharing the mean rank.
+std::vector<double> Ranks(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(values.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                      1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+StatusOr<double> SpearmanCorrelation(const std::vector<double>& x,
+                                     const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("correlation inputs differ in length");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("correlation needs at least two points");
+  }
+  return PearsonCorrelation(Ranks(x), Ranks(y));
+}
+
+}  // namespace fairrank

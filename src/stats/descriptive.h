@@ -1,0 +1,43 @@
+#ifndef FAIRRANK_STATS_DESCRIPTIVE_H_
+#define FAIRRANK_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairrank {
+
+/// Summary statistics of a sample. Produced by Describe().
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Population variance (divide by n).
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes summary statistics. Fails on an empty sample.
+StatusOr<Summary> Describe(const std::vector<double>& values);
+
+/// Arithmetic mean. Fails on an empty sample.
+StatusOr<double> Mean(const std::vector<double>& values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Fails on empty input or
+/// out-of-range q.
+StatusOr<double> Quantile(std::vector<double> values, double q);
+
+/// Pearson correlation coefficient. Fails on size mismatch, n < 2, or a
+/// zero-variance side.
+StatusOr<double> PearsonCorrelation(const std::vector<double>& x,
+                                    const std::vector<double>& y);
+
+/// Spearman rank correlation (average ranks for ties). Same failure modes
+/// as Pearson.
+StatusOr<double> SpearmanCorrelation(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_STATS_DESCRIPTIVE_H_

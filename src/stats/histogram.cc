@@ -1,0 +1,85 @@
+#include "stats/histogram.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace fairrank {
+
+StatusOr<Histogram> Histogram::Make(int num_bins, double lo, double hi) {
+  if (num_bins < 1) {
+    return Status::InvalidArgument("histogram needs at least one bin");
+  }
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("histogram range is empty");
+  }
+  return Histogram(num_bins, lo, hi);
+}
+
+Histogram::Histogram(int num_bins, double lo, double hi)
+    : lo_(lo), hi_(hi), counts_(static_cast<size_t>(num_bins), 0.0) {
+  assert(num_bins >= 1 && lo < hi);
+}
+
+int Histogram::BinOf(double value) const {
+  int idx = static_cast<int>(std::floor((value - lo_) / bin_width()));
+  if (idx < 0) return 0;
+  if (idx >= num_bins()) return num_bins() - 1;
+  return idx;
+}
+
+void Histogram::Add(double value) { AddWeighted(value, 1.0); }
+
+void Histogram::AddWeighted(double value, double weight) {
+  counts_[BinOf(value)] += weight;
+  total_ += weight;
+}
+
+std::vector<double> Histogram::Normalized() const {
+  assert(total_ > 0.0);
+  std::vector<double> probs(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) probs[i] = counts_[i] / total_;
+  return probs;
+}
+
+std::vector<double> Histogram::Cdf() const {
+  std::vector<double> cdf = Normalized();
+  for (size_t i = 1; i < cdf.size(); ++i) cdf[i] += cdf[i - 1];
+  return cdf;
+}
+
+bool Histogram::SameShape(const Histogram& other) const {
+  return num_bins() == other.num_bins() && lo_ == other.lo_ && hi_ == other.hi_;
+}
+
+Status Histogram::MergeWith(const Histogram& other) {
+  if (!SameShape(other)) {
+    return Status::InvalidArgument("cannot merge histograms of different shape");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  return Status::OK();
+}
+
+std::string Histogram::ToAscii(int max_bar_width) const {
+  double max_count = 0.0;
+  for (double c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (int i = 0; i < num_bins(); ++i) {
+    double lo = lo_ + i * bin_width();
+    double hi = lo + bin_width();
+    out += "[" + FormatDouble(lo, 2) + "," + FormatDouble(hi, 2);
+    out += (i == num_bins() - 1) ? "]" : ")";
+    out += " ";
+    int bar = (max_count > 0.0)
+                  ? static_cast<int>(std::lround(counts_[i] / max_count *
+                                                 max_bar_width))
+                  : 0;
+    out.append(static_cast<size_t>(bar), '#');
+    out += " " + FormatDouble(counts_[i], 0) + "\n";
+  }
+  return out;
+}
+
+}  // namespace fairrank

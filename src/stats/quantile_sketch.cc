@@ -1,0 +1,108 @@
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fairrank {
+
+GkSketch::GkSketch(double epsilon) : epsilon_(epsilon) {
+  assert(epsilon > 0.0 && epsilon <= 0.5);
+}
+
+void GkSketch::Insert(double value) {
+  // Find the first tuple with a larger value; insert before it.
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](double v, const Tuple& t) { return v < t.value; });
+  int64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insert: the new tuple's uncertainty is the current band.
+    delta = static_cast<int64_t>(
+                std::floor(2.0 * epsilon_ * static_cast<double>(count_))) -
+            1;
+    if (delta < 0) delta = 0;
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+
+  // Compress periodically (every ~1/(2*epsilon) inserts).
+  if (++inserts_since_compress_ >=
+      static_cast<size_t>(std::max(1.0, 1.0 / (2.0 * epsilon_)))) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void GkSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const int64_t threshold = static_cast<int64_t>(
+      std::floor(2.0 * epsilon_ * static_cast<double>(count_)));
+  // Merge right-to-left: tuple i is absorbed into i+1 when the combined
+  // uncertainty stays within the band. First and last tuples (stream min
+  // and max) are never removed.
+  std::vector<Tuple> compressed;
+  compressed.reserve(tuples_.size());
+  compressed.push_back(tuples_[0]);
+  for (size_t i = 1; i < tuples_.size(); ++i) {
+    Tuple& prev = compressed.back();
+    const Tuple& cur = tuples_[i];
+    bool prev_is_first = compressed.size() == 1;
+    if (!prev_is_first && prev.g + cur.g + cur.delta < threshold) {
+      // Absorb prev into cur.
+      Tuple merged = cur;
+      merged.g += prev.g;
+      compressed.back() = merged;
+    } else {
+      compressed.push_back(cur);
+    }
+  }
+  tuples_ = std::move(compressed);
+}
+
+StatusOr<double> GkSketch::Quantile(double q) const {
+  if (count_ == 0) {
+    return Status::FailedPrecondition("quantile of an empty sketch");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("q must be in [0,1]");
+  }
+  const double n = static_cast<double>(count_);
+  const double target = q * (n - 1.0) + 1.0;  // 1-based rank.
+  const double tolerance = epsilon_ * n;
+  int64_t rmin = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    rmin += tuples_[i].g;
+    int64_t rmax = rmin + tuples_[i].delta;
+    if (static_cast<double>(rmax) >= target - tolerance &&
+        static_cast<double>(rmin) <= target + tolerance) {
+      return tuples_[i].value;
+    }
+    if (static_cast<double>(rmin) > target) {
+      // Passed the target without a band hit (possible at tiny n): the
+      // current tuple is the closest from above.
+      return tuples_[i].value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+StatusOr<double> EmdFromSketches(const GkSketch& a, const GkSketch& b,
+                                 size_t num_points) {
+  if (a.count() == 0 || b.count() == 0) {
+    return Status::FailedPrecondition("EMD of an empty sketch");
+  }
+  if (num_points == 0) {
+    return Status::InvalidArgument("num_points must be positive");
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < num_points; ++i) {
+    double u = (static_cast<double>(i) + 0.5) / static_cast<double>(num_points);
+    FAIRRANK_ASSIGN_OR_RETURN(double qa, a.Quantile(u));
+    FAIRRANK_ASSIGN_OR_RETURN(double qb, b.Quantile(u));
+    sum += std::abs(qa - qb);
+  }
+  return sum / static_cast<double>(num_points);
+}
+
+}  // namespace fairrank

@@ -1,0 +1,63 @@
+#ifndef FAIRRANK_STATS_QUANTILE_SKETCH_H_
+#define FAIRRANK_STATS_QUANTILE_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairrank {
+
+/// Greenwald-Khanna epsilon-approximate quantile sketch (SIGMOD'01): a
+/// streaming summary answering any quantile query with rank error at most
+/// epsilon * n in O((1/epsilon) * log(epsilon * n)) space.
+///
+/// Use case here: auditing score streams too large (or too transient) to
+/// buffer — per-group sketches feed EmdFromSketches below, giving an
+/// approximate Wasserstein-1 audit without storing individual scores.
+class GkSketch {
+ public:
+  /// `epsilon` is the rank-error fraction, in (0, 0.5]. Typical: 0.005.
+  explicit GkSketch(double epsilon);
+
+  /// Adds one observation. Amortized O(log(1/epsilon)).
+  void Insert(double value);
+
+  /// Value whose rank is within epsilon*n of q*n, for q in [0, 1].
+  /// Fails when the sketch is empty or q is out of range.
+  StatusOr<double> Quantile(double q) const;
+
+  /// Number of observations inserted.
+  size_t count() const { return count_; }
+
+  /// Number of stored tuples (the space bound under test).
+  size_t tuples() const { return tuples_.size(); }
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  struct Tuple {
+    double value;
+    int64_t g;      ///< rmin(i) - rmin(i-1).
+    int64_t delta;  ///< rmax(i) - rmin(i).
+  };
+
+  void Compress();
+
+  std::vector<Tuple> tuples_;  // Sorted by value.
+  double epsilon_;
+  size_t count_ = 0;
+  size_t inserts_since_compress_ = 0;
+};
+
+/// Approximate 1-D Wasserstein-1 distance between two sketched
+/// distributions via the quantile formulation W1 = integral over u in [0,1]
+/// of |Qa(u) - Qb(u)|, evaluated at `num_points` midpoint samples.
+/// Error is bounded by the sketches' rank errors plus the discretization.
+/// Fails on empty sketches or num_points == 0.
+StatusOr<double> EmdFromSketches(const GkSketch& a, const GkSketch& b,
+                                 size_t num_points = 256);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_STATS_QUANTILE_SKETCH_H_

@@ -1,0 +1,169 @@
+#include "stats/transportation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace fairrank {
+
+namespace {
+
+/// Residual-graph edge for min-cost flow.
+struct Edge {
+  size_t to;
+  int64_t capacity;
+  double cost;
+  size_t reverse_index;  // Index of the paired reverse edge in graph[to].
+};
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(size_t num_nodes) : graph_(num_nodes) {}
+
+  void AddEdge(size_t from, size_t to, int64_t capacity, double cost) {
+    graph_[from].push_back({to, capacity, cost, graph_[to].size()});
+    graph_[to].push_back({from, 0, -cost, graph_[from].size() - 1});
+  }
+
+  /// Sends `max_flow` units from `source` to `sink`; returns total cost.
+  /// Requires the graph to admit that much flow (guaranteed for balanced
+  /// transportation instances).
+  double Run(size_t source, size_t sink, int64_t max_flow) {
+    const double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> potential(graph_.size(), 0.0);
+    double total_cost = 0.0;
+    int64_t flow_remaining = max_flow;
+    while (flow_remaining > 0) {
+      // Dijkstra on reduced costs.
+      std::vector<double> dist(graph_.size(), kInf);
+      std::vector<size_t> prev_node(graph_.size(), SIZE_MAX);
+      std::vector<size_t> prev_edge(graph_.size(), SIZE_MAX);
+      using Item = std::pair<double, size_t>;
+      std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+      dist[source] = 0.0;
+      heap.emplace(0.0, source);
+      while (!heap.empty()) {
+        auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[u] + 1e-12) continue;
+        for (size_t ei = 0; ei < graph_[u].size(); ++ei) {
+          const Edge& e = graph_[u][ei];
+          if (e.capacity <= 0) continue;
+          double nd = dist[u] + e.cost + potential[u] - potential[e.to];
+          if (nd < dist[e.to] - 1e-12) {
+            dist[e.to] = nd;
+            prev_node[e.to] = u;
+            prev_edge[e.to] = ei;
+            heap.emplace(nd, e.to);
+          }
+        }
+      }
+      assert(dist[sink] < kInf && "transportation instance is infeasible");
+      for (size_t v = 0; v < graph_.size(); ++v) {
+        if (dist[v] < kInf) potential[v] += dist[v];
+      }
+      // Find bottleneck along the augmenting path.
+      int64_t bottleneck = flow_remaining;
+      for (size_t v = sink; v != source; v = prev_node[v]) {
+        bottleneck =
+            std::min(bottleneck, graph_[prev_node[v]][prev_edge[v]].capacity);
+      }
+      // Apply flow.
+      for (size_t v = sink; v != source; v = prev_node[v]) {
+        Edge& e = graph_[prev_node[v]][prev_edge[v]];
+        e.capacity -= bottleneck;
+        graph_[v][e.reverse_index].capacity += bottleneck;
+        total_cost += bottleneck * e.cost;
+      }
+      flow_remaining -= bottleneck;
+    }
+    return total_cost;
+  }
+
+  const std::vector<std::vector<Edge>>& graph() const { return graph_; }
+
+ private:
+  std::vector<std::vector<Edge>> graph_;
+};
+
+}  // namespace
+
+StatusOr<TransportationPlan> SolveTransportation(
+    const std::vector<int64_t>& supply, const std::vector<int64_t>& demand,
+    const std::vector<std::vector<double>>& cost) {
+  if (supply.empty() || demand.empty()) {
+    return Status::InvalidArgument("supply and demand must be non-empty");
+  }
+  if (cost.size() != supply.size()) {
+    return Status::InvalidArgument("cost matrix has wrong row count");
+  }
+  int64_t total_supply = 0;
+  int64_t total_demand = 0;
+  for (int64_t s : supply) {
+    if (s < 0) return Status::InvalidArgument("negative supply");
+    total_supply += s;
+  }
+  for (int64_t d : demand) {
+    if (d < 0) return Status::InvalidArgument("negative demand");
+    total_demand += d;
+  }
+  if (total_supply != total_demand) {
+    return Status::InvalidArgument("unbalanced instance: supply " +
+                                   std::to_string(total_supply) +
+                                   " != demand " +
+                                   std::to_string(total_demand));
+  }
+  for (const auto& row : cost) {
+    if (row.size() != demand.size()) {
+      return Status::InvalidArgument("cost matrix has wrong column count");
+    }
+    for (double c : row) {
+      if (c < 0.0) return Status::InvalidArgument("negative cost");
+    }
+  }
+
+  const size_t m = supply.size();
+  const size_t n = demand.size();
+  // Node layout: 0 = source, [1, m] supplies, [m+1, m+n] demands, m+n+1 sink.
+  const size_t source = 0;
+  const size_t sink = m + n + 1;
+  MinCostFlow mcf(m + n + 2);
+  for (size_t i = 0; i < m; ++i) {
+    if (supply[i] > 0) mcf.AddEdge(source, 1 + i, supply[i], 0.0);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (demand[j] > 0) mcf.AddEdge(1 + m + j, sink, demand[j], 0.0);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (supply[i] <= 0) continue;
+    for (size_t j = 0; j < n; ++j) {
+      if (demand[j] <= 0) continue;
+      mcf.AddEdge(1 + i, 1 + m + j, supply[i], cost[i][j]);
+    }
+  }
+
+  TransportationPlan plan;
+  plan.total_cost = mcf.Run(source, sink, total_supply);
+
+  // Recover shipments from reverse-edge capacities on supply->demand arcs.
+  for (size_t i = 0; i < m; ++i) {
+    if (supply[i] <= 0) continue;
+    for (const auto& e : mcf.graph()[1 + i]) {
+      bool is_demand_node = e.to >= 1 + m && e.to < 1 + m + n;
+      if (!is_demand_node) continue;
+      // Forward arcs were created with cost >= 0; the shipped amount equals
+      // the residual capacity accumulated on the reverse edge.
+      int64_t shipped =
+          mcf.graph()[e.to][e.reverse_index].capacity > 0 && e.cost >= 0.0
+              ? mcf.graph()[e.to][e.reverse_index].capacity
+              : 0;
+      if (shipped > 0 && e.cost >= 0.0) {
+        plan.shipments.push_back({i, e.to - 1 - m, shipped});
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,46 @@
+#ifndef FAIRRANK_STATS_TRANSPORTATION_H_
+#define FAIRRANK_STATS_TRANSPORTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairrank {
+
+/// One shipment in an optimal transportation plan: move `amount` units from
+/// supply node `from` to demand node `to`.
+struct Shipment {
+  size_t from;
+  size_t to;
+  int64_t amount;
+};
+
+/// Solution of a balanced transportation problem.
+struct TransportationPlan {
+  /// Total cost sum(amount * cost[from][to]).
+  double total_cost = 0.0;
+  std::vector<Shipment> shipments;
+};
+
+/// Exact solver for the balanced transportation problem
+///
+///   minimize   sum_ij x_ij * cost[i][j]
+///   subject to sum_j x_ij = supply[i],  sum_i x_ij = demand[j],  x_ij >= 0
+///
+/// with integer supplies/demands and non-negative real costs, via successive
+/// shortest augmenting paths with node potentials (Dijkstra). This is the
+/// general EMD backend (Rubner-style EMD with an arbitrary ground-distance
+/// matrix); the O(bins) closed form in emd.h covers the 1-D case and is what
+/// the partition search uses.
+///
+/// Requires sum(supply) == sum(demand) and all entries >= 0; fails with
+/// InvalidArgument otherwise. Complexity O(F * E log V) where F is the number
+/// of augmentations (at most supply-node count * demand-node count).
+StatusOr<TransportationPlan> SolveTransportation(
+    const std::vector<int64_t>& supply, const std::vector<int64_t>& demand,
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_STATS_TRANSPORTATION_H_

@@ -1,0 +1,160 @@
+#include "fairness/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "fairness/auditor.h"
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+std::vector<AttributeSpec> ProtectedSpecs(const Table& table) {
+  std::vector<AttributeSpec> specs;
+  for (size_t i : table.schema().ProtectedIndices()) {
+    specs.push_back(table.schema().attribute(i));
+  }
+  return specs;
+}
+
+CellStore FillStore(const Table& table, const std::vector<double>& scores) {
+  CellStore store(ProtectedSpecs(table), 10, 0.0, 1.0);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    EXPECT_TRUE(store.AddRow(table, row, scores[row]).ok());
+  }
+  return store;
+}
+
+TEST(CellStoreTest, AddValidation) {
+  Schema schema = MakeToySchema().value();
+  std::vector<AttributeSpec> specs = {schema.attribute(0),
+                                      schema.attribute(1)};
+  CellStore store(specs, 10, 0.0, 1.0);
+  EXPECT_TRUE(store.Add({0, 1}, 0.5).ok());
+  EXPECT_FALSE(store.Add({0}, 0.5).ok());          // Wrong arity.
+  EXPECT_FALSE(store.Add({0, 5}, 0.5).ok());       // Group out of range.
+  EXPECT_FALSE(store.Add({-1, 0}, 0.5).ok());      // Negative group.
+  EXPECT_EQ(store.num_observations(), 1u);
+  EXPECT_EQ(store.num_cells(), 1u);
+}
+
+TEST(CellStoreTest, CellsDeduplicate) {
+  Schema schema = MakeToySchema().value();
+  CellStore store({schema.attribute(0), schema.attribute(1)}, 10, 0.0, 1.0);
+  ASSERT_TRUE(store.Add({0, 0}, 0.1).ok());
+  ASSERT_TRUE(store.Add({0, 0}, 0.2).ok());
+  ASSERT_TRUE(store.Add({1, 0}, 0.3).ok());
+  EXPECT_EQ(store.num_cells(), 2u);
+  EXPECT_EQ(store.num_observations(), 3u);
+}
+
+TEST(AggregateAuditTest, EmptyStoreFails) {
+  Schema schema = MakeToySchema().value();
+  CellStore store({schema.attribute(0)}, 10, 0.0, 1.0);
+  EXPECT_EQ(AuditAggregateBalanced(store).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AggregateAuditTest, MatchesTableBasedBalancedAudit) {
+  // The headline property: auditing from per-cell aggregates must be
+  // *identical* to the table-based balanced audit with the same bins —
+  // same unfairness, same number of partitions, same attributes.
+  GeneratorOptions gen;
+  gen.num_workers = 500;
+  gen.seed = 77;
+  Table workers = GenerateWorkers(gen).value();
+  for (auto make_fn : {+[](uint64_t s) { return MakeF6(s); },
+                       +[](uint64_t s) { return MakeF7(s); }}) {
+    auto fn = make_fn(9);
+    std::vector<double> scores = fn->ScoreAll(workers).value();
+
+    FairnessAuditor auditor(&workers);
+    AuditOptions options;
+    options.algorithm = "balanced";
+    AuditResult table_audit = auditor.Audit(*fn, options).value();
+
+    CellStore store = FillStore(workers, scores);
+    AggregateAuditResult aggregate =
+        AuditAggregateBalanced(store).value();
+
+    EXPECT_NEAR(aggregate.unfairness, table_audit.unfairness, 1e-9)
+        << fn->Name();
+    EXPECT_EQ(aggregate.partitions.size(), table_audit.partitions.size())
+        << fn->Name();
+    EXPECT_EQ(aggregate.attributes_used.size(),
+              table_audit.attributes_used.size())
+        << fn->Name();
+  }
+}
+
+TEST(AggregateAuditTest, MatchesOnRandomFunctionToo) {
+  GeneratorOptions gen;
+  gen.num_workers = 300;
+  gen.seed = 31;
+  Table workers = GenerateWorkers(gen).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  std::vector<double> scores = fn->ScoreAll(workers).value();
+
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  AuditResult table_audit = auditor.Audit(*fn, options).value();
+
+  CellStore store = FillStore(workers, scores);
+  AggregateAuditResult aggregate = AuditAggregateBalanced(store).value();
+  EXPECT_NEAR(aggregate.unfairness, table_audit.unfairness, 1e-9);
+  size_t total = 0;
+  for (const AggregatePartition& p : aggregate.partitions) total += p.size;
+  EXPECT_EQ(total, workers.num_rows());
+}
+
+TEST(AggregateAuditTest, F6RecoverGenderWithLabels) {
+  GeneratorOptions gen;
+  gen.num_workers = 400;
+  gen.seed = 5;
+  Table workers = GenerateWorkers(gen).value();
+  auto f6 = MakeF6(11);
+  std::vector<double> scores = f6->ScoreAll(workers).value();
+  CellStore store = FillStore(workers, scores);
+  AggregateAuditResult aggregate = AuditAggregateBalanced(store).value();
+  ASSERT_EQ(aggregate.partitions.size(), 2u);
+  EXPECT_NEAR(aggregate.unfairness, 0.8, 0.05);
+  std::set<std::string> labels;
+  for (const AggregatePartition& p : aggregate.partitions) {
+    labels.insert(AggregatePartitionLabel(store.specs(), p));
+  }
+  EXPECT_TRUE(labels.count("Gender=Male"));
+  EXPECT_TRUE(labels.count("Gender=Female"));
+}
+
+TEST(AggregateAuditTest, DivergenceOptionRespected) {
+  GeneratorOptions gen;
+  gen.num_workers = 200;
+  gen.seed = 3;
+  Table workers = GenerateWorkers(gen).value();
+  auto f6 = MakeF6(2);
+  std::vector<double> scores = f6->ScoreAll(workers).value();
+  CellStore store = FillStore(workers, scores);
+  double emd = AuditAggregateBalanced(store, "emd").value().unfairness;
+  double ks = AuditAggregateBalanced(store, "ks").value().unfairness;
+  EXPECT_NEAR(ks, 1.0, 1e-9);  // f6 fully separates genders.
+  EXPECT_NEAR(emd, 0.8, 0.05);
+  EXPECT_FALSE(AuditAggregateBalanced(store, "bogus").ok());
+}
+
+TEST(AggregateAuditTest, CompressionIsMassive) {
+  // 5000 workers collapse into at most prod(num_groups) cells.
+  GeneratorOptions gen;
+  gen.num_workers = 5000;
+  gen.seed = 8;
+  Table workers = GenerateWorkers(gen).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  std::vector<double> scores = fn->ScoreAll(workers).value();
+  CellStore store = FillStore(workers, scores);
+  EXPECT_EQ(store.num_observations(), 5000u);
+  EXPECT_LE(store.num_cells(), 2u * 3u * 5u * 3u * 4u * 5u);
+}
+
+}  // namespace
+}  // namespace fairrank

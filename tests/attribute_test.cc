@@ -1,0 +1,117 @@
+#include "data/attribute.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+TEST(AttributeTest, CategoricalBasics) {
+  AttributeSpec gender = AttributeSpec::Categorical(
+      "Gender", AttributeRole::kProtected, {"Male", "Female"});
+  EXPECT_TRUE(gender.Validate().ok());
+  EXPECT_EQ(gender.name(), "Gender");
+  EXPECT_EQ(gender.kind(), AttributeKind::kCategorical);
+  EXPECT_TRUE(gender.is_protected());
+  EXPECT_FALSE(gender.is_observed());
+  EXPECT_EQ(gender.num_groups(), 2);
+}
+
+TEST(AttributeTest, CodeOfResolvesLabels) {
+  AttributeSpec lang = AttributeSpec::Categorical(
+      "Language", AttributeRole::kProtected, {"English", "Indian", "Other"});
+  EXPECT_EQ(lang.CodeOf("English").value(), 0);
+  EXPECT_EQ(lang.CodeOf("Other").value(), 2);
+  EXPECT_EQ(lang.CodeOf("French").status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttributeTest, CodeOfOnNumericFails) {
+  AttributeSpec yob =
+      AttributeSpec::Integer("YearOfBirth", AttributeRole::kProtected, 1950,
+                             2009, 5);
+  EXPECT_EQ(yob.CodeOf("1960").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AttributeTest, ValidationFailures) {
+  EXPECT_FALSE(AttributeSpec::Categorical("", AttributeRole::kOther, {"a"})
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(
+      AttributeSpec::Categorical("X", AttributeRole::kOther, {}).Validate().ok());
+  EXPECT_FALSE(AttributeSpec::Categorical("X", AttributeRole::kOther,
+                                          {"a", "a"})
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(
+      AttributeSpec::Integer("X", AttributeRole::kOther, 5, 5, 3).Validate().ok());
+  EXPECT_FALSE(
+      AttributeSpec::Integer("X", AttributeRole::kOther, 0, 10, 0).Validate().ok());
+  EXPECT_FALSE(
+      AttributeSpec::Real("X", AttributeRole::kOther, 1.0, 0.0, 3).Validate().ok());
+}
+
+TEST(AttributeTest, IntegerBucketization) {
+  // [1950, 2009] in 5 buckets of width 11.8.
+  AttributeSpec yob =
+      AttributeSpec::Integer("YearOfBirth", AttributeRole::kProtected, 1950,
+                             2009, 5);
+  EXPECT_EQ(yob.num_groups(), 5);
+  EXPECT_EQ(yob.GroupIndexOfInt(1950), 0);
+  EXPECT_EQ(yob.GroupIndexOfInt(1961), 0);
+  EXPECT_EQ(yob.GroupIndexOfInt(1962), 1);
+  EXPECT_EQ(yob.GroupIndexOfInt(2009), 4);
+}
+
+TEST(AttributeTest, BucketizationClampsOutOfRange) {
+  AttributeSpec exp = AttributeSpec::Integer(
+      "YearsExperience", AttributeRole::kProtected, 0, 30, 5);
+  EXPECT_EQ(exp.GroupIndexOfInt(-3), 0);
+  EXPECT_EQ(exp.GroupIndexOfInt(500), 4);
+  AttributeSpec rate =
+      AttributeSpec::Real("Rate", AttributeRole::kObserved, 0.0, 1.0, 10);
+  EXPECT_EQ(rate.GroupIndexOfReal(-0.1), 0);
+  EXPECT_EQ(rate.GroupIndexOfReal(1.5), 9);
+  EXPECT_EQ(rate.GroupIndexOfReal(1.0), 9);  // Upper bound inclusive.
+}
+
+TEST(AttributeTest, RealBucketBoundaries) {
+  AttributeSpec r =
+      AttributeSpec::Real("R", AttributeRole::kObserved, 0.0, 1.0, 4);
+  EXPECT_EQ(r.GroupIndexOfReal(0.0), 0);
+  EXPECT_EQ(r.GroupIndexOfReal(0.249), 0);
+  EXPECT_EQ(r.GroupIndexOfReal(0.25), 1);
+  EXPECT_EQ(r.GroupIndexOfReal(0.75), 3);
+}
+
+TEST(AttributeTest, GroupLabels) {
+  AttributeSpec gender = AttributeSpec::Categorical(
+      "Gender", AttributeRole::kProtected, {"Male", "Female"});
+  EXPECT_EQ(gender.GroupLabel(0), "Male");
+  EXPECT_EQ(gender.GroupLabel(1), "Female");
+  EXPECT_EQ(gender.GroupLabel(7), "<invalid>");
+
+  AttributeSpec exp = AttributeSpec::Integer(
+      "YearsExperience", AttributeRole::kProtected, 0, 30, 3);
+  EXPECT_EQ(exp.GroupLabel(0), "[0,10)");
+  EXPECT_EQ(exp.GroupLabel(2), "[20,30]");  // Last bucket closes the range.
+}
+
+TEST(AttributeTest, CategoricalGroupIndexClamps) {
+  AttributeSpec gender = AttributeSpec::Categorical(
+      "Gender", AttributeRole::kProtected, {"Male", "Female"});
+  EXPECT_EQ(gender.GroupIndexOfInt(-1), 0);
+  EXPECT_EQ(gender.GroupIndexOfInt(9), 1);
+}
+
+TEST(AttributeTest, KindAndRoleNames) {
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kCategorical),
+               "categorical");
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kInteger), "integer");
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kReal), "real");
+  EXPECT_STREQ(AttributeRoleToString(AttributeRole::kProtected), "protected");
+  EXPECT_STREQ(AttributeRoleToString(AttributeRole::kObserved), "observed");
+  EXPECT_STREQ(AttributeRoleToString(AttributeRole::kOther), "other");
+}
+
+}  // namespace
+}  // namespace fairrank

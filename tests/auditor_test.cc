@@ -1,0 +1,221 @@
+#include "fairness/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+Table Workers(size_t n = 200, uint64_t seed = 6) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = seed;
+  return GenerateWorkers(options).value();
+}
+
+TEST(AuditorTest, BasicAuditSucceeds) {
+  Table workers = Workers();
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "unbalanced";
+  auto result = auditor.Audit(*MakeAlphaFunction("f1", 0.5), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->algorithm, "unbalanced");
+  EXPECT_NE(result->scoring_function.find("f1"), std::string::npos);
+  EXPECT_GE(result->unfairness, 0.0);
+  EXPECT_GE(result->seconds, 0.0);
+  EXPECT_TRUE(IsValidPartitioning(result->partitioning, workers.num_rows()));
+  EXPECT_EQ(result->partitions.size(), result->partitioning.size());
+}
+
+TEST(AuditorTest, PartitionSummariesAreConsistent) {
+  Table workers = Workers();
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  auto result = auditor.Audit(*MakeF6(3), options);
+  ASSERT_TRUE(result.ok());
+  size_t total = 0;
+  for (const PartitionSummary& p : result->partitions) {
+    total += p.size;
+    EXPECT_FALSE(p.label.empty());
+    EXPECT_GE(p.mean_score, 0.0);
+    EXPECT_LE(p.mean_score, 1.0);
+    EXPECT_DOUBLE_EQ(p.histogram.total(), static_cast<double>(p.size));
+  }
+  EXPECT_EQ(total, workers.num_rows());
+  // Sorted by descending size.
+  for (size_t i = 1; i < result->partitions.size(); ++i) {
+    EXPECT_GE(result->partitions[i - 1].size, result->partitions[i].size);
+  }
+}
+
+TEST(AuditorTest, F6AuditFindsGenderBias) {
+  Table workers = Workers(400);
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  auto result = auditor.Audit(*MakeF6(9), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->attributes_used,
+            (std::vector<std::string>{worker_attrs::kGender}));
+  EXPECT_NEAR(result->unfairness, 0.8, 0.05);
+  // Male partition mean is high, female low.
+  ASSERT_EQ(result->partitions.size(), 2u);
+  for (const PartitionSummary& p : result->partitions) {
+    if (p.label == "Gender=Male") {
+      EXPECT_GT(p.mean_score, 0.8);
+    }
+    if (p.label == "Gender=Female") {
+      EXPECT_LT(p.mean_score, 0.2);
+    }
+  }
+}
+
+TEST(AuditorTest, RestrictedProtectedAttributes) {
+  Table workers = Workers();
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "all-attributes";
+  options.protected_attributes = {worker_attrs::kGender,
+                                  worker_attrs::kCountry};
+  auto result = auditor.Audit(*MakeAlphaFunction("f1", 0.5), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->partitions.size(), 6u);  // 2 genders x 3 countries.
+  for (const std::string& used : result->attributes_used) {
+    EXPECT_TRUE(used == worker_attrs::kGender ||
+                used == worker_attrs::kCountry);
+  }
+}
+
+TEST(AuditorTest, UnknownProtectedAttributeFails) {
+  Table workers = Workers();
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.protected_attributes = {"Nonexistent"};
+  EXPECT_EQ(auditor.Audit(*MakeAlphaFunction("f1", 0.5), options)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AuditorTest, UnknownAlgorithmFails) {
+  Table workers = Workers();
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "magic";
+  EXPECT_EQ(auditor.Audit(*MakeAlphaFunction("f1", 0.5), options)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AuditorTest, EmptyTableFails) {
+  Table empty(MakePaperWorkerSchema().value());
+  FairnessAuditor auditor(&empty);
+  AuditOptions options;
+  EXPECT_EQ(auditor.Audit(*MakeAlphaFunction("f1", 0.5), options)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AuditorTest, AuditScoresWithExternalScores) {
+  Table workers = Workers(100);
+  FairnessAuditor auditor(&workers);
+  std::vector<double> scores(workers.num_rows(), 0.0);
+  // Score = 1 for males, 0 for females: a blatantly unfair external model.
+  size_t gender = workers.schema().FindIndex(worker_attrs::kGender).value();
+  for (size_t row = 0; row < workers.num_rows(); ++row) {
+    scores[row] = workers.column(gender).CodeAt(row) == 0 ? 1.0 : 0.0;
+  }
+  AuditOptions options;
+  options.algorithm = "balanced";
+  auto result = auditor.AuditScores(scores, "external model", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scoring_function, "external model");
+  EXPECT_NEAR(result->unfairness, 0.9, 1e-9);  // Extreme bins, 10 bins.
+}
+
+TEST(AuditorTest, ScoreSizeMismatchFails) {
+  Table workers = Workers(50);
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  EXPECT_FALSE(auditor.AuditScores({0.5, 0.5}, "bad", options).ok());
+}
+
+TEST(AuditorTest, DivergenceOptionFlowsThrough) {
+  Table workers = Workers(200);
+  FairnessAuditor auditor(&workers);
+  AuditOptions emd_options;
+  emd_options.algorithm = "balanced";
+  AuditOptions ks_options = emd_options;
+  ks_options.evaluator.divergence = "ks";
+  auto emd_result = auditor.Audit(*MakeF6(4), emd_options);
+  auto ks_result = auditor.Audit(*MakeF6(4), ks_options);
+  ASSERT_TRUE(emd_result.ok() && ks_result.ok());
+  // f6 separates genders completely: KS = 1, EMD ~ 0.8.
+  EXPECT_NEAR(ks_result->unfairness, 1.0, 1e-9);
+  EXPECT_NEAR(emd_result->unfairness, 0.8, 0.05);
+}
+
+TEST(AuditorTest, BinCountOptionFlowsThrough) {
+  Table workers = Workers(200);
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  options.evaluator.num_bins = 40;
+  auto result = auditor.Audit(*MakeF6(4), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->partitions.empty());
+  EXPECT_EQ(result->partitions[0].histogram.num_bins(), 40);
+}
+
+TEST(AuditorTest, WorstPairsReported) {
+  Table workers = Workers(300);
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  options.num_worst_pairs = 2;
+  auto result = auditor.Audit(*MakeF6(4), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->worst_pairs.size(), 1u);  // Only 2 partitions = 1 pair.
+  EXPECT_NEAR(result->worst_pairs[0].distance, result->unfairness, 1e-12);
+  std::set<std::string> labels = {result->worst_pairs[0].label_a,
+                                  result->worst_pairs[0].label_b};
+  EXPECT_TRUE(labels.count("Gender=Male"));
+  EXPECT_TRUE(labels.count("Gender=Female"));
+}
+
+TEST(AuditorTest, WorstPairsDisabled) {
+  Table workers = Workers(100);
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.num_worst_pairs = 0;
+  auto result = auditor.Audit(*MakeAlphaFunction("f1", 0.5), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->worst_pairs.empty());
+}
+
+TEST(AuditorTest, SeedAffectsRandomBaseline) {
+  Table workers = Workers(200);
+  FairnessAuditor auditor(&workers);
+  std::set<size_t> first_split_attrs;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    AuditOptions options;
+    options.algorithm = "r-balanced";
+    options.seed = seed;
+    auto result = auditor.Audit(*MakeAlphaFunction("f1", 0.5), options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->partitioning.empty());
+    ASSERT_FALSE(result->partitioning[0].path.empty());
+    first_split_attrs.insert(result->partitioning[0].path[0].attr_index);
+  }
+  EXPECT_GT(first_split_attrs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fairrank

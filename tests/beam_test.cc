@@ -1,0 +1,131 @@
+#include "fairness/beam.h"
+
+#include <gtest/gtest.h>
+
+#include "fairness/registry.h"
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+#include "marketplace/scoring.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+UnfairnessEvaluator MakeEval(const Table* table, const ScoringFunction& fn) {
+  return UnfairnessEvaluator::Make(table, fn.ScoreAll(*table).value(),
+                                   EvaluatorOptions())
+      .value();
+}
+
+Table Workers(size_t n, uint64_t seed = 42) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = seed;
+  return GenerateWorkers(options).value();
+}
+
+TEST(BeamTest, RegisteredInRegistry) {
+  AlgorithmConfig config;
+  config.beam_width = 2;
+  auto algo = MakeAlgorithmByName("beam", config);
+  ASSERT_TRUE(algo.ok());
+  EXPECT_EQ((*algo)->Name(), "beam");
+}
+
+TEST(BeamTest, ReturnsValidPartitioning) {
+  Table workers = Workers(150);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  UnfairnessEvaluator eval = MakeEval(&workers, *fn);
+  auto algo = MakeBeamAlgorithm(3);
+  auto p = algo->Run(eval, workers.schema().ProtectedIndices());
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(IsValidPartitioning(*p, workers.num_rows()));
+}
+
+TEST(BeamTest, InvalidWidthFails) {
+  Table workers = Workers(20);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  UnfairnessEvaluator eval = MakeEval(&workers, *fn);
+  auto algo = MakeBeamAlgorithm(0);
+  EXPECT_EQ(algo->Run(eval, workers.schema().ProtectedIndices())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BeamTest, EmptyAttributesYieldRoot) {
+  Table workers = Workers(30);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  UnfairnessEvaluator eval = MakeEval(&workers, *fn);
+  auto algo = MakeBeamAlgorithm(3);
+  auto p = algo->Run(eval, {});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 1u);
+}
+
+TEST(BeamTest, AtLeastAsGoodAsBalanced) {
+  // Beam width w >= 1 explores a superset of balanced's greedy path and
+  // keeps the best-so-far, so it can never return a worse partitioning.
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Table workers = Workers(200, seed);
+    for (double alpha : {0.5, 1.0}) {
+      auto fn = MakeAlphaFunction("f", alpha);
+      UnfairnessEvaluator eval = MakeEval(&workers, *fn);
+      std::vector<size_t> attrs = workers.schema().ProtectedIndices();
+      auto balanced = MakeAlgorithmByName("balanced").value();
+      double balanced_u =
+          eval.AveragePairwiseUnfairness(balanced->Run(eval, attrs).value())
+              .value();
+      auto beam = MakeBeamAlgorithm(3);
+      double beam_u =
+          eval.AveragePairwiseUnfairness(beam->Run(eval, attrs).value())
+              .value();
+      EXPECT_GE(beam_u + 1e-9, balanced_u)
+          << "seed=" << seed << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(BeamTest, RecoversGenderForF6) {
+  Table workers = Workers(400);
+  auto f6 = MakeF6(5);
+  UnfairnessEvaluator eval = MakeEval(&workers, *f6);
+  auto algo = MakeBeamAlgorithm(3);
+  Partitioning p =
+      algo->Run(eval, workers.schema().ProtectedIndices()).value();
+  EXPECT_EQ(AttributesUsed(workers.schema(), p),
+            (std::vector<std::string>{worker_attrs::kGender}));
+}
+
+TEST(BeamTest, WidthOneIsDeterministic) {
+  Table workers = Workers(100);
+  auto fn = MakeAlphaFunction("f2", 0.3);
+  UnfairnessEvaluator eval = MakeEval(&workers, *fn);
+  auto run = [&]() {
+    auto algo = MakeBeamAlgorithm(1);
+    return algo->Run(eval, workers.schema().ProtectedIndices()).value();
+  };
+  Partitioning a = run();
+  Partitioning b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].rows, b[i].rows);
+}
+
+TEST(BeamTest, WiderBeamNeverHurts) {
+  Table workers = Workers(200, 9);
+  auto f7 = MakeF7(11);
+  UnfairnessEvaluator eval = MakeEval(&workers, *f7);
+  std::vector<size_t> attrs = workers.schema().ProtectedIndices();
+  double previous = -1.0;
+  for (int width : {1, 2, 4, 8}) {
+    auto algo = MakeBeamAlgorithm(width);
+    double u =
+        eval.AveragePairwiseUnfairness(algo->Run(eval, attrs).value())
+            .value();
+    EXPECT_GE(u + 1e-9, previous) << "width=" << width;
+    previous = u;
+  }
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,83 @@
+#!/bin/sh
+# End-to-end smoke test of the fairaudit CLI. First argument: path to the
+# fairaudit binary. Exercises every subcommand on a small generated
+# population and checks key output fragments.
+set -eu
+
+FAIRAUDIT="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# generate (uniform + realistic).
+"$FAIRAUDIT" generate --workers 400 --seed 3 --out "$WORKDIR/w.csv" \
+  | grep -q "wrote 400 uniform workers" || fail "generate uniform"
+"$FAIRAUDIT" generate --workers 200 --seed 3 --realistic --bias 0.5 \
+  --out "$WORKDIR/r.csv" \
+  | grep -q "wrote 200 realistic workers" || fail "generate realistic"
+
+# profile with the association screen.
+"$FAIRAUDIT" profile --input "$WORKDIR/w.csv" --function alpha:0.5 \
+  > "$WORKDIR/profile.out"
+grep -q "Gender" "$WORKDIR/profile.out" || fail "profile lists Gender"
+grep -q "eta^2" "$WORKDIR/profile.out" || fail "profile association screen"
+
+# audit + save partitioning; f6 must recover Gender with ~0.8 unfairness.
+"$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 \
+  --algorithm balanced --save-partitioning "$WORKDIR/part.txt" \
+  > "$WORKDIR/audit.out"
+grep -q "attributes used: Gender" "$WORKDIR/audit.out" || fail "audit attrs"
+grep -q "unfairness" "$WORKDIR/audit.out" || fail "audit unfairness line"
+grep -q "partition: Gender=0" "$WORKDIR/part.txt" || fail "saved spec"
+
+# audit --json is a JSON object.
+"$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function alpha:0.5 --json \
+  | grep -q '^{"algorithm"' || fail "audit json"
+
+# apply the saved partitioning.
+"$FAIRAUDIT" apply --input "$WORKDIR/w.csv" --spec "$WORKDIR/part.txt" \
+  --function f6 | grep -q "applied 2 partitions" || fail "apply"
+
+# rank prints the requested number of rows.
+RANKED=$("$FAIRAUDIT" rank --input "$WORKDIR/w.csv" --function alpha:0.7 \
+  --top 5 | wc -l)
+[ "$RANKED" -eq 7 ] || fail "rank row count (got $RANKED)"  # header+rule+5.
+
+# exposure reports every protected attribute.
+"$FAIRAUDIT" exposure --input "$WORKDIR/w.csv" --function f6 \
+  > "$WORKDIR/exposure.out"
+grep -q "exposure gap" "$WORKDIR/exposure.out" || fail "exposure gap"
+grep -q "Ethnicity" "$WORKDIR/exposure.out" || fail "exposure attributes"
+
+# repair reports before/after.
+"$FAIRAUDIT" repair --input "$WORKDIR/w.csv" --function f6 \
+  --strategy quantile --out "$WORKDIR/repaired.csv" > "$WORKDIR/repair.out"
+grep -q "repair=quantile" "$WORKDIR/repair.out" || fail "repair summary"
+head -1 "$WORKDIR/repaired.csv" | grep -q "repaired_score" \
+  || fail "repair csv header"
+
+# significance: f6 must be significant at the minimum p-value.
+"$FAIRAUDIT" significance --input "$WORKDIR/w.csv" --function f6 \
+  --iterations 19 | grep -q "p-value 0.05" || fail "significance p-value"
+
+# catalog audit covers the default five categories.
+CATEGORIES=$("$FAIRAUDIT" catalog --input "$WORKDIR/w.csv" \
+  --algorithm all-attributes | grep -c "labor\|writing\|entry\|development\|support")
+[ "$CATEGORIES" -eq 5 ] || fail "catalog categories (got $CATEGORIES)"
+
+# list names every algorithm.
+"$FAIRAUDIT" list | grep -q "merge" || fail "list algorithms"
+
+# error paths: bad input file and unknown subcommand.
+if "$FAIRAUDIT" audit --input /nonexistent.csv > /dev/null 2>&1; then
+  fail "missing input should fail"
+fi
+if "$FAIRAUDIT" frobnicate > /dev/null 2>&1; then
+  fail "unknown subcommand should fail"
+fi
+
+echo "cli_test: all subcommands OK"

@@ -1,0 +1,193 @@
+#include "data/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+Schema MakeTestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Categorical(
+                      "Gender", AttributeRole::kProtected, {"Male", "Female"}))
+                  .ok());
+  EXPECT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Integer(
+                      "Age", AttributeRole::kProtected, 18, 80, 5))
+                  .ok());
+  EXPECT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Real(
+                      "Rating", AttributeRole::kObserved, 0.0, 5.0, 10))
+                  .ok());
+  return schema;
+}
+
+TEST(ParseCsvRecordTest, SimpleFields) {
+  auto fields = ParseCsvRecord("a,b,c", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvRecordTest, QuotedFieldWithDelimiter) {
+  auto fields = ParseCsvRecord("\"a,b\",c", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsvRecordTest, EscapedQuotes) {
+  auto fields = ParseCsvRecord("\"say \"\"hi\"\"\",x", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[0], "say \"hi\"");
+}
+
+TEST(ParseCsvRecordTest, EmptyFields) {
+  auto fields = ParseCsvRecord(",,", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+}
+
+TEST(ParseCsvRecordTest, TrailingCarriageReturn) {
+  auto fields = ParseCsvRecord("a,b\r", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsvRecordTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvRecord("\"abc", ',').ok());
+}
+
+TEST(ParseCsvRecordTest, QuoteMidFieldFails) {
+  EXPECT_FALSE(ParseCsvRecord("ab\"c\",d", ',').ok());
+}
+
+TEST(ReadCsvTest, HeaderMatchingByName) {
+  std::istringstream in(
+      "Rating,Gender,Age\n"
+      "4.5,Male,30\n"
+      "2.0,Female,55\n");
+  auto table = ReadCsv(in, MakeTestSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->CellToString(0, 0), "Male");
+  EXPECT_EQ(table->column(1).IntAt(1), 55);
+  EXPECT_DOUBLE_EQ(table->column(2).RealAt(0), 4.5);
+}
+
+TEST(ReadCsvTest, ExtraColumnsIgnored) {
+  std::istringstream in(
+      "Gender,Nick,Age,Rating\n"
+      "Male,zed,30,4.5\n");
+  auto table = ReadCsv(in, MakeTestSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 1u);
+}
+
+TEST(ReadCsvTest, MissingColumnFails) {
+  std::istringstream in("Gender,Age\nMale,30\n");
+  auto table = ReadCsv(in, MakeTestSchema());
+  EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReadCsvTest, EmptyStreamFails) {
+  std::istringstream in("");
+  EXPECT_EQ(ReadCsv(in, MakeTestSchema()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ReadCsvTest, BlankLinesSkipped) {
+  std::istringstream in(
+      "Gender,Age,Rating\n"
+      "\n"
+      "Male,30,4.5\n"
+      "   \n");
+  auto table = ReadCsv(in, MakeTestSchema());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+}
+
+TEST(ReadCsvTest, BadCellReportsLineNumber) {
+  std::istringstream in(
+      "Gender,Age,Rating\n"
+      "Male,30,4.5\n"
+      "Male,notanumber,1.0\n");
+  auto table = ReadCsv(in, MakeTestSchema());
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ReadCsvTest, ShortRowFails) {
+  std::istringstream in(
+      "Gender,Age,Rating\n"
+      "Male,30\n");
+  EXPECT_FALSE(ReadCsv(in, MakeTestSchema()).ok());
+}
+
+TEST(ReadCsvTest, NoHeaderPositional) {
+  std::istringstream in("Male,30,4.5\n");
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ReadCsv(in, MakeTestSchema(), options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->CellToString(0, 0), "Male");
+}
+
+TEST(ReadCsvTest, CustomDelimiter) {
+  std::istringstream in(
+      "Gender;Age;Rating\n"
+      "Female;44;3.5\n");
+  CsvOptions options;
+  options.delimiter = ';';
+  auto table = ReadCsv(in, MakeTestSchema(), options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->CellToString(0, 0), "Female");
+}
+
+TEST(WriteCsvTest, RoundTrip) {
+  Table table(MakeTestSchema());
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), int64_t{30}, 4.5}).ok());
+  ASSERT_TRUE(table.AppendRow({std::string("Female"), int64_t{55}, 2.0}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(out, table).ok());
+
+  std::istringstream in(out.str());
+  auto round = ReadCsv(in, MakeTestSchema());
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->num_rows(), 2u);
+  EXPECT_EQ(round->CellToString(1, 0), "Female");
+  EXPECT_EQ(round->column(1).IntAt(0), 30);
+}
+
+TEST(WriteCsvTest, QuotesFieldsWithDelimiters) {
+  Schema schema;
+  ASSERT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Categorical(
+                      "City", AttributeRole::kOther, {"Paris, France"}))
+                  .ok());
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({std::string("Paris, France")}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(out, table).ok());
+  EXPECT_NE(out.str().find("\"Paris, France\""), std::string::npos);
+}
+
+TEST(ReadCsvFileTest, MissingFileFails) {
+  EXPECT_EQ(
+      ReadCsvFile("/nonexistent/path.csv", MakeTestSchema()).status().code(),
+      StatusCode::kIOError);
+}
+
+TEST(CsvFileTest, FileRoundTrip) {
+  Table table(MakeTestSchema());
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), int64_t{25}, 1.5}).ok());
+  std::string path = ::testing::TempDir() + "/fairrank_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  auto round = ReadCsvFile(path, MakeTestSchema());
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace fairrank

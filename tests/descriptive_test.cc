@@ -1,0 +1,96 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}).value(), 0.0);
+  EXPECT_FALSE(Mean({}).ok());
+}
+
+TEST(DescribeTest, KnownSample) {
+  auto s = Describe({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->count, 8u);
+  EXPECT_DOUBLE_EQ(s->mean, 5.0);
+  EXPECT_DOUBLE_EQ(s->variance, 4.0);
+  EXPECT_DOUBLE_EQ(s->stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s->min, 2.0);
+  EXPECT_DOUBLE_EQ(s->max, 9.0);
+  EXPECT_DOUBLE_EQ(s->median, 4.5);
+}
+
+TEST(DescribeTest, SingleValue) {
+  auto s = Describe({3.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->variance, 0.0);
+  EXPECT_DOUBLE_EQ(s->median, 3.0);
+}
+
+TEST(DescribeTest, EmptyFails) { EXPECT_FALSE(Describe({}).ok()); }
+
+TEST(QuantileTest, Interpolation) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5).value(), 2.5);
+  EXPECT_NEAR(Quantile(v, 1.0 / 3.0).value(), 2.0, 1e-12);
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({4.0, 1.0, 3.0, 2.0}, 0.5).value(), 2.5);
+}
+
+TEST(QuantileTest, BadInputs) {
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.1).ok());
+}
+
+TEST(PearsonTest, PerfectCorrelations) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y).value(), 1.0, 1e-12);
+  std::vector<double> z = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, z).value(), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, UncorrelatedIsSmall) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {1.0, -1.0, -1.0, 1.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y).value(), 0.0, 1e-9);
+}
+
+TEST(PearsonTest, FailureModes) {
+  EXPECT_FALSE(PearsonCorrelation({1.0}, {2.0}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1.0, 2.0}, {2.0}).ok());
+  EXPECT_EQ(PearsonCorrelation({1.0, 1.0}, {1.0, 2.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(std::exp(v));  // Monotone, nonlinear.
+  EXPECT_NEAR(SpearmanCorrelation(x, y).value(), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  std::vector<double> x = {1.0, 2.0, 2.0, 3.0};
+  std::vector<double> y = {10.0, 20.0, 20.0, 30.0};
+  EXPECT_NEAR(SpearmanCorrelation(x, y).value(), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {9.0, 5.0, 1.0};
+  EXPECT_NEAR(SpearmanCorrelation(x, y).value(), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fairrank

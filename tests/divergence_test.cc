@@ -1,0 +1,164 @@
+#include "stats/divergence.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fairrank {
+namespace {
+
+Histogram FromValues(const std::vector<double>& values, int bins = 10) {
+  Histogram h(bins, 0.0, 1.0);
+  for (double v : values) h.Add(v);
+  return h;
+}
+
+TEST(DivergenceFactoryTest, AllKnownNamesResolve) {
+  for (const std::string& name : KnownDivergenceNames()) {
+    auto d = MakeDivergenceByName(name);
+    ASSERT_TRUE(d.ok()) << name;
+    EXPECT_EQ((*d)->Name(), name);
+  }
+}
+
+TEST(DivergenceFactoryTest, UnknownNameFails) {
+  EXPECT_EQ(MakeDivergenceByName("euclidean").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TotalVariationTest, KnownValue) {
+  // Disjoint supports: TV = 1.
+  auto tv = MakeTotalVariationDivergence();
+  EXPECT_NEAR(tv->Distance(FromValues({0.05}), FromValues({0.95})).value(),
+              1.0, 1e-12);
+}
+
+TEST(TotalVariationTest, HalfOverlap) {
+  auto tv = MakeTotalVariationDivergence();
+  Histogram a = FromValues({0.05, 0.15});
+  Histogram b = FromValues({0.15, 0.25});
+  EXPECT_NEAR(tv->Distance(a, b).value(), 0.5, 1e-12);
+}
+
+TEST(KolmogorovSmirnovTest, KnownValue) {
+  auto ks = MakeKolmogorovSmirnovDivergence();
+  // a fully below b: KS = 1.
+  EXPECT_NEAR(ks->Distance(FromValues({0.05}), FromValues({0.95})).value(),
+              1.0, 1e-12);
+  Histogram a = FromValues({0.05, 0.95});
+  Histogram b = FromValues({0.95, 0.05});
+  EXPECT_NEAR(ks->Distance(a, b).value(), 0.0, 1e-12);
+}
+
+TEST(JensenShannonTest, BoundedAndZeroOnIdentical) {
+  auto js = MakeJensenShannonDivergence();
+  Histogram a = FromValues({0.1, 0.3, 0.5});
+  EXPECT_NEAR(js->Distance(a, a).value(), 0.0, 1e-12);
+  // Disjoint supports: JS (base 2) = 1.
+  EXPECT_NEAR(js->Distance(FromValues({0.05}), FromValues({0.95})).value(),
+              1.0, 1e-12);
+}
+
+TEST(SymmetricKlTest, FiniteOnDisjointSupports) {
+  auto kl = MakeSymmetricKlDivergence();
+  double v = kl->Distance(FromValues({0.05}), FromValues({0.95})).value();
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 1.0);  // Strongly divergent, but finite thanks to smoothing.
+}
+
+TEST(HellingerTest, BoundedInUnitInterval) {
+  auto hellinger = MakeHellingerDivergence();
+  EXPECT_NEAR(
+      hellinger->Distance(FromValues({0.05}), FromValues({0.95})).value(),
+      1.0, 1e-12);
+  Histogram a = FromValues({0.1, 0.2});
+  EXPECT_NEAR(hellinger->Distance(a, a).value(), 0.0, 1e-12);
+}
+
+TEST(GeneralEmdDivergenceTest, AgreesWithClosedForm) {
+  auto fast = MakeEmdDivergence();
+  auto general = MakeGeneralEmdDivergence();
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Histogram a(10, 0.0, 1.0);
+    Histogram b(10, 0.0, 1.0);
+    for (int i = 0; i < 30; ++i) {
+      a.Add(rng.NextDouble());
+      b.Add(rng.NextDouble());
+    }
+    EXPECT_NEAR(fast->Distance(a, b).value(),
+                general->Distance(a, b).value(), 1e-9);
+  }
+}
+
+TEST(ChiSquareTest, BoundsAndKnownValues) {
+  auto chi2 = MakeChiSquareDivergence();
+  // Disjoint supports: each occupied bin contributes p^2/p = p; total 2.
+  EXPECT_NEAR(chi2->Distance(FromValues({0.05}), FromValues({0.95})).value(),
+              2.0, 1e-12);
+  Histogram a = FromValues({0.05, 0.15});
+  EXPECT_NEAR(chi2->Distance(a, a).value(), 0.0, 1e-12);
+}
+
+TEST(BhattacharyyaTest, FiniteOnDisjointSupports) {
+  auto bhat = MakeBhattacharyyaDivergence();
+  double v =
+      bhat->Distance(FromValues({0.05}), FromValues({0.95})).value();
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 5.0);  // Very divergent but finite (epsilon floor).
+  Histogram a = FromValues({0.1, 0.2, 0.3});
+  EXPECT_NEAR(bhat->Distance(a, a).value(), 0.0, 1e-6);
+}
+
+TEST(ThresholdedEmdDivergenceTest, NameAndCap) {
+  auto d = MakeThresholdedEmdDivergence(0.3);
+  EXPECT_EQ(d->Name(), "emd-thresholded");
+  EXPECT_NEAR(d->Distance(FromValues({0.0}), FromValues({1.0})).value(), 0.3,
+              1e-9);
+}
+
+// --- Property sweep: every divergence is symmetric, non-negative, and zero
+// --- on identical histograms.
+
+using DivergenceFactory = std::unique_ptr<Divergence> (*)();
+
+class DivergencePropertyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DivergencePropertyTest, SymmetryNonNegativityIdentity) {
+  auto divergence = MakeDivergenceByName(GetParam()).value();
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    Histogram a(10, 0.0, 1.0);
+    Histogram b(10, 0.0, 1.0);
+    int na = static_cast<int>(rng.UniformInt(1, 30));
+    int nb = static_cast<int>(rng.UniformInt(1, 30));
+    for (int i = 0; i < na; ++i) a.Add(rng.NextDouble());
+    for (int i = 0; i < nb; ++i) b.Add(rng.NextDouble());
+    double ab = divergence->Distance(a, b).value();
+    double ba = divergence->Distance(b, a).value();
+    EXPECT_GE(ab, 0.0);
+    EXPECT_NEAR(ab, ba, 1e-9);
+    EXPECT_NEAR(divergence->Distance(a, a).value(), 0.0, 1e-9);
+  }
+}
+
+TEST_P(DivergencePropertyTest, RejectsBadInputs) {
+  auto divergence = MakeDivergenceByName(GetParam()).value();
+  Histogram a(10, 0.0, 1.0);
+  a.Add(0.5);
+  Histogram mismatched(5, 0.0, 1.0);
+  mismatched.Add(0.5);
+  Histogram empty(10, 0.0, 1.0);
+  EXPECT_FALSE(divergence->Distance(a, mismatched).ok());
+  EXPECT_FALSE(divergence->Distance(a, empty).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDivergences, DivergencePropertyTest,
+                         ::testing::ValuesIn(KnownDivergenceNames()));
+
+}  // namespace
+}  // namespace fairrank

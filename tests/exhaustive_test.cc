@@ -1,0 +1,166 @@
+#include "fairness/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "fairness/registry.h"
+#include "marketplace/generator.h"
+#include "marketplace/scoring.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+std::vector<double> ToyScores(const Table& table) {
+  size_t score_col = table.schema().FindIndex("Score").value();
+  std::vector<double> scores;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    scores.push_back(table.column(score_col).RealAt(row));
+  }
+  return scores;
+}
+
+TEST(ExhaustiveTest, FindsFigure1Optimum) {
+  Table table = MakeToyTable().value();
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&table, ToyScores(table), EvaluatorOptions())
+          .value();
+  auto algo = MakeExhaustiveAlgorithm();
+  Partitioning p =
+      algo->Run(eval, table.schema().ProtectedIndices()).value();
+  // The optimum is {Male-English, Male-Indian, Male-Other, Female}.
+  ASSERT_EQ(p.size(), 4u);
+  std::set<std::string> labels;
+  for (const Partition& part : p) {
+    labels.insert(PartitionLabel(table.schema(), part));
+  }
+  EXPECT_TRUE(labels.count("Gender=Female"));
+  EXPECT_TRUE(labels.count("Gender=Male & Language=English"));
+  EXPECT_TRUE(labels.count("Gender=Male & Language=Indian"));
+  EXPECT_TRUE(labels.count("Gender=Male & Language=Other"));
+}
+
+TEST(ExhaustiveTest, OptimumDominatesHeuristics) {
+  // On a small instance exhaustive must be >= every heuristic.
+  GeneratorOptions options;
+  options.num_workers = 60;
+  options.seed = 31;
+  Table workers = GenerateWorkers(options).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, fn->ScoreAll(workers).value(),
+                                EvaluatorOptions())
+          .value();
+  std::vector<size_t> attrs = workers.schema().ProtectedIndices();
+  attrs.resize(2);  // Keep brute force small.
+
+  ExhaustiveOptions ex;
+  ex.max_partitionings = 500000;
+  auto exhaustive = MakeExhaustiveAlgorithm(ex);
+  double optimum =
+      eval.AveragePairwiseUnfairness(exhaustive->Run(eval, attrs).value())
+          .value();
+  for (const std::string& name : PaperAlgorithmNames()) {
+    auto algo = MakeAlgorithmByName(name).value();
+    double heuristic =
+        eval.AveragePairwiseUnfairness(algo->Run(eval, attrs).value())
+            .value();
+    EXPECT_GE(optimum + 1e-9, heuristic) << name;
+  }
+}
+
+TEST(ExhaustiveTest, BudgetExhaustionReported) {
+  GeneratorOptions options;
+  options.num_workers = 200;
+  options.seed = 13;
+  Table workers = GenerateWorkers(options).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, fn->ScoreAll(workers).value(),
+                                EvaluatorOptions())
+          .value();
+  ExhaustiveOptions ex;
+  ex.max_partitionings = 50;  // Far too small for 6 attributes.
+  auto algo = MakeExhaustiveAlgorithm(ex);
+  auto result = algo->Run(eval, workers.schema().ProtectedIndices());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExhaustiveTest, TimeBudgetReported) {
+  GeneratorOptions options;
+  options.num_workers = 200;
+  options.seed = 13;
+  Table workers = GenerateWorkers(options).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, fn->ScoreAll(workers).value(),
+                                EvaluatorOptions())
+          .value();
+  ExhaustiveOptions ex;
+  ex.max_seconds = 1e-9;  // Expires after the first evaluated partitioning.
+  auto algo = MakeExhaustiveAlgorithm(ex);
+  auto result = algo->Run(eval, workers.schema().ProtectedIndices());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExhaustiveTest, SingleAttributeSpace) {
+  // With one attribute the space is {root} and {split}; optimum is the
+  // split whenever it has >= 2 groups.
+  Table table = MakeToyTable().value();
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&table, ToyScores(table), EvaluatorOptions())
+          .value();
+  size_t gender = table.schema().FindIndex("Gender").value();
+  auto algo = MakeExhaustiveAlgorithm();
+  Partitioning p = algo->Run(eval, {gender}).value();
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(CountPartitioningsTest, ToyExampleCount) {
+  // Toy: Gender (2 values) and Language (3 values), all groups non-empty.
+  // Trees: leaf(1) + gender-first (2 branches, each leaf-or-language:
+  // 2*2=4) + language-first (3 branches, each leaf-or-gender: 2^3=8) = 13.
+  Table table = MakeToyTable().value();
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&table, ToyScores(table), EvaluatorOptions())
+          .value();
+  EXPECT_EQ(CountHierarchicalPartitionings(
+                eval, table.schema().ProtectedIndices(), 1000),
+            13u);
+}
+
+TEST(CountPartitioningsTest, CapRespected) {
+  Table table = MakeToyTable().value();
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&table, ToyScores(table), EvaluatorOptions())
+          .value();
+  EXPECT_EQ(CountHierarchicalPartitionings(
+                eval, table.schema().ProtectedIndices(), 5),
+            5u);
+}
+
+TEST(CountPartitioningsTest, GrowsExplosivelyWithAttributes) {
+  // The paper: brute force "failed to terminate after two days" with six
+  // attributes. Verify the count explodes as attributes are added.
+  GeneratorOptions options;
+  options.num_workers = 120;
+  options.seed = 3;
+  Table workers = GenerateWorkers(options).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, fn->ScoreAll(workers).value(),
+                                EvaluatorOptions())
+          .value();
+  std::vector<size_t> all = workers.schema().ProtectedIndices();
+  uint64_t previous = 0;
+  const uint64_t kCap = 2'000'000;
+  for (size_t k = 1; k <= 4; ++k) {
+    std::vector<size_t> attrs(all.begin(), all.begin() + k);
+    uint64_t count = CountHierarchicalPartitionings(eval, attrs, kCap);
+    EXPECT_GT(count, previous);
+    previous = count;
+  }
+  EXPECT_EQ(previous, kCap);  // Four attributes already exceed 2M trees.
+}
+
+}  // namespace
+}  // namespace fairrank

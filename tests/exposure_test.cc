@@ -1,0 +1,167 @@
+#include "fairness/exposure.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+#include "marketplace/scoring.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+Table Workers(size_t n = 300, uint64_t seed = 12) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = seed;
+  return GenerateWorkers(options).value();
+}
+
+std::vector<RankedWorker> Rank(const Table& workers,
+                               const ScoringFunction& fn) {
+  RankingEngine engine(&workers);
+  return engine.Rank(fn).value();
+}
+
+TEST(ExposureTest, BiasedFunctionGivesMalesMoreExposure) {
+  Table workers = Workers();
+  auto f6 = MakeF6(9);
+  auto ranking = Rank(workers, *f6);
+  auto report =
+      ComputeExposure(workers, ranking, worker_attrs::kGender);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->groups.size(), 2u);
+  double male_exposure = 0.0;
+  double female_exposure = 0.0;
+  for (const GroupExposure& g : report->groups) {
+    if (g.group_label == "Male") male_exposure = g.mean_exposure;
+    if (g.group_label == "Female") female_exposure = g.mean_exposure;
+  }
+  EXPECT_GT(male_exposure, female_exposure);
+  EXPECT_GT(report->exposure_gap, 0.05);
+}
+
+TEST(ExposureTest, FairFunctionHasSmallGap) {
+  Table workers = Workers(1000);
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  auto ranking = Rank(workers, *f1);
+  auto report =
+      ComputeExposure(workers, ranking, worker_attrs::kGender);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->exposure_gap, 0.05);
+}
+
+TEST(ExposureTest, GroupSizesCoverPopulation) {
+  Table workers = Workers();
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  auto ranking = Rank(workers, *f1);
+  auto report =
+      ComputeExposure(workers, ranking, worker_attrs::kCountry);
+  ASSERT_TRUE(report.ok());
+  size_t total = 0;
+  for (const GroupExposure& g : report->groups) total += g.group_size;
+  EXPECT_EQ(total, workers.num_rows());
+}
+
+TEST(ExposureTest, LogBiasMatchesManualComputation) {
+  // Tiny table: two males at ranks 1,3 and two females at ranks 2,4.
+  Schema schema = MakeToySchema().value();
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), std::string("English"),
+                               0.9}).ok());
+  ASSERT_TRUE(table.AppendRow({std::string("Female"), std::string("English"),
+                               0.8}).ok());
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), std::string("English"),
+                               0.7}).ok());
+  ASSERT_TRUE(table.AppendRow({std::string("Female"), std::string("English"),
+                               0.6}).ok());
+  LinearScoringFunction fn("s", {{"Score", 1.0}});
+  RankingEngine engine(&table);
+  auto ranking = engine.Rank(fn).value();
+  auto report = ComputeExposure(table, ranking, worker_attrs::kGender);
+  ASSERT_TRUE(report.ok());
+  double male_expected = (1.0 / std::log2(2.0) + 1.0 / std::log2(4.0)) / 2.0;
+  double female_expected = (1.0 / std::log2(3.0) + 1.0 / std::log2(5.0)) / 2.0;
+  for (const GroupExposure& g : report->groups) {
+    if (g.group_label == "Male") {
+      EXPECT_NEAR(g.mean_exposure, male_expected, 1e-12);
+    } else {
+      EXPECT_NEAR(g.mean_exposure, female_expected, 1e-12);
+    }
+  }
+}
+
+TEST(ExposureTest, TopKBiasCountsOnlyTopPositions) {
+  Table workers = Workers(100);
+  auto f6 = MakeF6(3);
+  auto ranking = Rank(workers, *f6);
+  ExposureOptions options;
+  options.bias = PositionBias::kTopK;
+  options.top_k = 10;
+  auto report =
+      ComputeExposure(workers, ranking, worker_attrs::kGender, options);
+  ASSERT_TRUE(report.ok());
+  // All top-10 under f6 are male: female mean exposure must be exactly 0.
+  for (const GroupExposure& g : report->groups) {
+    if (g.group_label == "Female") {
+      EXPECT_DOUBLE_EQ(g.mean_exposure, 0.0);
+    }
+    if (g.group_label == "Male") {
+      EXPECT_GT(g.mean_exposure, 0.0);
+    }
+  }
+}
+
+TEST(ExposureTest, ReciprocalBiasDecaysFaster) {
+  Table workers = Workers(200);
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  auto ranking = Rank(workers, *f1);
+  ExposureOptions log_bias;
+  ExposureOptions reciprocal;
+  reciprocal.bias = PositionBias::kReciprocal;
+  auto log_report = ComputeExposure(workers, ranking,
+                                    worker_attrs::kGender, log_bias);
+  auto rec_report = ComputeExposure(workers, ranking,
+                                    worker_attrs::kGender, reciprocal);
+  ASSERT_TRUE(log_report.ok() && rec_report.ok());
+  // Reciprocal bias concentrates mass at the top: total mean exposure lower.
+  EXPECT_LT(rec_report->groups[0].mean_exposure,
+            log_report->groups[0].mean_exposure);
+}
+
+TEST(ExposureTest, ComputeAllCoversEveryProtectedAttribute) {
+  Table workers = Workers();
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  auto ranking = Rank(workers, *f1);
+  auto reports = ComputeAllExposures(workers, ranking);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports->size(), 6u);
+}
+
+TEST(ExposureTest, BadRankingFails) {
+  Table workers = Workers(10);
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  auto ranking = Rank(workers, *f1);
+  // Wrong size.
+  std::vector<RankedWorker> short_ranking(ranking.begin(),
+                                          ranking.begin() + 5);
+  EXPECT_FALSE(
+      ComputeExposure(workers, short_ranking, worker_attrs::kGender).ok());
+  // Duplicate rows.
+  auto dup = ranking;
+  dup[1] = dup[0];
+  EXPECT_FALSE(ComputeExposure(workers, dup, worker_attrs::kGender).ok());
+}
+
+TEST(ExposureTest, UnknownAttributeFails) {
+  Table workers = Workers(10);
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  auto ranking = Rank(workers, *f1);
+  EXPECT_EQ(ComputeExposure(workers, ranking, "Nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,100 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  auto parser = FlagParser::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(parser.ok());
+  return std::move(parser).value();
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser p = Parse({"--workers=500", "--seed=7"});
+  EXPECT_TRUE(p.Has("workers"));
+  EXPECT_EQ(p.GetInt("workers", 0).value(), 500);
+  EXPECT_EQ(p.GetInt("seed", 0).value(), 7);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser p = Parse({"--algorithm", "balanced", "--bins", "20"});
+  EXPECT_EQ(p.GetString("algorithm", ""), "balanced");
+  EXPECT_EQ(p.GetInt("bins", 0).value(), 20);
+}
+
+TEST(FlagParserTest, BareBoolean) {
+  FlagParser p = Parse({"--json", "--histograms"});
+  EXPECT_TRUE(p.GetBool("json", false).value());
+  EXPECT_TRUE(p.GetBool("histograms", false).value());
+  EXPECT_FALSE(p.GetBool("absent", false).value());
+}
+
+TEST(FlagParserTest, BooleanValues) {
+  FlagParser p = Parse({"--a=true", "--b=false", "--c=1", "--d=0", "--e=yes"});
+  EXPECT_TRUE(p.GetBool("a", false).value());
+  EXPECT_FALSE(p.GetBool("b", true).value());
+  EXPECT_TRUE(p.GetBool("c", false).value());
+  EXPECT_FALSE(p.GetBool("d", true).value());
+  EXPECT_TRUE(p.GetBool("e", false).value());
+}
+
+TEST(FlagParserTest, BadBooleanFails) {
+  FlagParser p = Parse({"--x=maybe"});
+  EXPECT_FALSE(p.GetBool("x", false).ok());
+}
+
+TEST(FlagParserTest, Positional) {
+  FlagParser p = Parse({"audit", "--bins=5", "extra"});
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"audit", "extra"}));
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlags) {
+  FlagParser p = Parse({"--a=1", "--", "--not-a-flag"});
+  EXPECT_TRUE(p.Has("a"));
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(FlagParserTest, FallbacksWhenAbsent) {
+  FlagParser p = Parse({});
+  EXPECT_EQ(p.GetString("x", "def"), "def");
+  EXPECT_EQ(p.GetInt("x", 9).value(), 9);
+  EXPECT_DOUBLE_EQ(p.GetDouble("x", 1.5).value(), 1.5);
+}
+
+TEST(FlagParserTest, BadNumbersFail) {
+  FlagParser p = Parse({"--n=abc", "--d=xyz"});
+  EXPECT_FALSE(p.GetInt("n", 0).ok());
+  EXPECT_FALSE(p.GetDouble("d", 0.0).ok());
+}
+
+TEST(FlagParserTest, DoubleValues) {
+  FlagParser p = Parse({"--lambda=0.25"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("lambda", 0.0).value(), 0.25);
+}
+
+TEST(FlagParserTest, EmptyFlagNameFails) {
+  const char* args[] = {"--=5"};
+  EXPECT_FALSE(FlagParser::Parse(1, args).ok());
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser p = Parse({"--x=1", "--x=2"});
+  EXPECT_EQ(p.GetInt("x", 0).value(), 2);
+}
+
+TEST(FlagParserTest, FlagNamesLists) {
+  FlagParser p = Parse({"--b=1", "--a=2"});
+  EXPECT_EQ(p.FlagNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FlagParserTest, EmptyValueViaEquals) {
+  FlagParser p = Parse({"--out="});
+  EXPECT_TRUE(p.Has("out"));
+  EXPECT_EQ(p.GetString("out", "def"), "");
+}
+
+}  // namespace
+}  // namespace fairrank

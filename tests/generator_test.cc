@@ -1,0 +1,104 @@
+#include "marketplace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedRows) {
+  GeneratorOptions options;
+  options.num_workers = 250;
+  auto table = GenerateWorkers(options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 250u);
+  EXPECT_EQ(table->num_columns(), 8u);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  GeneratorOptions options;
+  options.num_workers = 50;
+  options.seed = 77;
+  auto a = GenerateWorkers(options);
+  auto b = GenerateWorkers(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t row = 0; row < a->num_rows(); ++row) {
+    for (size_t col = 0; col < a->num_columns(); ++col) {
+      EXPECT_EQ(a->CellToString(row, col), b->CellToString(row, col));
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions a_options;
+  a_options.num_workers = 50;
+  a_options.seed = 1;
+  GeneratorOptions b_options = a_options;
+  b_options.seed = 2;
+  auto a = GenerateWorkers(a_options);
+  auto b = GenerateWorkers(b_options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int differing = 0;
+  for (size_t row = 0; row < a->num_rows(); ++row) {
+    if (a->CellToString(row, 0) != b->CellToString(row, 0) ||
+        a->CellToString(row, 6) != b->CellToString(row, 6)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(GeneratorTest, ValuesInDomains) {
+  GeneratorOptions options;
+  options.num_workers = 500;
+  options.seed = 5;
+  auto table = GenerateWorkers(options);
+  ASSERT_TRUE(table.ok());
+  const Schema& schema = table->schema();
+  size_t yob = schema.FindIndex(worker_attrs::kYearOfBirth).value();
+  size_t exp = schema.FindIndex(worker_attrs::kYearsExperience).value();
+  size_t lt = schema.FindIndex(worker_attrs::kLanguageTest).value();
+  size_t ar = schema.FindIndex(worker_attrs::kApprovalRate).value();
+  for (size_t row = 0; row < table->num_rows(); ++row) {
+    int64_t year = table->column(yob).IntAt(row);
+    EXPECT_GE(year, 1950);
+    EXPECT_LE(year, 2009);
+    int64_t experience = table->column(exp).IntAt(row);
+    EXPECT_GE(experience, 0);
+    EXPECT_LE(experience, 30);
+    double test_score = table->column(lt).RealAt(row);
+    EXPECT_GE(test_score, 25.0);
+    EXPECT_LT(test_score, 100.0);
+    double approval = table->column(ar).RealAt(row);
+    EXPECT_GE(approval, 25.0);
+    EXPECT_LT(approval, 100.0);
+  }
+}
+
+TEST(GeneratorTest, RoughlyUniformCategories) {
+  GeneratorOptions options;
+  options.num_workers = 6000;
+  options.seed = 9;
+  auto table = GenerateWorkers(options);
+  ASSERT_TRUE(table.ok());
+  size_t gender = table->schema().FindIndex(worker_attrs::kGender).value();
+  int males = 0;
+  for (size_t row = 0; row < table->num_rows(); ++row) {
+    if (table->column(gender).CodeAt(row) == 0) ++males;
+  }
+  EXPECT_NEAR(static_cast<double>(males) / 6000.0, 0.5, 0.03);
+}
+
+TEST(GeneratorTest, AppendRandomWorkersExtends) {
+  GeneratorOptions options;
+  options.num_workers = 10;
+  auto table = GenerateWorkers(options);
+  ASSERT_TRUE(table.ok());
+  Rng rng(123);
+  ASSERT_TRUE(AppendRandomWorkers(&table.value(), 15, &rng).ok());
+  EXPECT_EQ(table->num_rows(), 25u);
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,100 @@
+// Golden regression values: every stochastic component is seeded, so these
+// exact numbers are stable on a given platform and pin the semantics of the
+// whole pipeline (generator -> scoring -> histogram -> EMD -> search).
+// A change here means an intentional semantic change — update the values
+// and EXPERIMENTS.md together.
+
+#include <gtest/gtest.h>
+
+#include "fairness/auditor.h"
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+#include "marketplace/scoring.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+constexpr uint64_t kBenchSeed = 20190326;  // bench_common.h kDataSeed.
+constexpr double kTolerance = 1e-3;
+
+Table BenchWorkers(size_t n) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = kBenchSeed;
+  return GenerateWorkers(options).value();
+}
+
+TEST(GoldenTest, ToyExampleOptimum) {
+  Table table = MakeToyTable().value();
+  LinearScoringFunction score("toy", {{"Score", 1.0}});
+  FairnessAuditor auditor(&table);
+  AuditOptions options;
+  options.algorithm = "exhaustive";
+  AuditResult result = auditor.Audit(score, options).value();
+  EXPECT_NEAR(result.unfairness, 0.400, 1e-9);
+  options.algorithm = "balanced";
+  EXPECT_NEAR(auditor.Audit(score, options).value().unfairness, 0.300, 1e-9);
+  options.algorithm = "unbalanced";
+  EXPECT_NEAR(auditor.Audit(score, options).value().unfairness, 0.400, 1e-9);
+}
+
+TEST(GoldenTest, Table1BalancedRow) {
+  // The balanced row of bench/table1_500_workers (seed 20190326).
+  Table workers = BenchWorkers(500);
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  const struct {
+    double alpha;
+    double expected;
+  } kCells[] = {
+      {0.5, 0.226}, {0.3, 0.244}, {0.7, 0.248}, {1.0, 0.327}, {0.0, 0.321},
+  };
+  for (const auto& cell : kCells) {
+    auto fn = MakeAlphaFunction("f", cell.alpha);
+    EXPECT_NEAR(auditor.Audit(*fn, options).value().unfairness,
+                cell.expected, kTolerance)
+        << "alpha=" << cell.alpha;
+  }
+}
+
+TEST(GoldenTest, Table3BalancedF6F7) {
+  // Table 3's headline cells (function seed 7 as in the bench): f6 at
+  // ~0.802 (paper: 0.800) splitting on gender; f7 on gender+country.
+  Table workers = BenchWorkers(7300);
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  AuditResult f6 = auditor.Audit(*MakeF6(7 + 6), options).value();
+  EXPECT_NEAR(f6.unfairness, 0.802, kTolerance);
+  EXPECT_EQ(f6.attributes_used,
+            (std::vector<std::string>{worker_attrs::kGender}));
+  AuditResult f7 = auditor.Audit(*MakeF7(7 + 7), options).value();
+  EXPECT_NEAR(f7.unfairness, 0.426, kTolerance);
+  EXPECT_EQ(f7.attributes_used,
+            (std::vector<std::string>{worker_attrs::kGender,
+                                      worker_attrs::kCountry}));
+}
+
+TEST(GoldenTest, Table2AlgorithmsConverge) {
+  // At 7300 workers all algorithms tie to 3 decimals on f1 (Table 2's
+  // "all the algorithms behave similarly").
+  Table workers = BenchWorkers(7300);
+  FairnessAuditor auditor(&workers);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  double reference = -1.0;
+  for (const std::string& name :
+       {std::string("balanced"), std::string("all-attributes"),
+        std::string("r-balanced")}) {
+    AuditOptions options;
+    options.algorithm = name;
+    options.seed = 2;  // Matches the table2 bench baseline.
+    double u = auditor.Audit(*fn, options).value().unfairness;
+    if (reference < 0.0) reference = u;
+    EXPECT_NEAR(u, reference, 2e-3) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,118 @@
+#include "fairness/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+TEST(PartitionTest, MakeRootPartitionCoversAllRows) {
+  Partition root = MakeRootPartition(5);
+  EXPECT_EQ(root.size(), 5u);
+  EXPECT_TRUE(root.path.empty());
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(root.rows[i], i);
+}
+
+TEST(PartitionTest, RootLabel) {
+  Schema schema = MakeToySchema().value();
+  EXPECT_EQ(PartitionLabel(schema, MakeRootPartition(3)), "<all>");
+}
+
+TEST(PartitionTest, PathLabel) {
+  Schema schema = MakeToySchema().value();
+  Partition p;
+  p.rows = {0};
+  p.path = {{0, 0}, {1, 2}};  // Gender=Male, Language=Other.
+  EXPECT_EQ(PartitionLabel(schema, p), "Gender=Male & Language=Other");
+}
+
+TEST(PartitionTest, NumericBucketLabel) {
+  Schema schema;
+  ASSERT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Integer(
+                      "Age", AttributeRole::kProtected, 0, 30, 3))
+                  .ok());
+  Partition p;
+  p.rows = {0};
+  p.path = {{0, 1}};
+  EXPECT_EQ(PartitionLabel(schema, p), "Age=[10,20)");
+}
+
+TEST(PartitionTest, AttributesUsedDeduplicatesInSchemaOrder) {
+  Schema schema = MakeToySchema().value();
+  Partitioning partitioning;
+  Partition a;
+  a.rows = {0};
+  a.path = {{1, 0}, {0, 0}};  // Language then Gender.
+  Partition b;
+  b.rows = {1};
+  b.path = {{1, 1}};
+  partitioning.push_back(a);
+  partitioning.push_back(b);
+  EXPECT_EQ(AttributesUsed(schema, partitioning),
+            (std::vector<std::string>{"Gender", "Language"}));
+}
+
+TEST(PartitionTest, AttributesUsedEmptyForRoot) {
+  Schema schema = MakeToySchema().value();
+  Partitioning partitioning{MakeRootPartition(4)};
+  EXPECT_TRUE(AttributesUsed(schema, partitioning).empty());
+}
+
+TEST(IsValidPartitioningTest, ValidCases) {
+  Partitioning p;
+  Partition a;
+  a.rows = {0, 2};
+  Partition b;
+  b.rows = {1};
+  p.push_back(a);
+  p.push_back(b);
+  EXPECT_TRUE(IsValidPartitioning(p, 3));
+  EXPECT_TRUE(IsValidPartitioning({MakeRootPartition(4)}, 4));
+}
+
+TEST(IsValidPartitioningTest, DetectsMissingRow) {
+  Partitioning p;
+  Partition a;
+  a.rows = {0, 1};
+  p.push_back(a);
+  EXPECT_FALSE(IsValidPartitioning(p, 3));
+}
+
+TEST(IsValidPartitioningTest, DetectsDuplicateRow) {
+  Partitioning p;
+  Partition a;
+  a.rows = {0, 1};
+  Partition b;
+  b.rows = {1, 2};
+  p.push_back(a);
+  p.push_back(b);
+  EXPECT_FALSE(IsValidPartitioning(p, 3));
+}
+
+TEST(IsValidPartitioningTest, DetectsOutOfRangeRow) {
+  Partitioning p;
+  Partition a;
+  a.rows = {0, 5};
+  p.push_back(a);
+  EXPECT_FALSE(IsValidPartitioning(p, 3));
+}
+
+TEST(IsValidPartitioningTest, DetectsEmptyPartition) {
+  Partitioning p;
+  Partition a;
+  a.rows = {0, 1, 2};
+  Partition empty;
+  p.push_back(a);
+  p.push_back(empty);
+  EXPECT_FALSE(IsValidPartitioning(p, 3));
+}
+
+TEST(IsValidPartitioningTest, EmptyPartitioningOnlyValidForZeroRows) {
+  EXPECT_TRUE(IsValidPartitioning({}, 0));
+  EXPECT_FALSE(IsValidPartitioning({}, 1));
+}
+
+}  // namespace
+}  // namespace fairrank

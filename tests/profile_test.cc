@@ -1,0 +1,130 @@
+#include "data/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+#include "marketplace/scoring.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+Table Workers(size_t n = 500, uint64_t seed = 4) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = seed;
+  return GenerateWorkers(options).value();
+}
+
+TEST(ProfileTest, CoversEveryAttribute) {
+  Table workers = Workers();
+  auto profile = ProfileTable(workers);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->num_rows, workers.num_rows());
+  EXPECT_EQ(profile->attributes.size(), 8u);
+}
+
+TEST(ProfileTest, GroupCountsSumToRows) {
+  Table workers = Workers();
+  TableProfile profile = ProfileTable(workers).value();
+  for (const AttributeProfile& ap : profile.attributes) {
+    size_t total = 0;
+    double fraction_sum = 0.0;
+    for (const GroupCount& g : ap.groups) {
+      total += g.count;
+      fraction_sum += g.fraction;
+    }
+    EXPECT_EQ(total, workers.num_rows()) << ap.name;
+    EXPECT_NEAR(fraction_sum, 1.0, 1e-9) << ap.name;
+  }
+}
+
+TEST(ProfileTest, NumericSummaries) {
+  Table workers = Workers(2000);
+  TableProfile profile = ProfileTable(workers).value();
+  for (const AttributeProfile& ap : profile.attributes) {
+    if (ap.name == worker_attrs::kLanguageTest) {
+      EXPECT_GE(ap.min, 25.0);
+      EXPECT_LE(ap.max, 100.0);
+      EXPECT_NEAR(ap.mean, 62.5, 2.0);  // Uniform [25,100].
+      EXPECT_GT(ap.stddev, 15.0);
+    }
+    if (ap.name == worker_attrs::kYearOfBirth) {
+      EXPECT_GE(ap.min, 1950.0);
+      EXPECT_LE(ap.max, 2009.0);
+    }
+  }
+}
+
+TEST(ProfileTest, EmptyTableFails) {
+  Table empty(MakePaperWorkerSchema().value());
+  EXPECT_EQ(ProfileTable(empty).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ProfileTest, FormatIncludesEveryGroup) {
+  Table workers = Workers(100);
+  std::string text = FormatTableProfile(ProfileTable(workers).value());
+  EXPECT_NE(text.find("Gender"), std::string::npos);
+  EXPECT_NE(text.find("Male"), std::string::npos);
+  EXPECT_NE(text.find("Female"), std::string::npos);
+  EXPECT_NE(text.find("%"), std::string::npos);
+}
+
+TEST(ScoreAssociationTest, F6PointsAtGender) {
+  Table workers = Workers(800);
+  auto f6 = MakeF6(7);
+  std::vector<double> scores = f6->ScoreAll(workers).value();
+  auto associations = ScoreAssociations(workers, scores);
+  ASSERT_TRUE(associations.ok());
+  ASSERT_EQ(associations->size(), 6u);
+  // Sorted descending by eta^2, gender dominates.
+  EXPECT_EQ((*associations)[0].attribute, worker_attrs::kGender);
+  EXPECT_GT((*associations)[0].eta_squared, 0.8);
+  EXPECT_LT((*associations)[1].eta_squared, 0.1);
+  EXPECT_GT((*associations)[0].max_mean_gap, 0.3);
+}
+
+TEST(ScoreAssociationTest, RandomScoresShowNoAssociation) {
+  Table workers = Workers(2000);
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  std::vector<double> scores = f1->ScoreAll(workers).value();
+  auto associations = ScoreAssociations(workers, scores).value();
+  for (const ScoreAssociation& a : associations) {
+    EXPECT_LT(a.eta_squared, 0.02) << a.attribute;
+  }
+}
+
+TEST(ScoreAssociationTest, F7SplitsAcrossGenderAndCountry) {
+  // f7's bias flips sign between countries within each gender, so the
+  // *marginal* single-attribute association is weak — exactly the case the
+  // subgroup search exists for (and the single-attribute screen misses).
+  Table workers = Workers(2000);
+  auto f7 = MakeF7(7);
+  std::vector<double> scores = f7->ScoreAll(workers).value();
+  auto associations = ScoreAssociations(workers, scores).value();
+  double gender_eta = 0.0;
+  for (const ScoreAssociation& a : associations) {
+    if (a.attribute == worker_attrs::kGender) gender_eta = a.eta_squared;
+  }
+  EXPECT_LT(gender_eta, 0.1);
+}
+
+TEST(ScoreAssociationTest, SizeMismatchFails) {
+  Table workers = Workers(50);
+  EXPECT_FALSE(ScoreAssociations(workers, {0.1, 0.2}).ok());
+}
+
+TEST(ScoreAssociationTest, ConstantScoresYieldZeroEta) {
+  Table workers = Workers(100);
+  std::vector<double> scores(workers.num_rows(), 0.5);
+  auto associations = ScoreAssociations(workers, scores).value();
+  for (const ScoreAssociation& a : associations) {
+    EXPECT_DOUBLE_EQ(a.eta_squared, 0.0);
+    EXPECT_DOUBLE_EQ(a.max_mean_gap, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,147 @@
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/emd.h"
+
+namespace fairrank {
+namespace {
+
+TEST(GkSketchTest, EmptySketchFails) {
+  GkSketch sketch(0.01);
+  EXPECT_EQ(sketch.Quantile(0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GkSketchTest, OutOfRangeQFails) {
+  GkSketch sketch(0.01);
+  sketch.Insert(1.0);
+  EXPECT_FALSE(sketch.Quantile(-0.1).ok());
+  EXPECT_FALSE(sketch.Quantile(1.1).ok());
+}
+
+TEST(GkSketchTest, SingleValue) {
+  GkSketch sketch(0.01);
+  sketch.Insert(7.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0).value(), 7.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5).value(), 7.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0).value(), 7.0);
+}
+
+TEST(GkSketchTest, SmallExactStream) {
+  GkSketch sketch(0.01);
+  for (int i = 1; i <= 10; ++i) sketch.Insert(static_cast<double>(i));
+  EXPECT_EQ(sketch.count(), 10u);
+  EXPECT_NEAR(sketch.Quantile(0.0).value(), 1.0, 1.0);
+  EXPECT_NEAR(sketch.Quantile(0.5).value(), 5.5, 1.0);
+  EXPECT_NEAR(sketch.Quantile(1.0).value(), 10.0, 1.0);
+}
+
+TEST(GkSketchTest, RankErrorWithinBoundOnUniformStream) {
+  const double epsilon = 0.01;
+  const size_t n = 50000;
+  GkSketch sketch(epsilon);
+  Rng rng(7);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = rng.NextDouble();
+    values.push_back(v);
+    sketch.Insert(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double approx = sketch.Quantile(q).value();
+    // Empirical rank of the returned value.
+    auto it = std::lower_bound(values.begin(), values.end(), approx);
+    double rank = static_cast<double>(it - values.begin());
+    double target = q * static_cast<double>(n - 1);
+    EXPECT_NEAR(rank, target, 2.5 * epsilon * static_cast<double>(n))
+        << "q=" << q;
+  }
+}
+
+TEST(GkSketchTest, SpaceStaysSublinear) {
+  GkSketch sketch(0.01);
+  Rng rng(9);
+  for (size_t i = 0; i < 100000; ++i) sketch.Insert(rng.NextDouble());
+  // Exact storage would be 100k tuples; the sketch should be orders of
+  // magnitude smaller.
+  EXPECT_LT(sketch.tuples(), 4000u);
+}
+
+TEST(GkSketchTest, SortedAndReverseSortedStreams) {
+  for (bool reverse : {false, true}) {
+    GkSketch sketch(0.02);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      double v = reverse ? static_cast<double>(n - i) : static_cast<double>(i);
+      sketch.Insert(v);
+    }
+    double median = sketch.Quantile(0.5).value();
+    EXPECT_NEAR(median, n / 2.0, 0.05 * n) << "reverse=" << reverse;
+  }
+}
+
+TEST(GkSketchTest, DuplicateHeavyStream) {
+  GkSketch sketch(0.01);
+  for (int i = 0; i < 10000; ++i) sketch.Insert(0.5);
+  for (int i = 0; i < 100; ++i) sketch.Insert(0.9);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5).value(), 0.5);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.999).value(), 0.9);
+}
+
+TEST(EmdFromSketchesTest, MatchesExactSampleEmd) {
+  Rng rng(21);
+  GkSketch sa(0.005);
+  GkSketch sb(0.005);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30000; ++i) {
+    double va = rng.UniformDouble(0.0, 0.6);
+    double vb = rng.UniformDouble(0.4, 1.0);
+    a.push_back(va);
+    b.push_back(vb);
+    sa.Insert(va);
+    sb.Insert(vb);
+  }
+  double exact = EmdSamples1D(a, b).value();
+  double approx = EmdFromSketches(sa, sb).value();
+  EXPECT_NEAR(approx, exact, 0.01);
+}
+
+TEST(EmdFromSketchesTest, IdenticalStreamsNearZero) {
+  Rng rng(22);
+  GkSketch sa(0.01);
+  GkSketch sb(0.01);
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.NextDouble();
+    sa.Insert(v);
+    sb.Insert(v);
+  }
+  EXPECT_NEAR(EmdFromSketches(sa, sb).value(), 0.0, 0.02);
+}
+
+TEST(EmdFromSketchesTest, PointMassesExact) {
+  GkSketch sa(0.01);
+  GkSketch sb(0.01);
+  sa.Insert(0.2);
+  sb.Insert(0.7);
+  EXPECT_NEAR(EmdFromSketches(sa, sb).value(), 0.5, 1e-12);
+}
+
+TEST(EmdFromSketchesTest, FailureModes) {
+  GkSketch sa(0.01);
+  GkSketch sb(0.01);
+  sa.Insert(0.5);
+  EXPECT_FALSE(EmdFromSketches(sa, sb).ok());  // b empty.
+  sb.Insert(0.5);
+  EXPECT_FALSE(EmdFromSketches(sa, sb, 0).ok());  // Zero points.
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,97 @@
+#include "marketplace/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "marketplace/generator.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+Table Workers(size_t n = 100) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = 4;
+  return GenerateWorkers(options).value();
+}
+
+TEST(RankingTest, SortedDescending) {
+  Table workers = Workers();
+  RankingEngine engine(&workers);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  auto ranking = engine.Rank(*fn);
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_EQ(ranking->size(), workers.num_rows());
+  for (size_t i = 1; i < ranking->size(); ++i) {
+    EXPECT_GE((*ranking)[i - 1].score, (*ranking)[i].score);
+  }
+}
+
+TEST(RankingTest, CoversEveryRowOnce) {
+  Table workers = Workers();
+  RankingEngine engine(&workers);
+  auto ranking = engine.Rank(*MakeAlphaFunction("f1", 0.5)).value();
+  std::vector<bool> seen(workers.num_rows(), false);
+  for (const RankedWorker& r : ranking) {
+    EXPECT_FALSE(seen[r.row]);
+    seen[r.row] = true;
+  }
+}
+
+TEST(RankingTest, TopKClamps) {
+  Table workers = Workers(10);
+  RankingEngine engine(&workers);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  EXPECT_EQ(engine.TopK(*fn, 3).value().size(), 3u);
+  EXPECT_EQ(engine.TopK(*fn, 100).value().size(), 10u);
+}
+
+TEST(RankingTest, TopKIsPrefixOfFullRanking) {
+  Table workers = Workers();
+  RankingEngine engine(&workers);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  auto full = engine.Rank(*fn).value();
+  auto top = engine.TopK(*fn, 5).value();
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].row, full[i].row);
+  }
+}
+
+TEST(RankingTest, TiesBreakByRowIndex) {
+  // Constant scores: stable sort must keep row order.
+  auto schema = MakeToySchema();
+  ASSERT_TRUE(schema.ok());
+  Table table(*schema);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        table.AppendRow({std::string("Male"), std::string("English"), 0.5})
+            .ok());
+  }
+  RankingEngine engine(&table);
+  LinearScoringFunction fn("s", {{"Score", 1.0}});
+  auto ranking = engine.Rank(fn).value();
+  for (size_t i = 0; i < ranking.size(); ++i) EXPECT_EQ(ranking[i].row, i);
+}
+
+TEST(RankingTest, QueryInducedRanking) {
+  Table workers = Workers();
+  RankingEngine engine(&workers);
+  TaskQuery query;
+  query.description = "html gig";
+  query.weights = {{worker_attrs::kLanguageTest, 0.2},
+                   {worker_attrs::kApprovalRate, 0.8}};
+  auto ranking = engine.Rank(query);
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ(ranking->size(), workers.num_rows());
+}
+
+TEST(RankingTest, BadQueryPropagatesError) {
+  Table workers = Workers();
+  RankingEngine engine(&workers);
+  TaskQuery query;
+  query.weights = {{"Bogus", 1.0}};
+  EXPECT_FALSE(engine.Rank(query).ok());
+}
+
+}  // namespace
+}  // namespace fairrank

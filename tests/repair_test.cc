@@ -1,0 +1,178 @@
+#include "repair/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "fairness/auditor.h"
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+
+namespace fairrank {
+namespace {
+
+struct Audited {
+  Table table;
+  Partitioning partitioning;
+  std::vector<double> scores;
+};
+
+Audited AuditF6(size_t n = 400) {
+  GeneratorOptions gen;
+  gen.num_workers = n;
+  gen.seed = 10;
+  Table workers = GenerateWorkers(gen).value();
+  auto f6 = MakeF6(20);
+  std::vector<double> scores = f6->ScoreAll(workers).value();
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  AuditResult result = auditor.Audit(*f6, options).value();
+  return {std::move(workers), std::move(result.partitioning),
+          std::move(scores)};
+}
+
+TEST(QuantileRepairTest, DrivesUnfairnessToNearZero) {
+  Audited a = AuditF6();
+  auto repair = MakeQuantileRepair();
+  auto eval = EvaluateRepair(a.table, a.partitioning, a.scores, *repair,
+                             EvaluatorOptions());
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  EXPECT_GT(eval->unfairness_before, 0.7);  // f6 is extremely unfair.
+  EXPECT_LT(eval->unfairness_after, 0.05);
+  EXPECT_GT(eval->mean_score_change, 0.0);
+}
+
+TEST(QuantileRepairTest, PreservesWithinPartitionOrder) {
+  Audited a = AuditF6(200);
+  auto repaired =
+      MakeQuantileRepair()->Repair(a.table, a.partitioning, a.scores).value();
+  for (const Partition& p : a.partitioning) {
+    for (size_t i = 0; i < p.rows.size(); ++i) {
+      for (size_t j = i + 1; j < p.rows.size(); ++j) {
+        if (a.scores[p.rows[i]] < a.scores[p.rows[j]]) {
+          EXPECT_LE(repaired[p.rows[i]], repaired[p.rows[j]]);
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantileRepairTest, NoOpOnSinglePartition) {
+  Audited a = AuditF6(100);
+  Partitioning root{MakeRootPartition(a.table.num_rows())};
+  auto repaired =
+      MakeQuantileRepair()->Repair(a.table, root, a.scores).value();
+  // With one partition the within-partition quantile map is (approximately)
+  // the identity on the pooled distribution.
+  std::vector<double> sorted_original = a.scores;
+  std::vector<double> sorted_repaired = repaired;
+  std::sort(sorted_original.begin(), sorted_original.end());
+  std::sort(sorted_repaired.begin(), sorted_repaired.end());
+  for (size_t i = 0; i < sorted_original.size(); ++i) {
+    EXPECT_NEAR(sorted_original[i], sorted_repaired[i], 0.02);
+  }
+}
+
+TEST(InterpolationRepairTest, LambdaZeroIsIdentity) {
+  Audited a = AuditF6(150);
+  auto repaired = MakeInterpolationRepair(0.0)
+                      ->Repair(a.table, a.partitioning, a.scores)
+                      .value();
+  for (size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(repaired[i], a.scores[i]);
+  }
+}
+
+TEST(InterpolationRepairTest, LambdaOneEqualsQuantile) {
+  Audited a = AuditF6(150);
+  auto full = MakeQuantileRepair()
+                  ->Repair(a.table, a.partitioning, a.scores)
+                  .value();
+  auto interp = MakeInterpolationRepair(1.0)
+                    ->Repair(a.table, a.partitioning, a.scores)
+                    .value();
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(interp[i], full[i], 1e-12);
+  }
+}
+
+TEST(InterpolationRepairTest, UnfairnessMonotoneInLambda) {
+  Audited a = AuditF6();
+  double previous = 1e9;
+  for (double lambda : {0.0, 0.5, 1.0}) {
+    auto repair = MakeInterpolationRepair(lambda);
+    auto eval = EvaluateRepair(a.table, a.partitioning, a.scores, *repair,
+                               EvaluatorOptions());
+    ASSERT_TRUE(eval.ok());
+    EXPECT_LE(eval->unfairness_after, previous + 1e-9);
+    previous = eval->unfairness_after;
+  }
+}
+
+TEST(InterpolationRepairTest, BadLambdaFails) {
+  Audited a = AuditF6(50);
+  EXPECT_FALSE(MakeInterpolationRepair(-0.1)
+                   ->Repair(a.table, a.partitioning, a.scores)
+                   .ok());
+  EXPECT_FALSE(MakeInterpolationRepair(1.5)
+                   ->Repair(a.table, a.partitioning, a.scores)
+                   .ok());
+}
+
+TEST(AffineRepairTest, AlignsMeans) {
+  Audited a = AuditF6();
+  auto repaired =
+      MakeAffineRepair()->Repair(a.table, a.partitioning, a.scores).value();
+  double pooled_mean = 0.0;
+  for (double s : a.scores) pooled_mean += s;
+  pooled_mean /= static_cast<double>(a.scores.size());
+  for (const Partition& p : a.partitioning) {
+    double mean = 0.0;
+    for (size_t row : p.rows) mean += repaired[row];
+    mean /= static_cast<double>(p.rows.size());
+    EXPECT_NEAR(mean, pooled_mean, 0.06);  // Clamping perturbs slightly.
+  }
+}
+
+TEST(AffineRepairTest, RespectsClampBounds) {
+  Audited a = AuditF6();
+  auto repaired =
+      MakeAffineRepair(0.0, 1.0)->Repair(a.table, a.partitioning, a.scores)
+          .value();
+  for (double s : repaired) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(RepairTest, InvalidPartitioningFails) {
+  Audited a = AuditF6(50);
+  Partitioning bad;  // Empty: does not cover the table.
+  EXPECT_EQ(MakeQuantileRepair()
+                ->Repair(a.table, bad, a.scores)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RepairTest, ScoreSizeMismatchFails) {
+  Audited a = AuditF6(50);
+  std::vector<double> short_scores(10, 0.5);
+  EXPECT_FALSE(
+      MakeQuantileRepair()->Repair(a.table, a.partitioning, short_scores).ok());
+}
+
+TEST(EvaluateRepairTest, ReportsUtilityMetrics) {
+  Audited a = AuditF6();
+  auto eval = EvaluateRepair(a.table, a.partitioning, a.scores,
+                             *MakeQuantileRepair(), EvaluatorOptions());
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->repaired_scores.size(), a.scores.size());
+  EXPECT_GE(eval->rank_correlation, -1.0);
+  EXPECT_LE(eval->rank_correlation, 1.0);
+  // Quantile repair on f6 flips large parts of the global order; the
+  // correlation must still be defined and the change non-trivial.
+  EXPECT_GT(eval->mean_score_change, 0.1);
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,133 @@
+#include "fairness/report.h"
+
+#include <gtest/gtest.h>
+
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+
+namespace fairrank {
+namespace {
+
+AuditResult SampleResult() {
+  // Shared across tests; destroyed at process exit.
+  static Table& workers = []() -> Table& {
+    GeneratorOptions gen;
+    gen.num_workers = 120;
+    gen.seed = 2;
+    static Table table = GenerateWorkers(gen).value();
+    return table;
+  }();
+  FairnessAuditor auditor(&workers);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  return auditor.Audit(*MakeF6(8), options).value();
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"much-longer-name", "22"});
+  std::string out = table.ToString();
+  // Both rows end with the value aligned past the widest name.
+  EXPECT_NE(out.find("short             1"), std::string::npos);
+  EXPECT_NE(out.find("much-longer-name  22"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, NoHeaderNoRule) {
+  TextTable table;
+  table.AddRow({"a", "b"});
+  std::string out = table.ToString();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("a  b"), std::string::npos);
+}
+
+TEST(TextTableTest, RaggedRowsHandled) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  table.AddRow({"1", "2", "3"});
+  EXPECT_FALSE(table.ToString().empty());
+}
+
+TEST(FormatAuditReportTest, ContainsHeadlineFields) {
+  AuditResult result = SampleResult();
+  std::string report = FormatAuditReport(result);
+  EXPECT_NE(report.find("balanced"), std::string::npos);
+  EXPECT_NE(report.find("f6"), std::string::npos);
+  EXPECT_NE(report.find("unfairness"), std::string::npos);
+  EXPECT_NE(report.find("Gender=Male"), std::string::npos);
+  EXPECT_NE(report.find("Gender=Female"), std::string::npos);
+}
+
+TEST(FormatAuditReportTest, HistogramsOptIn) {
+  AuditResult result = SampleResult();
+  ReportOptions without;
+  ReportOptions with;
+  with.include_histograms = true;
+  EXPECT_EQ(FormatAuditReport(result, without).find("#"), std::string::npos);
+  EXPECT_NE(FormatAuditReport(result, with).find("#"), std::string::npos);
+}
+
+TEST(FormatAuditReportTest, MaxPartitionsTruncates) {
+  AuditResult result = SampleResult();
+  ReportOptions options;
+  options.max_partitions = 1;
+  std::string report = FormatAuditReport(result, options);
+  EXPECT_NE(report.find("1 more partitions"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(FormatAuditJsonTest, WellFormedShape) {
+  AuditResult result = SampleResult();
+  std::string json = FormatAuditJson(result);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"algorithm\":\"balanced\""), std::string::npos);
+  EXPECT_NE(json.find("\"unfairness\":"), std::string::npos);
+  EXPECT_NE(json.find("\"partitions\":["), std::string::npos);
+  EXPECT_NE(json.find("\"histogram\":["), std::string::npos);
+  // Balanced braces and brackets.
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(FormatAuditJsonTest, PartitionCountMatches) {
+  AuditResult result = SampleResult();
+  std::string json = FormatAuditJson(result);
+  size_t labels = 0;
+  size_t pos = 0;
+  while ((pos = json.find("\"label\":", pos)) != std::string::npos) {
+    ++labels;
+    pos += 8;
+  }
+  EXPECT_EQ(labels, result.partitions.size());
+}
+
+TEST(FormatAuditCsvRowTest, FieldOrder) {
+  AuditResult result = SampleResult();
+  std::string row = FormatAuditCsvRow(result);
+  EXPECT_EQ(row.find("balanced,"), 0u);
+  // algorithm,function,unfairness,seconds,partitions,attrs = 6 fields.
+  int commas = 0;
+  for (char c : row) commas += (c == ',') ? 1 : 0;
+  EXPECT_EQ(commas, 5);
+  EXPECT_NE(row.find("Gender"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairrank

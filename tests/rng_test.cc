@@ -1,0 +1,145 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.UniformInt(0, 1'000'000) != b.UniformInt(0, 1'000'000)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 40);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntHitsBothEndpoints) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.UniformInt(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, UniformDoubleRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(13);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.UniformIndex(5)];
+  for (int c : counts) EXPECT_GT(c, 800);  // ~1000 each.
+}
+
+TEST(RngTest, BernoulliApproximatesP) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(2.0, 0.5);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, WeightedIndexSingleElement) {
+  Rng rng(29);
+  EXPECT_EQ(rng.WeightedIndex({5.0}), 0u);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(31);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  rng.Shuffle(&items);
+  EXPECT_TRUE(std::is_permutation(items.begin(), items.end(),
+                                  original.begin()));
+}
+
+TEST(RngTest, ShuffleHandlesSmallInputs) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  // Child stream differs from the parent's continued stream.
+  int differences = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (parent.UniformInt(0, 1'000'000) != child.UniformInt(0, 1'000'000)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 15);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(43);
+  Rng b(43);
+  Rng ca = a.Fork();
+  Rng cb = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ca.UniformInt(0, 1000), cb.UniformInt(0, 1000));
+  }
+}
+
+}  // namespace
+}  // namespace fairrank

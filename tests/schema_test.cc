@@ -1,0 +1,74 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+Schema MakeTestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Categorical(
+                      "Gender", AttributeRole::kProtected, {"Male", "Female"}))
+                  .ok());
+  EXPECT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Integer(
+                      "Age", AttributeRole::kProtected, 18, 80, 5))
+                  .ok());
+  EXPECT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Real(
+                      "Rating", AttributeRole::kObserved, 0.0, 5.0, 10))
+                  .ok());
+  return schema;
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.num_attributes(), 3u);
+  EXPECT_EQ(schema.FindIndex("Gender").value(), 0u);
+  EXPECT_EQ(schema.FindIndex("Rating").value(), 2u);
+  EXPECT_EQ(schema.FindIndex("Nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(schema.attribute(1).name(), "Age");
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  Schema schema = MakeTestSchema();
+  Status st = schema.AddAttribute(AttributeSpec::Categorical(
+      "Gender", AttributeRole::kOther, {"x"}));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.num_attributes(), 3u);
+}
+
+TEST(SchemaTest, RejectsInvalidSpec) {
+  Schema schema;
+  Status st = schema.AddAttribute(
+      AttributeSpec::Categorical("Bad", AttributeRole::kOther, {}));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.num_attributes(), 0u);
+}
+
+TEST(SchemaTest, RoleIndexLists) {
+  Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.ProtectedIndices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(schema.ObservedIndices(), (std::vector<size_t>{2}));
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema schema;
+  EXPECT_EQ(schema.num_attributes(), 0u);
+  EXPECT_TRUE(schema.ProtectedIndices().empty());
+  EXPECT_TRUE(schema.ObservedIndices().empty());
+}
+
+TEST(SchemaTest, ToStringMentionsEveryAttribute) {
+  Schema schema = MakeTestSchema();
+  std::string s = schema.ToString();
+  EXPECT_NE(s.find("Gender"), std::string::npos);
+  EXPECT_NE(s.find("Age"), std::string::npos);
+  EXPECT_NE(s.find("Rating"), std::string::npos);
+  EXPECT_NE(s.find("protected"), std::string::npos);
+  EXPECT_NE(s.find("observed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairrank

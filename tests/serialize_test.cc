@@ -1,0 +1,150 @@
+#include "fairness/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "fairness/auditor.h"
+#include "fairness/splitter.h"
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+Table Workers(size_t n, uint64_t seed) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = seed;
+  return GenerateWorkers(options).value();
+}
+
+TEST(SerializeTest, RoundTripOnSameTable) {
+  Table workers = Workers(300, 3);
+  FairnessAuditor auditor(&workers);
+  auto f7 = MakeF7(5);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  AuditResult audit = auditor.Audit(*f7, options).value();
+
+  std::string text =
+      SerializePartitioning(workers.schema(), audit.partitioning);
+  auto applied = ApplyPartitioningSpec(workers, text);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ASSERT_EQ(applied->size(), audit.partitioning.size());
+  EXPECT_TRUE(IsValidPartitioning(*applied, workers.num_rows()));
+  // Same row sets (order of partitions preserved by the format).
+  for (size_t i = 0; i < applied->size(); ++i) {
+    EXPECT_EQ((*applied)[i].rows, audit.partitioning[i].rows);
+  }
+}
+
+TEST(SerializeTest, RootPartitioningRoundTrips) {
+  Table workers = Workers(20, 1);
+  Partitioning root{MakeRootPartition(workers.num_rows())};
+  std::string text = SerializePartitioning(workers.schema(), root);
+  EXPECT_NE(text.find("<all>"), std::string::npos);
+  auto applied = ApplyPartitioningSpec(workers, text);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->size(), 1u);
+  EXPECT_EQ((*applied)[0].size(), workers.num_rows());
+}
+
+TEST(SerializeTest, AppliesToLargerDataset) {
+  // Audit a 200-worker sample, apply the found structure to 2000 workers.
+  Table sample = Workers(200, 3);
+  FairnessAuditor auditor(&sample);
+  auto f6 = MakeF6(5);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  AuditResult audit = auditor.Audit(*f6, options).value();
+  std::string text = SerializePartitioning(sample.schema(), audit.partitioning);
+
+  Table full = Workers(2000, 99);
+  auto applied = ApplyPartitioningSpec(full, text);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_TRUE(IsValidPartitioning(*applied, full.num_rows()));
+  // f6's audit splits on gender: the applied partitioning must too.
+  EXPECT_EQ(applied->size(), 2u);
+}
+
+TEST(SerializeTest, MissingHeaderFails) {
+  Table workers = Workers(10, 1);
+  EXPECT_EQ(ApplyPartitioningSpec(workers, "partition: <all>\n")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, UnknownAttributeFails) {
+  Table workers = Workers(10, 1);
+  std::string text =
+      "# fairrank partitioning v1\npartition: Bogus=0\npartition: Bogus=1\n";
+  EXPECT_EQ(ApplyPartitioningSpec(workers, text).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, OutOfRangeGroupFails) {
+  Table workers = Workers(10, 1);
+  std::string text =
+      "# fairrank partitioning v1\npartition: Gender=5\npartition: Gender=0\n";
+  EXPECT_EQ(ApplyPartitioningSpec(workers, text).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, MalformedStepFails) {
+  Table workers = Workers(10, 1);
+  std::string text = "# fairrank partitioning v1\npartition: Gender\n";
+  EXPECT_FALSE(ApplyPartitioningSpec(workers, text).ok());
+}
+
+TEST(SerializeTest, NonExclusivePathsFail) {
+  Table workers = Workers(10, 1);
+  // <all> overlaps with every other path.
+  std::string text =
+      "# fairrank partitioning v1\npartition: <all>\npartition: Gender=0\n";
+  auto applied = ApplyPartitioningSpec(workers, text);
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(applied.status().message().find("mutually exclusive"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, UnmatchedRowErrorPolicy) {
+  Table workers = Workers(50, 1);
+  // Only one gender listed: the other gender's rows match nothing.
+  std::string text = "# fairrank partitioning v1\npartition: Gender=0\n";
+  EXPECT_EQ(ApplyPartitioningSpec(workers, text).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, CollectRestPolicyBucketsUnmatched) {
+  Table workers = Workers(50, 1);
+  std::string text = "# fairrank partitioning v1\npartition: Gender=0\n";
+  auto applied = ApplyPartitioningSpec(workers, text,
+                                       UnmatchedRowPolicy::kCollectRest);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->size(), 2u);
+  EXPECT_TRUE(IsValidPartitioning(*applied, workers.num_rows()));
+  EXPECT_TRUE((*applied)[1].path.empty());  // The rest bucket.
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  Table workers = Workers(50, 1);
+  std::string text =
+      "# fairrank partitioning v1\n"
+      "\n"
+      "# a comment\n"
+      "partition: Gender=0\n"
+      "partition: Gender=1\n";
+  auto applied = ApplyPartitioningSpec(workers, text);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->size(), 2u);
+}
+
+TEST(SerializeTest, EmptySpecFails) {
+  Table workers = Workers(10, 1);
+  EXPECT_FALSE(
+      ApplyPartitioningSpec(workers, "# fairrank partitioning v1\n").ok());
+}
+
+}  // namespace
+}  // namespace fairrank

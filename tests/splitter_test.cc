@@ -1,0 +1,119 @@
+#include "fairness/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include "marketplace/generator.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+TEST(SplitterTest, SplitsToyTableByGender) {
+  Table table = MakeToyTable().value();
+  Partition root = MakeRootPartition(table.num_rows());
+  size_t gender = table.schema().FindIndex("Gender").value();
+  auto children = SplitPartition(table, root, gender);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].size(), 6u);  // Males.
+  EXPECT_EQ(children[1].size(), 4u);  // Females.
+  EXPECT_EQ(children[0].path.size(), 1u);
+  EXPECT_EQ(children[0].path[0].attr_index, gender);
+  EXPECT_EQ(children[0].path[0].group_index, 0);
+}
+
+TEST(SplitterTest, ChildrenFormValidPartitioning) {
+  Table table = MakeToyTable().value();
+  Partition root = MakeRootPartition(table.num_rows());
+  size_t language = table.schema().FindIndex("Language").value();
+  auto children = SplitPartition(table, root, language);
+  Partitioning p(children.begin(), children.end());
+  EXPECT_TRUE(IsValidPartitioning(p, table.num_rows()));
+}
+
+TEST(SplitterTest, DropsEmptyGroups) {
+  // A table where nobody speaks "Other".
+  Schema schema = MakeToySchema().value();
+  Table table(schema);
+  ASSERT_TRUE(
+      table.AppendRow({std::string("Male"), std::string("English"), 0.5})
+          .ok());
+  ASSERT_TRUE(
+      table.AppendRow({std::string("Male"), std::string("Indian"), 0.5})
+          .ok());
+  size_t language = table.schema().FindIndex("Language").value();
+  auto children =
+      SplitPartition(table, MakeRootPartition(2), language);
+  EXPECT_EQ(children.size(), 2u);
+}
+
+TEST(SplitterTest, SingleValuePartitionYieldsOneChild) {
+  Schema schema = MakeToySchema().value();
+  Table table(schema);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        table.AppendRow({std::string("Female"), std::string("Other"), 0.1})
+            .ok());
+  }
+  size_t gender = table.schema().FindIndex("Gender").value();
+  auto children = SplitPartition(table, MakeRootPartition(3), gender);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0].size(), 3u);
+  EXPECT_EQ(children[0].path.size(), 1u);  // Path still extended.
+}
+
+TEST(SplitterTest, PreservesRowOrderWithinChildren) {
+  Table table = MakeToyTable().value();
+  size_t gender = table.schema().FindIndex("Gender").value();
+  auto children =
+      SplitPartition(table, MakeRootPartition(table.num_rows()), gender);
+  for (const Partition& child : children) {
+    for (size_t i = 1; i < child.rows.size(); ++i) {
+      EXPECT_LT(child.rows[i - 1], child.rows[i]);
+    }
+  }
+}
+
+TEST(SplitterTest, NestedSplitExtendsPath) {
+  Table table = MakeToyTable().value();
+  size_t gender = table.schema().FindIndex("Gender").value();
+  size_t language = table.schema().FindIndex("Language").value();
+  auto by_gender =
+      SplitPartition(table, MakeRootPartition(table.num_rows()), gender);
+  auto males_by_language = SplitPartition(table, by_gender[0], language);
+  ASSERT_EQ(males_by_language.size(), 3u);
+  for (const Partition& p : males_by_language) {
+    ASSERT_EQ(p.path.size(), 2u);
+    EXPECT_EQ(p.path[0].attr_index, gender);
+    EXPECT_EQ(p.path[1].attr_index, language);
+  }
+}
+
+TEST(SplitterTest, SplitAllSplitsEveryPartition) {
+  Table table = MakeToyTable().value();
+  size_t gender = table.schema().FindIndex("Gender").value();
+  size_t language = table.schema().FindIndex("Language").value();
+  Partitioning current{MakeRootPartition(table.num_rows())};
+  current = SplitAll(table, current, gender);
+  EXPECT_EQ(current.size(), 2u);
+  current = SplitAll(table, current, language);
+  // Males: 3 languages; females: 3 languages (one row each in E/I, two in O).
+  EXPECT_EQ(current.size(), 6u);
+  EXPECT_TRUE(IsValidPartitioning(current, table.num_rows()));
+}
+
+TEST(SplitterTest, NumericAttributeSplitsIntoBuckets) {
+  GeneratorOptions options;
+  options.num_workers = 300;
+  options.seed = 8;
+  Table workers = GenerateWorkers(options).value();
+  size_t yob =
+      workers.schema().FindIndex(worker_attrs::kYearOfBirth).value();
+  auto children = SplitPartition(
+      workers, MakeRootPartition(workers.num_rows()), yob);
+  EXPECT_EQ(children.size(), 5u);  // All buckets populated at n=300.
+  Partitioning p(children.begin(), children.end());
+  EXPECT_TRUE(IsValidPartitioning(p, workers.num_rows()));
+}
+
+}  // namespace
+}  // namespace fairrank

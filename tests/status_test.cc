@@ -1,0 +1,118 @@
+#include "common/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Internal("e"), StatusCode::kInternal, "Internal"},
+      {Status::Unimplemented("f"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+      {Status::IOError("g"), StatusCode::kIOError, "IOError"},
+      {Status::AlreadyExists("h"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::ResourceExhausted("i"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeToString(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so(7);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(so.value(), 7);
+  EXPECT_EQ(*so, 7);
+  EXPECT_EQ(so.value_or(0), 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so(Status::NotFound("nope"));
+  ASSERT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(so.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> so(std::make_unique<int>(5));
+  ASSERT_TRUE(so.ok());
+  std::unique_ptr<int> v = std::move(so).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> so(std::string("hello"));
+  EXPECT_EQ(so->size(), 5u);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UsesReturnNotOk(int x) {
+  FAIRRANK_RETURN_NOT_OK(ParsePositive(x).ok()
+                             ? Status::OK()
+                             : ParsePositive(x).status());
+  return Status::OK();
+}
+
+StatusOr<int> UsesAssignOrReturn(int x) {
+  FAIRRANK_ASSIGN_OR_RETURN(int a, ParsePositive(x));
+  FAIRRANK_ASSIGN_OR_RETURN(int b, ParsePositive(x + 1));
+  return a + b;
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(3).ok());
+  EXPECT_EQ(UsesReturnNotOk(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnTwiceInOneScope) {
+  StatusOr<int> good = UsesAssignOrReturn(2);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  EXPECT_FALSE(UsesAssignOrReturn(0).ok());
+}
+
+}  // namespace
+}  // namespace fairrank

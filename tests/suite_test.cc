@@ -1,0 +1,116 @@
+#include "fairness/suite.h"
+
+#include <gtest/gtest.h>
+
+#include "marketplace/biased_scoring.h"
+#include "marketplace/generator.h"
+#include "marketplace/scoring.h"
+
+namespace fairrank {
+namespace {
+
+Table Workers(size_t n = 150) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = 8;
+  return GenerateWorkers(options).value();
+}
+
+TEST(AuditSuiteTest, DefaultGridShape) {
+  Table workers = Workers();
+  AuditSuite suite(&workers);
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  auto f4 = MakeAlphaFunction("f4", 1.0);
+  auto result = suite.Run({f1.get(), f4.get()});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->algorithms, PaperAlgorithmNames());
+  EXPECT_EQ(result->functions.size(), 2u);
+  ASSERT_EQ(result->cells.size(), 5u);
+  for (const auto& row : result->cells) {
+    ASSERT_EQ(row.size(), 2u);
+    for (const SuiteCell& cell : row) {
+      EXPECT_GE(cell.unfairness, 0.0);
+      EXPECT_GE(cell.seconds, 0.0);
+      EXPECT_GE(cell.num_partitions, 1u);
+    }
+  }
+}
+
+TEST(AuditSuiteTest, CustomAlgorithms) {
+  Table workers = Workers();
+  AuditSuite suite(&workers);
+  auto f6 = MakeF6(3);
+  SuiteOptions options;
+  options.algorithms = {"balanced", "beam"};
+  auto result = suite.Run({f6.get()}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cells.size(), 2u);
+  EXPECT_EQ(result->cells[0][0].algorithm, "balanced");
+  EXPECT_EQ(result->cells[1][0].algorithm, "beam");
+}
+
+TEST(AuditSuiteTest, RestrictedAttributesFlowThrough) {
+  Table workers = Workers();
+  AuditSuite suite(&workers);
+  auto f7 = MakeF7(3);
+  SuiteOptions options;
+  options.algorithms = {"all-attributes"};
+  options.protected_attributes = {"Gender"};
+  auto result = suite.Run({f7.get()}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cells[0][0].num_partitions, 2u);
+}
+
+TEST(AuditSuiteTest, EmptyFunctionsFails) {
+  Table workers = Workers();
+  AuditSuite suite(&workers);
+  EXPECT_FALSE(suite.Run({}).ok());
+}
+
+TEST(AuditSuiteTest, NullFunctionFails) {
+  Table workers = Workers();
+  AuditSuite suite(&workers);
+  EXPECT_FALSE(suite.Run({nullptr}).ok());
+}
+
+TEST(AuditSuiteTest, UnknownAlgorithmFails) {
+  Table workers = Workers();
+  AuditSuite suite(&workers);
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  SuiteOptions options;
+  options.algorithms = {"bogus"};
+  EXPECT_EQ(suite.Run({f1.get()}, options).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AuditSuiteTest, FormattersRenderGrid) {
+  Table workers = Workers();
+  AuditSuite suite(&workers);
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  auto f6 = MakeF6(3);
+  SuiteOptions options;
+  options.algorithms = {"balanced", "unbalanced"};
+  SuiteResult result = suite.Run({f1.get(), f6.get()}, options).value();
+  std::string unfairness = FormatSuiteUnfairness(result);
+  EXPECT_NE(unfairness.find("balanced"), std::string::npos);
+  EXPECT_NE(unfairness.find("f6"), std::string::npos);
+  std::string runtime = FormatSuiteRuntime(result);
+  EXPECT_NE(runtime.find("Algorithm"), std::string::npos);
+  std::string csv = FormatSuiteCsv(result);
+  // Header + 4 cells.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(AuditSuiteTest, BiasedColumnDominatesRandomColumn) {
+  Table workers = Workers(300);
+  AuditSuite suite(&workers);
+  auto f1 = MakeAlphaFunction("f1", 0.5);
+  auto f6 = MakeF6(3);
+  SuiteOptions options;
+  options.algorithms = {"balanced"};
+  SuiteResult result = suite.Run({f1.get(), f6.get()}, options).value();
+  EXPECT_GT(result.cells[0][1].unfairness, result.cells[0][0].unfairness);
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,158 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+Schema MakeTestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Categorical(
+                      "Gender", AttributeRole::kProtected, {"Male", "Female"}))
+                  .ok());
+  EXPECT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Integer(
+                      "Age", AttributeRole::kProtected, 18, 80, 5))
+                  .ok());
+  EXPECT_TRUE(schema
+                  .AddAttribute(AttributeSpec::Real(
+                      "Rating", AttributeRole::kObserved, 0.0, 5.0, 10))
+                  .ok());
+  return schema;
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table table(MakeTestSchema());
+  ASSERT_TRUE(
+      table.AppendRow({std::string("Male"), int64_t{30}, 4.5}).ok());
+  ASSERT_TRUE(
+      table.AppendRow({std::string("Female"), int64_t{55}, 2.0}).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 3u);
+  EXPECT_EQ(table.column(0).CodeAt(0), 0);
+  EXPECT_EQ(table.column(0).CodeAt(1), 1);
+  EXPECT_EQ(table.column(1).IntAt(0), 30);
+  EXPECT_DOUBLE_EQ(table.column(2).RealAt(1), 2.0);
+}
+
+TEST(TableTest, CategoricalByCode) {
+  Table table(MakeTestSchema());
+  ASSERT_TRUE(table.AppendRow({int64_t{1}, int64_t{40}, 3.0}).ok());
+  EXPECT_EQ(table.column(0).CodeAt(0), 1);
+}
+
+TEST(TableTest, CategoricalCodeOutOfRange) {
+  Table table(MakeTestSchema());
+  Status st = table.AppendRow({int64_t{2}, int64_t{40}, 3.0});
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, UnknownCategoryFails) {
+  Table table(MakeTestSchema());
+  Status st = table.AppendRow({std::string("Robot"), int64_t{40}, 3.0});
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, WrongArityFails) {
+  Table table(MakeTestSchema());
+  Status st = table.AppendRow({std::string("Male"), int64_t{40}});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, FailedAppendLeavesTableUnchanged) {
+  Table table(MakeTestSchema());
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), int64_t{30}, 4.5}).ok());
+  // Third cell is a bad categorical for column 0 only after the first two
+  // columns would have been appended — conversion must be all-or-nothing.
+  Status st = table.AppendRow(
+      {std::string("Male"), int64_t{30}, std::string("junk")});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.column(0).size(), 1u);
+  EXPECT_EQ(table.column(1).size(), 1u);
+  EXPECT_EQ(table.column(2).size(), 1u);
+}
+
+TEST(TableTest, StringCellsParseToNumerics) {
+  Table table(MakeTestSchema());
+  ASSERT_TRUE(table
+                  .AppendRow({std::string("Female"), std::string("64"),
+                              std::string("1.25")})
+                  .ok());
+  EXPECT_EQ(table.column(1).IntAt(0), 64);
+  EXPECT_DOUBLE_EQ(table.column(2).RealAt(0), 1.25);
+}
+
+TEST(TableTest, IntCellAcceptedForRealColumn) {
+  Table table(MakeTestSchema());
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), int64_t{20}, int64_t{4}})
+                  .ok());
+  EXPECT_DOUBLE_EQ(table.column(2).RealAt(0), 4.0);
+}
+
+TEST(TableTest, RealCellRejectedForIntColumn) {
+  Table table(MakeTestSchema());
+  Status st = table.AppendRow({std::string("Male"), 20.5, 4.0});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, NonFiniteRealsRejected) {
+  Table table(MakeTestSchema());
+  EXPECT_EQ(table
+                .AppendRow({std::string("Male"), int64_t{30},
+                            std::numeric_limits<double>::quiet_NaN()})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(table
+                   .AppendRow({std::string("Male"), int64_t{30},
+                               std::numeric_limits<double>::infinity()})
+                   .ok());
+  EXPECT_FALSE(
+      table.AppendRow({std::string("Male"), int64_t{30}, std::string("nan")})
+          .ok());
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, GroupIndexUsesBuckets) {
+  Table table(MakeTestSchema());
+  // Age [18,80] with 5 buckets of width 12.4: 18->0, 30->0, 31->1, 80->4.
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), int64_t{18}, 0.0}).ok());
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), int64_t{30}, 0.0}).ok());
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), int64_t{31}, 0.0}).ok());
+  ASSERT_TRUE(table.AppendRow({std::string("Female"), int64_t{80}, 0.0}).ok());
+  EXPECT_EQ(table.GroupIndex(0, 1), 0);
+  EXPECT_EQ(table.GroupIndex(1, 1), 0);
+  EXPECT_EQ(table.GroupIndex(2, 1), 1);
+  EXPECT_EQ(table.GroupIndex(3, 1), 4);
+  EXPECT_EQ(table.GroupIndex(0, 0), 0);
+  EXPECT_EQ(table.GroupIndex(3, 0), 1);
+}
+
+TEST(TableTest, ValueAsDouble) {
+  Table table(MakeTestSchema());
+  ASSERT_TRUE(table.AppendRow({std::string("Female"), int64_t{44}, 3.5}).ok());
+  EXPECT_DOUBLE_EQ(table.ValueAsDouble(0, 0), 1.0);  // Category code.
+  EXPECT_DOUBLE_EQ(table.ValueAsDouble(0, 1), 44.0);
+  EXPECT_DOUBLE_EQ(table.ValueAsDouble(0, 2), 3.5);
+}
+
+TEST(TableTest, CellToString) {
+  Table table(MakeTestSchema());
+  ASSERT_TRUE(table.AppendRow({std::string("Female"), int64_t{44}, 3.5}).ok());
+  EXPECT_EQ(table.CellToString(0, 0), "Female");
+  EXPECT_EQ(table.CellToString(0, 1), "44");
+  EXPECT_EQ(table.CellToString(0, 2), "3.5000");
+}
+
+TEST(TableTest, ReserveDoesNotChangeContents) {
+  Table table(MakeTestSchema());
+  table.Reserve(100);
+  EXPECT_EQ(table.num_rows(), 0u);
+  ASSERT_TRUE(table.AppendRow({std::string("Male"), int64_t{20}, 1.0}).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,134 @@
+#include "marketplace/tasks.h"
+
+#include <gtest/gtest.h>
+
+#include "marketplace/generator.h"
+#include "marketplace/worker.h"
+
+namespace fairrank {
+namespace {
+
+Table Workers(size_t n = 300) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = 14;
+  return GenerateWorkers(options).value();
+}
+
+TEST(TaskCatalogTest, DefaultCatalogShape) {
+  TaskCatalog catalog = TaskCatalog::MakeDefaultCatalog();
+  EXPECT_EQ(catalog.num_categories(), 5u);
+  EXPECT_TRUE(catalog.FindCategory("web development").ok());
+  EXPECT_TRUE(catalog.FindCategory("general labor").ok());
+  EXPECT_EQ(catalog.FindCategory("bogus").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TaskCatalogTest, CategoryWeightsSumToOne) {
+  TaskCatalog catalog = TaskCatalog::MakeDefaultCatalog();
+  for (size_t c = 0; c < catalog.num_categories(); ++c) {
+    double total = 0.0;
+    for (const auto& [name, weight] : catalog.category(c).weights) {
+      total += weight;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << catalog.category(c).name;
+  }
+}
+
+TEST(TaskCatalogTest, AddCategoryValidation) {
+  TaskCatalog catalog;
+  TaskCategory empty_name;
+  empty_name.weights = {{worker_attrs::kLanguageTest, 1.0}};
+  EXPECT_EQ(catalog.AddCategory(empty_name).code(),
+            StatusCode::kInvalidArgument);
+
+  TaskCategory no_weights;
+  no_weights.name = "x";
+  EXPECT_EQ(catalog.AddCategory(no_weights).code(),
+            StatusCode::kInvalidArgument);
+
+  TaskCategory ok;
+  ok.name = "x";
+  ok.weights = {{worker_attrs::kLanguageTest, 1.0}};
+  EXPECT_TRUE(catalog.AddCategory(ok).ok());
+  EXPECT_EQ(catalog.AddCategory(ok).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TaskCatalogTest, QueryForInducesRanking) {
+  Table workers = Workers(100);
+  TaskCatalog catalog = TaskCatalog::MakeDefaultCatalog();
+  RankingEngine engine(&workers);
+  size_t writing = catalog.FindCategory("content writing").value();
+  auto ranking = engine.Rank(catalog.QueryFor(writing));
+  ASSERT_TRUE(ranking.ok());
+  EXPECT_EQ(ranking->size(), workers.num_rows());
+}
+
+TEST(TaskCatalogTest, GenerateTasksDeterministic) {
+  TaskCatalog catalog = TaskCatalog::MakeDefaultCatalog();
+  Rng rng1(5);
+  Rng rng2(5);
+  auto a = catalog.GenerateTasks(50, &rng1);
+  auto b = catalog.GenerateTasks(50, &rng2);
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].category_index, b[i].category_index);
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_LT(a[i].category_index, catalog.num_categories());
+    EXPECT_FALSE(a[i].description.empty());
+  }
+}
+
+TEST(TaskCatalogTest, GenerateTasksCoversCategories) {
+  TaskCatalog catalog = TaskCatalog::MakeDefaultCatalog();
+  Rng rng(9);
+  auto tasks = catalog.GenerateTasks(200, &rng);
+  std::set<size_t> seen;
+  for (const PostedTask& t : tasks) seen.insert(t.category_index);
+  EXPECT_EQ(seen.size(), catalog.num_categories());
+}
+
+TEST(AuditCatalogTest, SortedByUnfairnessAndComplete) {
+  Table workers = Workers(400);
+  TaskCatalog catalog = TaskCatalog::MakeDefaultCatalog();
+  AuditOptions options;
+  options.algorithm = "unbalanced";
+  auto rows = AuditCatalog(workers, catalog, options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), catalog.num_categories());
+  for (size_t i = 1; i < rows->size(); ++i) {
+    EXPECT_GE((*rows)[i - 1].unfairness, (*rows)[i].unfairness);
+  }
+  for (const CategoryAuditRow& row : *rows) {
+    EXPECT_GE(row.num_partitions, 1u);
+  }
+}
+
+TEST(AuditCatalogTest, ExtremeAlphasMostUnfair) {
+  // Single-attribute categories ("content writing" alpha 0.9, "general
+  // labor" alpha 0) should audit as least fair, mirroring the paper's
+  // f4/f5 observation. The most extreme category must out-rank the most
+  // balanced one.
+  Table workers = Workers(500);
+  TaskCatalog catalog = TaskCatalog::MakeDefaultCatalog();
+  AuditOptions options;
+  options.algorithm = "balanced";
+  auto rows = AuditCatalog(workers, catalog, options).value();
+  size_t support_position = 0;
+  size_t labor_position = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].category == "customer support") support_position = i;
+    if (rows[i].category == "general labor") labor_position = i;
+  }
+  EXPECT_LT(labor_position, support_position);
+}
+
+TEST(AuditCatalogTest, EmptyCatalogFails) {
+  Table workers = Workers(50);
+  TaskCatalog empty;
+  AuditOptions options;
+  EXPECT_FALSE(AuditCatalog(workers, empty, options).ok());
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,104 @@
+#include "stats/transportation.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+TEST(TransportationTest, TrivialSingleNode) {
+  auto plan = SolveTransportation({5}, {5}, {{2.0}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->total_cost, 10.0);
+  ASSERT_EQ(plan->shipments.size(), 1u);
+  EXPECT_EQ(plan->shipments[0].amount, 5);
+}
+
+TEST(TransportationTest, PrefersCheaperRoute) {
+  // Supply node 0 can ship to demand 0 (cost 1) or demand 1 (cost 10);
+  // supply node 1 the reverse. Optimal: diagonal of cost 1.
+  auto plan = SolveTransportation({3, 4}, {3, 4},
+                                  {{1.0, 10.0}, {10.0, 1.0}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->total_cost, 3.0 + 4.0);
+}
+
+TEST(TransportationTest, ForcedExpensiveRoute) {
+  // Demands force splitting a supply across both destinations.
+  auto plan = SolveTransportation({10}, {4, 6}, {{1.0, 2.0}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->total_cost, 4.0 * 1.0 + 6.0 * 2.0);
+  EXPECT_EQ(plan->shipments.size(), 2u);
+}
+
+TEST(TransportationTest, ClassicThreeByThree) {
+  // Known instance: optimal cost 7*2+3*4+6*3+5*1+5*4 would be suboptimal;
+  // verify against a hand-checked optimum.
+  std::vector<int64_t> supply = {20, 30, 25};
+  std::vector<int64_t> demand = {10, 35, 30};
+  std::vector<std::vector<double>> cost = {
+      {2.0, 3.0, 1.0}, {5.0, 4.0, 8.0}, {5.0, 6.0, 8.0}};
+  auto plan = SolveTransportation(supply, demand, cost);
+  ASSERT_TRUE(plan.ok());
+  // Optimum: s0->d2:20 (20), s1->d1:30 (120), s2->d0:10 (50), s2->d1:5 (30),
+  // s2->d2:10 (80) = 300.
+  EXPECT_DOUBLE_EQ(plan->total_cost, 300.0);
+}
+
+TEST(TransportationTest, ShipmentsSatisfyConstraints) {
+  std::vector<int64_t> supply = {7, 13, 5};
+  std::vector<int64_t> demand = {11, 6, 8};
+  std::vector<std::vector<double>> cost = {
+      {4.0, 1.0, 3.0}, {2.0, 9.0, 5.0}, {6.0, 2.0, 7.0}};
+  auto plan = SolveTransportation(supply, demand, cost);
+  ASSERT_TRUE(plan.ok());
+  std::vector<int64_t> shipped_from(3, 0);
+  std::vector<int64_t> shipped_to(3, 0);
+  double recomputed = 0.0;
+  for (const Shipment& s : plan->shipments) {
+    EXPECT_GT(s.amount, 0);
+    shipped_from[s.from] += s.amount;
+    shipped_to[s.to] += s.amount;
+    recomputed += static_cast<double>(s.amount) * cost[s.from][s.to];
+  }
+  EXPECT_EQ(shipped_from, supply);
+  EXPECT_EQ(shipped_to, demand);
+  EXPECT_DOUBLE_EQ(recomputed, plan->total_cost);
+}
+
+TEST(TransportationTest, ZeroSupplyNodesSkipped) {
+  auto plan = SolveTransportation({0, 5}, {5, 0}, {{1.0, 1.0}, {2.0, 2.0}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->total_cost, 10.0);
+}
+
+TEST(TransportationTest, UnbalancedFails) {
+  EXPECT_EQ(SolveTransportation({5}, {6}, {{1.0}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TransportationTest, NegativeSupplyFails) {
+  EXPECT_FALSE(SolveTransportation({-1, 6}, {5}, {{1.0}, {1.0}}).ok());
+}
+
+TEST(TransportationTest, NegativeCostFails) {
+  EXPECT_FALSE(SolveTransportation({5}, {5}, {{-1.0}}).ok());
+}
+
+TEST(TransportationTest, WrongMatrixShapeFails) {
+  EXPECT_FALSE(SolveTransportation({5, 5}, {10}, {{1.0}}).ok());
+  EXPECT_FALSE(SolveTransportation({5}, {2, 3}, {{1.0}}).ok());
+}
+
+TEST(TransportationTest, EmptyInputsFail) {
+  EXPECT_FALSE(SolveTransportation({}, {}, {}).ok());
+}
+
+TEST(TransportationTest, AllZeroInstance) {
+  auto plan = SolveTransportation({0}, {0}, {{3.0}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->total_cost, 0.0);
+  EXPECT_TRUE(plan->shipments.empty());
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -1,0 +1,92 @@
+#include "marketplace/worker.h"
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+TEST(PaperSchemaTest, HasPaperAttributes) {
+  auto schema = MakePaperWorkerSchema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attributes(), 8u);
+  EXPECT_EQ(schema->ProtectedIndices().size(), 6u);
+  EXPECT_EQ(schema->ObservedIndices().size(), 2u);
+  for (const char* name :
+       {worker_attrs::kGender, worker_attrs::kCountry,
+        worker_attrs::kYearOfBirth, worker_attrs::kLanguage,
+        worker_attrs::kEthnicity, worker_attrs::kYearsExperience,
+        worker_attrs::kLanguageTest, worker_attrs::kApprovalRate}) {
+    EXPECT_TRUE(schema->FindIndex(name).ok()) << name;
+  }
+}
+
+TEST(PaperSchemaTest, DomainsMatchPaper) {
+  auto schema = MakePaperWorkerSchema();
+  ASSERT_TRUE(schema.ok());
+  const AttributeSpec& gender =
+      schema->attribute(schema->FindIndex(worker_attrs::kGender).value());
+  EXPECT_EQ(gender.categories(),
+            (std::vector<std::string>{"Male", "Female"}));
+  const AttributeSpec& ethnicity =
+      schema->attribute(schema->FindIndex(worker_attrs::kEthnicity).value());
+  EXPECT_EQ(ethnicity.num_groups(), 4);
+  const AttributeSpec& yob =
+      schema->attribute(schema->FindIndex(worker_attrs::kYearOfBirth).value());
+  EXPECT_DOUBLE_EQ(yob.min(), 1950.0);
+  EXPECT_DOUBLE_EQ(yob.max(), 2009.0);
+  const AttributeSpec& lt =
+      schema->attribute(schema->FindIndex(worker_attrs::kLanguageTest).value());
+  EXPECT_TRUE(lt.is_observed());
+  EXPECT_DOUBLE_EQ(lt.min(), 25.0);
+  EXPECT_DOUBLE_EQ(lt.max(), 100.0);
+}
+
+TEST(PaperSchemaTest, NumericBucketsCapAttributeValues) {
+  auto schema = MakePaperWorkerSchema(5);
+  ASSERT_TRUE(schema.ok());
+  // Every protected attribute has at most 5 groups (the paper's cap).
+  for (size_t i : schema->ProtectedIndices()) {
+    EXPECT_LE(schema->attribute(i).num_groups(), 5) << i;
+  }
+}
+
+TEST(PaperSchemaTest, CustomBucketCount) {
+  auto schema = MakePaperWorkerSchema(3);
+  ASSERT_TRUE(schema.ok());
+  const AttributeSpec& yob =
+      schema->attribute(schema->FindIndex(worker_attrs::kYearOfBirth).value());
+  EXPECT_EQ(yob.num_groups(), 3);
+}
+
+TEST(ToySchemaTest, Shape) {
+  auto schema = MakeToySchema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->ProtectedIndices().size(), 2u);
+  EXPECT_EQ(schema->ObservedIndices().size(), 1u);
+}
+
+TEST(ToyTableTest, TenWorkers) {
+  auto table = MakeToyTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 10u);
+  // Six males, four females.
+  int males = 0;
+  for (size_t row = 0; row < table->num_rows(); ++row) {
+    if (table->CellToString(row, 0) == "Male") ++males;
+  }
+  EXPECT_EQ(males, 6);
+}
+
+TEST(ToyTableTest, FemaleScoresIdentical) {
+  auto table = MakeToyTable();
+  ASSERT_TRUE(table.ok());
+  size_t score_col = table->schema().FindIndex("Score").value();
+  for (size_t row = 0; row < table->num_rows(); ++row) {
+    if (table->CellToString(row, 0) == "Female") {
+      EXPECT_DOUBLE_EQ(table->column(score_col).RealAt(row), 0.42);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairrank
