@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bins.dir/ablation_bins.cc.o"
+  "CMakeFiles/ablation_bins.dir/ablation_bins.cc.o.d"
+  "ablation_bins"
+  "ablation_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

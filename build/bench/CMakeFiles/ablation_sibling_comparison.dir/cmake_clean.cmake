@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sibling_comparison.dir/ablation_sibling_comparison.cc.o"
+  "CMakeFiles/ablation_sibling_comparison.dir/ablation_sibling_comparison.cc.o.d"
+  "ablation_sibling_comparison"
+  "ablation_sibling_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sibling_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_blowup.dir/exhaustive_blowup.cc.o"
+  "CMakeFiles/exhaustive_blowup.dir/exhaustive_blowup.cc.o.d"
+  "exhaustive_blowup"
+  "exhaustive_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

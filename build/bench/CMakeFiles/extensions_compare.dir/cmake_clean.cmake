@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_compare.dir/extensions_compare.cc.o"
+  "CMakeFiles/extensions_compare.dir/extensions_compare.cc.o.d"
+  "extensions_compare"
+  "extensions_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

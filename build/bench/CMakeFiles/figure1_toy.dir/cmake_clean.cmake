@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_toy.dir/figure1_toy.cc.o"
+  "CMakeFiles/figure1_toy.dir/figure1_toy.cc.o.d"
+  "figure1_toy"
+  "figure1_toy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

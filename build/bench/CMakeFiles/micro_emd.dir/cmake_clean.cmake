@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_emd.dir/micro_emd.cc.o"
+  "CMakeFiles/micro_emd.dir/micro_emd.cc.o.d"
+  "micro_emd"
+  "micro_emd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_emd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

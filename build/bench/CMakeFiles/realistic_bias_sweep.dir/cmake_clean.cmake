@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realistic_bias_sweep.dir/realistic_bias_sweep.cc.o"
+  "CMakeFiles/realistic_bias_sweep.dir/realistic_bias_sweep.cc.o.d"
+  "realistic_bias_sweep"
+  "realistic_bias_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realistic_bias_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_sweep.dir/repair_sweep.cc.o"
+  "CMakeFiles/repair_sweep.dir/repair_sweep.cc.o.d"
+  "repair_sweep"
+  "repair_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

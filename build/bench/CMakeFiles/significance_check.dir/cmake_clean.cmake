@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/significance_check.dir/significance_check.cc.o"
+  "CMakeFiles/significance_check.dir/significance_check.cc.o.d"
+  "significance_check"
+  "significance_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/significance_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_500_workers.dir/table1_500_workers.cc.o"
+  "CMakeFiles/table1_500_workers.dir/table1_500_workers.cc.o.d"
+  "table1_500_workers"
+  "table1_500_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_500_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_7300_workers.dir/table2_7300_workers.cc.o"
+  "CMakeFiles/table2_7300_workers.dir/table2_7300_workers.cc.o.d"
+  "table2_7300_workers"
+  "table2_7300_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_7300_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_biased_functions.dir/table3_biased_functions.cc.o"
+  "CMakeFiles/table3_biased_functions.dir/table3_biased_functions.cc.o.d"
+  "table3_biased_functions"
+  "table3_biased_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_biased_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biased_functions.dir/biased_functions.cpp.o"
+  "CMakeFiles/biased_functions.dir/biased_functions.cpp.o.d"
+  "biased_functions"
+  "biased_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biased_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

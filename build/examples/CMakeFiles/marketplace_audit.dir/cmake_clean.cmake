@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_audit.dir/marketplace_audit.cpp.o"
+  "CMakeFiles/marketplace_audit.dir/marketplace_audit.cpp.o.d"
+  "marketplace_audit"
+  "marketplace_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_demo.dir/repair_demo.cpp.o"
+  "CMakeFiles/repair_demo.dir/repair_demo.cpp.o.d"
+  "repair_demo"
+  "repair_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

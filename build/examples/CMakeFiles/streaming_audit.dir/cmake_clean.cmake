@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_audit.dir/streaming_audit.cpp.o"
+  "CMakeFiles/streaming_audit.dir/streaming_audit.cpp.o.d"
+  "streaming_audit"
+  "streaming_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

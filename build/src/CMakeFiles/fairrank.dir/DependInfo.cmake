@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/fairrank.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/fairrank.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/common/parallel.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/fairrank.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/fairrank.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/fairrank.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/fairrank.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/common/str_util.cc.o.d"
+  "/root/repo/src/data/attribute.cc" "src/CMakeFiles/fairrank.dir/data/attribute.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/data/attribute.cc.o.d"
+  "/root/repo/src/data/column.cc" "src/CMakeFiles/fairrank.dir/data/column.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/data/column.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/fairrank.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/profile.cc" "src/CMakeFiles/fairrank.dir/data/profile.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/data/profile.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/fairrank.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/fairrank.dir/data/table.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/data/table.cc.o.d"
+  "/root/repo/src/fairness/agglomerative.cc" "src/CMakeFiles/fairrank.dir/fairness/agglomerative.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/agglomerative.cc.o.d"
+  "/root/repo/src/fairness/aggregate.cc" "src/CMakeFiles/fairrank.dir/fairness/aggregate.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/aggregate.cc.o.d"
+  "/root/repo/src/fairness/auditor.cc" "src/CMakeFiles/fairrank.dir/fairness/auditor.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/auditor.cc.o.d"
+  "/root/repo/src/fairness/balanced.cc" "src/CMakeFiles/fairrank.dir/fairness/balanced.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/balanced.cc.o.d"
+  "/root/repo/src/fairness/baselines.cc" "src/CMakeFiles/fairrank.dir/fairness/baselines.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/baselines.cc.o.d"
+  "/root/repo/src/fairness/beam.cc" "src/CMakeFiles/fairrank.dir/fairness/beam.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/beam.cc.o.d"
+  "/root/repo/src/fairness/evaluator.cc" "src/CMakeFiles/fairrank.dir/fairness/evaluator.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/evaluator.cc.o.d"
+  "/root/repo/src/fairness/exhaustive.cc" "src/CMakeFiles/fairrank.dir/fairness/exhaustive.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/exhaustive.cc.o.d"
+  "/root/repo/src/fairness/exposure.cc" "src/CMakeFiles/fairrank.dir/fairness/exposure.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/exposure.cc.o.d"
+  "/root/repo/src/fairness/partition.cc" "src/CMakeFiles/fairrank.dir/fairness/partition.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/partition.cc.o.d"
+  "/root/repo/src/fairness/registry.cc" "src/CMakeFiles/fairrank.dir/fairness/registry.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/registry.cc.o.d"
+  "/root/repo/src/fairness/report.cc" "src/CMakeFiles/fairrank.dir/fairness/report.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/report.cc.o.d"
+  "/root/repo/src/fairness/selector.cc" "src/CMakeFiles/fairrank.dir/fairness/selector.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/selector.cc.o.d"
+  "/root/repo/src/fairness/serialize.cc" "src/CMakeFiles/fairrank.dir/fairness/serialize.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/serialize.cc.o.d"
+  "/root/repo/src/fairness/significance.cc" "src/CMakeFiles/fairrank.dir/fairness/significance.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/significance.cc.o.d"
+  "/root/repo/src/fairness/splitter.cc" "src/CMakeFiles/fairrank.dir/fairness/splitter.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/splitter.cc.o.d"
+  "/root/repo/src/fairness/suite.cc" "src/CMakeFiles/fairrank.dir/fairness/suite.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/suite.cc.o.d"
+  "/root/repo/src/fairness/unbalanced.cc" "src/CMakeFiles/fairrank.dir/fairness/unbalanced.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/fairness/unbalanced.cc.o.d"
+  "/root/repo/src/marketplace/biased_scoring.cc" "src/CMakeFiles/fairrank.dir/marketplace/biased_scoring.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/marketplace/biased_scoring.cc.o.d"
+  "/root/repo/src/marketplace/generator.cc" "src/CMakeFiles/fairrank.dir/marketplace/generator.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/marketplace/generator.cc.o.d"
+  "/root/repo/src/marketplace/ranking.cc" "src/CMakeFiles/fairrank.dir/marketplace/ranking.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/marketplace/ranking.cc.o.d"
+  "/root/repo/src/marketplace/realistic.cc" "src/CMakeFiles/fairrank.dir/marketplace/realistic.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/marketplace/realistic.cc.o.d"
+  "/root/repo/src/marketplace/scoring.cc" "src/CMakeFiles/fairrank.dir/marketplace/scoring.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/marketplace/scoring.cc.o.d"
+  "/root/repo/src/marketplace/tasks.cc" "src/CMakeFiles/fairrank.dir/marketplace/tasks.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/marketplace/tasks.cc.o.d"
+  "/root/repo/src/marketplace/worker.cc" "src/CMakeFiles/fairrank.dir/marketplace/worker.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/marketplace/worker.cc.o.d"
+  "/root/repo/src/repair/repair.cc" "src/CMakeFiles/fairrank.dir/repair/repair.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/repair/repair.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/fairrank.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/divergence.cc" "src/CMakeFiles/fairrank.dir/stats/divergence.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/stats/divergence.cc.o.d"
+  "/root/repo/src/stats/emd.cc" "src/CMakeFiles/fairrank.dir/stats/emd.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/stats/emd.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/fairrank.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/quantile_sketch.cc" "src/CMakeFiles/fairrank.dir/stats/quantile_sketch.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/stats/quantile_sketch.cc.o.d"
+  "/root/repo/src/stats/transportation.cc" "src/CMakeFiles/fairrank.dir/stats/transportation.cc.o" "gcc" "src/CMakeFiles/fairrank.dir/stats/transportation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

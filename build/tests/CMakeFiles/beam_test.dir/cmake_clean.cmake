@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_test.dir/beam_test.cc.o"
+  "CMakeFiles/beam_test.dir/beam_test.cc.o.d"
+  "beam_test"
+  "beam_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

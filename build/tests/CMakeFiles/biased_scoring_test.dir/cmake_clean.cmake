@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biased_scoring_test.dir/biased_scoring_test.cc.o"
+  "CMakeFiles/biased_scoring_test.dir/biased_scoring_test.cc.o.d"
+  "biased_scoring_test"
+  "biased_scoring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biased_scoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emd_test.dir/emd_test.cc.o"
+  "CMakeFiles/emd_test.dir/emd_test.cc.o.d"
+  "emd_test"
+  "emd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exposure_test.dir/exposure_test.cc.o"
+  "CMakeFiles/exposure_test.dir/exposure_test.cc.o.d"
+  "exposure_test"
+  "exposure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exposure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantile_sketch_test.dir/quantile_sketch_test.cc.o"
+  "CMakeFiles/quantile_sketch_test.dir/quantile_sketch_test.cc.o.d"
+  "quantile_sketch_test"
+  "quantile_sketch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantile_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realistic_test.dir/realistic_test.cc.o"
+  "CMakeFiles/realistic_test.dir/realistic_test.cc.o.d"
+  "realistic_test"
+  "realistic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

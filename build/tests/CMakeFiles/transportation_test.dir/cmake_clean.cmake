@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transportation_test.dir/transportation_test.cc.o"
+  "CMakeFiles/transportation_test.dir/transportation_test.cc.o.d"
+  "transportation_test"
+  "transportation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transportation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairaudit.dir/fairaudit.cc.o"
+  "CMakeFiles/fairaudit.dir/fairaudit.cc.o.d"
+  "fairaudit"
+  "fairaudit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairaudit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
