@@ -51,12 +51,15 @@ int main() {
                                 all.begin() + static_cast<ptrdiff_t>(k));
       ExhaustiveOptions options;
       options.max_partitionings = 200'000;
+      options.fallback_to_beam = false;  // Time the raw enumeration only.
       auto algo = MakeExhaustiveAlgorithm(options);
       Stopwatch watch;
-      StatusOr<Partitioning> result = algo->Run(eval, attrs);
+      StatusOr<SearchResult> result =
+          algo->Run(eval, attrs, ExecutionContext::Unbounded());
       double seconds = watch.ElapsedSeconds();
-      if (result.ok()) {
-        double avg = eval.AveragePairwiseUnfairness(*result).value_or(0.0);
+      if (result.ok() && !result->truncated) {
+        double avg = eval.AveragePairwiseUnfairness(result->partitioning)
+                         .value_or(0.0);
         t.AddRow({std::to_string(k), "completed", FormatDouble(avg, 3),
                   FormatDouble(seconds, 3)});
       } else {

@@ -1,0 +1,140 @@
+#include "common/budget.h"
+
+#include "common/fault_injection.h"
+
+namespace fairrank {
+
+const char* ExhaustionReasonToString(ExhaustionReason reason) {
+  switch (reason) {
+    case ExhaustionReason::kNone:
+      return "none";
+    case ExhaustionReason::kDeadline:
+      return "deadline";
+    case ExhaustionReason::kCancelled:
+      return "cancelled";
+    case ExhaustionReason::kNodeBudget:
+      return "node-budget";
+    case ExhaustionReason::kMemoryBudget:
+      return "memory-budget";
+  }
+  return "none";
+}
+
+bool ResourceBudget::ChargeNodes(uint64_t n) {
+  uint64_t used = nodes_used_.fetch_add(n, std::memory_order_relaxed) + n;
+  return max_nodes_ == 0 || used <= max_nodes_;
+}
+
+bool ResourceBudget::ChargeMemoryBytes(uint64_t bytes) {
+  uint64_t used = memory_used_.fetch_add(bytes, std::memory_order_relaxed) +
+                  bytes;
+  if (memory_tripped_.load(std::memory_order_relaxed)) return false;
+  return max_memory_bytes_ == 0 || used <= max_memory_bytes_;
+}
+
+bool ResourceBudget::nodes_exhausted() const {
+  return max_nodes_ != 0 &&
+         nodes_used_.load(std::memory_order_relaxed) > max_nodes_;
+}
+
+bool ResourceBudget::memory_exhausted() const {
+  if (memory_tripped_.load(std::memory_order_relaxed)) return true;
+  return max_memory_bytes_ != 0 &&
+         memory_used_.load(std::memory_order_relaxed) > max_memory_bytes_;
+}
+
+const ExecutionContext& ExecutionContext::Unbounded() {
+  static const ExecutionContext* context = new ExecutionContext();
+  return *context;
+}
+
+ExhaustionReason ExecutionContext::Check() const {
+  if (deadline_.Expired()) return ExhaustionReason::kDeadline;
+  if (cancel_.cancel_requested()) return ExhaustionReason::kCancelled;
+  if (budget_ != nullptr) {
+    if (budget_->nodes_exhausted()) return ExhaustionReason::kNodeBudget;
+    if (budget_->memory_exhausted()) return ExhaustionReason::kMemoryBudget;
+  }
+  return ExhaustionReason::kNone;
+}
+
+ExhaustionReason ExecutionContext::CheckNodes(uint64_t n) const {
+  if (budget_ != nullptr && !budget_->ChargeNodes(n)) {
+    return ExhaustionReason::kNodeBudget;
+  }
+  return Check();
+}
+
+ExhaustionReason ExecutionContext::CheckMemory(uint64_t bytes) const {
+  if (fault::OnAllocCheckpoint()) {
+    if (budget_ != nullptr) budget_->TripMemory();
+    return ExhaustionReason::kMemoryBudget;
+  }
+  if (budget_ != nullptr && !budget_->ChargeMemoryBytes(bytes)) {
+    return ExhaustionReason::kMemoryBudget;
+  }
+  return Check();
+}
+
+bool ExecutionContext::IsUnbounded() const {
+  return deadline_.is_infinite() && !cancel_.cancel_requested() &&
+         budget_ == nullptr;
+}
+
+bool ExecutionLimits::unlimited() const {
+  return timeout_ms <= 0 && deadline.is_infinite() && max_nodes == 0 &&
+         max_memory_mb == 0 && !cancel.cancel_requested();
+}
+
+ResourceBudget ExecutionLimits::MakeBudget() const {
+  return ResourceBudget(max_nodes, max_memory_mb * (uint64_t{1} << 20));
+}
+
+ExecutionContext ExecutionLimits::MakeContext(ResourceBudget* budget) const {
+  Deadline effective = deadline;
+  if (effective.is_infinite() && timeout_ms > 0) {
+    effective = Deadline::AfterMillis(timeout_ms);
+  }
+  return ExecutionContext(effective, cancel, budget);
+}
+
+Status ExhaustionStatus(ExhaustionReason reason) {
+  switch (reason) {
+    case ExhaustionReason::kNone:
+      return Status::OK();
+    case ExhaustionReason::kDeadline:
+      return Status::DeadlineExceeded("deadline expired");
+    case ExhaustionReason::kCancelled:
+      return Status::Cancelled("cancellation requested");
+    case ExhaustionReason::kNodeBudget:
+      return Status::ResourceExhausted("node budget exhausted");
+    case ExhaustionReason::kMemoryBudget:
+      return Status::ResourceExhausted("memory budget exhausted");
+  }
+  return Status::OK();
+}
+
+bool IsExhaustion(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+ExhaustionReason ExhaustionReasonFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return ExhaustionReason::kDeadline;
+    case StatusCode::kCancelled:
+      return ExhaustionReason::kCancelled;
+    case StatusCode::kResourceExhausted:
+      // ExhaustionStatus encodes which budget in the message; default to the
+      // node budget for foreign ResourceExhausted statuses.
+      return status.message().find("memory") != std::string::npos
+                 ? ExhaustionReason::kMemoryBudget
+                 : ExhaustionReason::kNodeBudget;
+    default:
+      return ExhaustionReason::kNone;
+  }
+}
+
+}  // namespace fairrank

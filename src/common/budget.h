@@ -1,0 +1,166 @@
+#ifndef FAIRRANK_COMMON_BUDGET_H_
+#define FAIRRANK_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace fairrank {
+
+/// Why a bounded search stopped early. `kNone` means it ran to completion.
+enum class ExhaustionReason {
+  kNone = 0,
+  kDeadline,      ///< The monotonic deadline expired.
+  kCancelled,     ///< Cooperative cancellation was requested.
+  kNodeBudget,    ///< The node / EMD-evaluation budget ran out.
+  kMemoryBudget,  ///< The approximate-memory budget ran out.
+};
+
+/// Stable lower-case name ("none", "deadline", "cancelled", "node-budget",
+/// "memory-budget") used in reports and JSON output.
+const char* ExhaustionReasonToString(ExhaustionReason reason);
+
+/// Thread-safe counters of search work. Two axes:
+///
+///  - nodes: split / candidate-evaluation checkpoints, the unit the paper's
+///    intractable exhaustive search blows up in. Roughly one node per
+///    candidate partitioning whose unfairness is evaluated.
+///  - memory: approximate bytes of search state (materialized partitionings,
+///    distance matrices). Cumulative, not live — a cheap deterministic
+///    proxy, charged at allocation checkpoints, never released.
+///
+/// A limit of 0 means unlimited on that axis. Charging is allowed to
+/// overshoot by the final charge; exhaustion latches (once over, always
+/// over). Shared by every worker of one audit; all members are atomic.
+class ResourceBudget {
+ public:
+  /// Unlimited on both axes.
+  ResourceBudget() = default;
+
+  ResourceBudget(uint64_t max_nodes, uint64_t max_memory_bytes)
+      : max_nodes_(max_nodes), max_memory_bytes_(max_memory_bytes) {}
+
+  /// Charges `n` nodes. Returns false once the node budget is exhausted.
+  bool ChargeNodes(uint64_t n = 1);
+
+  /// Charges an approximate allocation. Returns false once the memory
+  /// budget is exhausted (or a fault-injected checkpoint failure latched
+  /// it via ExecutionContext::CheckMemory).
+  bool ChargeMemoryBytes(uint64_t bytes);
+
+  bool nodes_exhausted() const;
+  bool memory_exhausted() const;
+
+  /// Latches memory exhaustion without charging — the hook fault injection
+  /// uses to simulate a failed allocation.
+  void TripMemory() { memory_tripped_.store(true, std::memory_order_relaxed); }
+
+  uint64_t nodes_used() const {
+    return nodes_used_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_used_bytes() const {
+    return memory_used_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_nodes() const { return max_nodes_; }
+  uint64_t max_memory_bytes() const { return max_memory_bytes_; }
+
+ private:
+  uint64_t max_nodes_ = 0;         ///< 0 = unlimited.
+  uint64_t max_memory_bytes_ = 0;  ///< 0 = unlimited.
+  std::atomic<uint64_t> nodes_used_{0};
+  std::atomic<uint64_t> memory_used_{0};
+  std::atomic<bool> memory_tripped_{false};
+};
+
+/// Everything a search needs to bound its work: a deadline, a cancellation
+/// token, and an optional borrowed ResourceBudget. Value-type view, cheap to
+/// copy; the budget (if any) must outlive every context referring to it.
+///
+/// Algorithms call Check()/CheckNodes() at split and evaluation boundaries
+/// and CheckMemory() before materializing large search state, and degrade
+/// gracefully — return the best valid partitioning found so far, flagged
+/// truncated — when any check reports exhaustion.
+class ExecutionContext {
+ public:
+  /// Unbounded: infinite deadline, null token, no budget.
+  ExecutionContext() = default;
+
+  ExecutionContext(Deadline deadline, CancellationToken cancel,
+                   ResourceBudget* budget)
+      : deadline_(deadline), cancel_(std::move(cancel)), budget_(budget) {}
+
+  /// A shared unbounded context for convenience call sites.
+  static const ExecutionContext& Unbounded();
+
+  const Deadline& deadline() const { return deadline_; }
+  const CancellationToken& cancel() const { return cancel_; }
+  ResourceBudget* budget() const { return budget_; }
+
+  /// Deadline / cancellation / already-latched budget exhaustion, in that
+  /// priority order. Charges nothing.
+  ExhaustionReason Check() const;
+
+  /// Check() plus charging `n` nodes against the budget (if any).
+  ExhaustionReason CheckNodes(uint64_t n = 1) const;
+
+  /// Allocation checkpoint: Check() plus charging `bytes` of approximate
+  /// memory. Fault injection counts these checkpoints and can force the Nth
+  /// one to fail even without a budget (see common/fault_injection.h).
+  ExhaustionReason CheckMemory(uint64_t bytes) const;
+
+  /// True when no configured limit can ever fire.
+  bool IsUnbounded() const;
+
+  /// Same deadline and cancellation, no resource budget. Used for fallback
+  /// work (e.g. exhaustive falling back to beam once its node budget trips)
+  /// that must stay deadline-bounded but needs room to produce an answer.
+  ExecutionContext WithoutBudget() const {
+    return ExecutionContext(deadline_, cancel_, nullptr);
+  }
+
+ private:
+  Deadline deadline_;
+  CancellationToken cancel_;
+  ResourceBudget* budget_ = nullptr;
+};
+
+/// User-facing execution limits, the shape the CLI flags take. Inert by
+/// default. `deadline`, when finite, is used as-is (already ticking — lets a
+/// caller share one deadline across several audits); otherwise timeout_ms
+/// starts a fresh one when the context is made.
+struct ExecutionLimits {
+  int64_t timeout_ms = 0;      ///< <= 0: no deadline.
+  Deadline deadline;           ///< Pre-armed deadline; overrides timeout_ms.
+  uint64_t max_nodes = 0;      ///< 0: unlimited.
+  uint64_t max_memory_mb = 0;  ///< 0: unlimited.
+  CancellationToken cancel;    ///< Default token never cancels.
+
+  /// True when every limit is inert (no deadline, no budgets, null token).
+  bool unlimited() const;
+
+  /// Budget sized to max_nodes / max_memory_mb.
+  ResourceBudget MakeBudget() const;
+
+  /// Context over `budget` (may be null); arms the deadline now unless a
+  /// pre-armed one was supplied.
+  ExecutionContext MakeContext(ResourceBudget* budget) const;
+};
+
+/// The Status a bounded operation that cannot degrade gracefully returns for
+/// `reason`; OK for kNone.
+Status ExhaustionStatus(ExhaustionReason reason);
+
+/// True for statuses produced by ExhaustionStatus-style exhaustion
+/// (DeadlineExceeded, Cancelled, ResourceExhausted) — the signal for a
+/// caller holding partial results to degrade instead of failing.
+bool IsExhaustion(const Status& status);
+
+/// Inverse of ExhaustionStatus, for recording why a search truncated.
+/// kNone for OK or non-exhaustion statuses.
+ExhaustionReason ExhaustionReasonFromStatus(const Status& status);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_COMMON_BUDGET_H_

@@ -1,0 +1,17 @@
+#include "common/deadline.h"
+
+namespace fairrank {
+
+Deadline Deadline::AfterMillis(int64_t ms) {
+  return Deadline(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(ms));
+}
+
+Deadline Deadline::AfterSeconds(double seconds) {
+  return Deadline(
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds)));
+}
+
+}  // namespace fairrank

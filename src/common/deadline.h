@@ -1,0 +1,92 @@
+#ifndef FAIRRANK_COMMON_DEADLINE_H_
+#define FAIRRANK_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace fairrank {
+
+/// A monotonic-clock deadline. Value-semantic and cheap to copy; the default
+/// (and `Infinite()`) deadline never expires, so unlimited callers pay a
+/// single branch per check. Deadlines are anchored to std::chrono::
+/// steady_clock, so wall-clock adjustments cannot fire or starve them.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now; ms <= 0 is already expired.
+  static Deadline AfterMillis(int64_t ms);
+
+  /// Expires `seconds` seconds from now.
+  static Deadline AfterSeconds(double seconds);
+
+  bool is_infinite() const { return !finite_; }
+
+  bool Expired() const {
+    return finite_ && std::chrono::steady_clock::now() >= when_;
+  }
+
+  /// Seconds until expiry: +infinity for an infinite deadline, <= 0 once
+  /// expired.
+  double RemainingSeconds() const {
+    if (!finite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(when_ -
+                                         std::chrono::steady_clock::now())
+        .count();
+  }
+
+ private:
+  explicit Deadline(std::chrono::steady_clock::time_point when)
+      : finite_(true), when_(when) {}
+
+  bool finite_ = false;
+  std::chrono::steady_clock::time_point when_{};
+};
+
+/// Observer half of a cooperative cancellation pair. Default-constructed
+/// tokens are "null": never cancelled, and free to check. Copies share the
+/// underlying flag; checking is a relaxed atomic load, safe from any thread.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool cancel_requested() const {
+    return state_ != nullptr && state_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const std::atomic<bool>> state_;
+};
+
+/// Owner half: the party that may cancel. Hand out token() to workers;
+/// RequestCancellation() is sticky (there is no un-cancel) and may be called
+/// from any thread, including a signal-adjacent watchdog.
+class CancellationSource {
+ public:
+  CancellationSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void RequestCancellation() { state_->store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return state_->load(std::memory_order_relaxed);
+  }
+
+  CancellationToken token() const { return CancellationToken(state_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_COMMON_DEADLINE_H_

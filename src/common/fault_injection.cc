@@ -1,0 +1,95 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace fairrank {
+namespace fault {
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<uint64_t> g_alloc_count{0};
+std::mutex g_plan_mutex;
+FaultPlan g_plan;  // Guarded by g_plan_mutex.
+std::once_flag g_env_once;
+
+bool EnvInt(const char* name, int64_t* out) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  *out = std::strtoll(value, nullptr, 10);
+  return true;
+}
+
+void LoadEnvOnce() {
+  std::call_once(g_env_once, [] {
+    FaultPlan plan;
+    bool any = false;
+    any |= EnvInt("FAIRRANK_FAULT_ALLOC_N", &plan.fail_alloc_checkpoint);
+    any |= EnvInt("FAIRRANK_FAULT_PARALLEL_CHUNK", &plan.throw_in_chunk);
+    any |= EnvInt("FAIRRANK_FAULT_STALL_CHUNK", &plan.stall_chunk);
+    EnvInt("FAIRRANK_FAULT_STALL_MS", &plan.stall_ms);
+    if (any) Arm(plan);
+  });
+}
+
+FaultPlan CurrentPlan() {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  return g_plan;
+}
+
+}  // namespace
+
+void Arm(const FaultPlan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    g_plan = plan;
+  }
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void Disarm() { g_armed.store(false, std::memory_order_relaxed); }
+
+bool armed() {
+  LoadEnvOnce();
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+uint64_t alloc_checkpoints_hit() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool OnAllocCheckpoint() {
+  if (!armed()) return false;
+  uint64_t n = g_alloc_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  FaultPlan plan = CurrentPlan();
+  return plan.fail_alloc_checkpoint > 0 &&
+         n == static_cast<uint64_t>(plan.fail_alloc_checkpoint);
+}
+
+void OnParallelChunk(size_t chunk_index, const CancellationToken& cancel) {
+  if (!armed()) return;
+  FaultPlan plan = CurrentPlan();
+  if (plan.stall_chunk >= 0 &&
+      chunk_index == static_cast<size_t>(plan.stall_chunk)) {
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(plan.stall_ms);
+    while (std::chrono::steady_clock::now() < until &&
+           !cancel.cancel_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  if (plan.throw_in_chunk >= 0 &&
+      chunk_index == static_cast<size_t>(plan.throw_in_chunk)) {
+    throw std::runtime_error("fault injection: worker exception in chunk " +
+                             std::to_string(chunk_index));
+  }
+}
+
+}  // namespace fault
+}  // namespace fairrank

@@ -1,8 +1,12 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <thread>
 #include <vector>
+
+#include "common/fault_injection.h"
 
 namespace fairrank {
 
@@ -11,28 +15,90 @@ int HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-void ParallelFor(size_t n, int num_threads,
-                 const std::function<void(size_t, size_t)>& body) {
-  if (n == 0) return;
-  // Not worth spawning threads for tiny ranges.
-  const size_t kMinPerThread = 64;
+namespace {
+
+// Not worth spawning threads for tiny ranges.
+constexpr size_t kMinPerThread = 64;
+// Stop-check granularity of the cancellable variant: small enough that a
+// cancelled audit stops within microseconds of real work, large enough that
+// the deadline clock read is amortized away.
+constexpr size_t kStopCheckBlock = 1024;
+
+/// Runs one chunk, optionally in stop-checked blocks. Returns false when
+/// stopped early. May throw (body or injected fault).
+bool RunChunk(size_t chunk_index, size_t begin, size_t end, bool stoppable,
+              const CancellationToken& cancel, const Deadline& deadline,
+              const std::function<void(size_t, size_t)>& body) {
+  fault::OnParallelChunk(chunk_index, cancel);
+  if (!stoppable) {
+    body(begin, end);
+    return true;
+  }
+  for (size_t b = begin; b < end; b += kStopCheckBlock) {
+    if (cancel.cancel_requested() || deadline.Expired()) return false;
+    body(b, std::min(end, b + kStopCheckBlock));
+  }
+  return true;
+}
+
+/// Shared driver. Joins every worker before returning or rethrowing; the
+/// first captured exception (by chunk index) wins.
+bool Run(size_t n, int num_threads, bool stoppable,
+         const CancellationToken& cancel, const Deadline& deadline,
+         const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return true;
   size_t usable = std::min<size_t>(static_cast<size_t>(std::max(num_threads, 1)),
                                    (n + kMinPerThread - 1) / kMinPerThread);
   if (usable <= 1) {
-    body(0, n);
-    return;
+    return RunChunk(0, 0, n, stoppable, cancel, deadline, body);
   }
   std::vector<std::thread> workers;
   workers.reserve(usable - 1);
+  std::vector<std::exception_ptr> errors(usable);
+  std::atomic<bool> complete{true};
   size_t chunk = (n + usable - 1) / usable;
   for (size_t t = 1; t < usable; ++t) {
     size_t begin = t * chunk;
     size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    workers.emplace_back([&body, begin, end]() { body(begin, end); });
+    workers.emplace_back([&, t, begin, end]() {
+      try {
+        if (!RunChunk(t, begin, end, stoppable, cancel, deadline, body)) {
+          complete.store(false, std::memory_order_relaxed);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
   }
-  body(0, std::min(n, chunk));
+  try {
+    if (!RunChunk(0, 0, std::min(n, chunk), stoppable, cancel, deadline,
+                  body)) {
+      complete.store(false, std::memory_order_relaxed);
+    }
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
   for (std::thread& w : workers) w.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return complete.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t)>& body) {
+  Run(n, num_threads, /*stoppable=*/false, CancellationToken(),
+      Deadline::Infinite(), body);
+}
+
+bool ParallelForCancellable(size_t n, int num_threads,
+                            const CancellationToken& cancel,
+                            const Deadline& deadline,
+                            const std::function<void(size_t, size_t)>& body) {
+  return Run(n, num_threads, /*stoppable=*/true, cancel, deadline, body);
 }
 
 }  // namespace fairrank

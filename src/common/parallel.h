@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/deadline.h"
+
 namespace fairrank {
 
 /// Runs `body(begin, end)` over a partition of [0, n) across up to
@@ -11,9 +13,25 @@ namespace fairrank {
 /// With num_threads <= 1 or tiny n the body runs inline — callers never
 /// need a special single-threaded path.
 ///
+/// Exception safety: every worker is joined even if bodies throw; the first
+/// exception (by chunk index, deterministic) is rethrown on the calling
+/// thread. Callers that must not leak exceptions across a Status-based API
+/// wrap the call in try/catch.
+///
 /// `body` must be safe to call concurrently on disjoint ranges.
 void ParallelFor(size_t n, int num_threads,
                  const std::function<void(size_t, size_t)>& body);
+
+/// Cancellable ParallelFor: each worker processes its chunk in small blocks
+/// and stops between blocks once `cancel` is requested or `deadline`
+/// expires, so a cancelled audit actually stops its workers instead of
+/// finishing the full range. Returns true if the whole range was processed,
+/// false on an early stop (an unspecified tail of each chunk unprocessed —
+/// partial results must be discarded). Exception behavior as ParallelFor.
+bool ParallelForCancellable(size_t n, int num_threads,
+                            const CancellationToken& cancel,
+                            const Deadline& deadline,
+                            const std::function<void(size_t, size_t)>& body);
 
 /// Number of hardware threads, at least 1.
 int HardwareThreads();

@@ -8,12 +8,18 @@
 namespace fairrank {
 
 StatusOr<std::vector<std::string>> ParseCsvRecord(const std::string& line,
-                                                  char delimiter) {
+                                                  char delimiter,
+                                                  size_t max_field_bytes) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
   size_t i = 0;
   while (i < line.size()) {
+    if (max_field_bytes != 0 && current.size() > max_field_bytes) {
+      return Status::ResourceExhausted(
+          "CSV field exceeds max_field_bytes = " +
+          std::to_string(max_field_bytes));
+    }
     char c = line[i];
     if (in_quotes) {
       if (c == '"') {
@@ -55,9 +61,26 @@ StatusOr<std::vector<std::string>> ParseCsvRecord(const std::string& line,
   if (in_quotes) {
     return Status::InvalidArgument("unterminated quoted field: " + line);
   }
+  if (max_field_bytes != 0 && current.size() > max_field_bytes) {
+    return Status::ResourceExhausted("CSV field exceeds max_field_bytes = " +
+                                     std::to_string(max_field_bytes));
+  }
   fields.push_back(std::move(current));
   return fields;
 }
+
+namespace {
+
+/// Strips a UTF-8 byte-order mark, which some spreadsheet exports prepend;
+/// left in place it would corrupt the first header name.
+void StripUtf8Bom(std::string* line) {
+  if (line->size() >= 3 && (*line)[0] == '\xEF' && (*line)[1] == '\xBB' &&
+      (*line)[2] == '\xBF') {
+    line->erase(0, 3);
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -91,13 +114,22 @@ StatusOr<Table> ReadCsv(std::istream& in, const Schema& schema,
   std::vector<size_t> column_of_attr(schema.num_attributes());
   bool mapped = false;
 
+  // Expected field count of every data row (ragged-row check): the header's
+  // width, or the first data row's width when there is no header.
+  size_t expected_fields = 0;
+  bool width_known = false;
+
   if (options.has_header) {
     if (!std::getline(in, line)) {
       return Status::InvalidArgument("CSV stream empty: missing header");
     }
     ++line_number;
-    FAIRRANK_ASSIGN_OR_RETURN(std::vector<std::string> header,
-                              ParseCsvRecord(line, options.delimiter));
+    StripUtf8Bom(&line);
+    FAIRRANK_ASSIGN_OR_RETURN(
+        std::vector<std::string> header,
+        ParseCsvRecord(line, options.delimiter, options.max_field_bytes));
+    expected_fields = header.size();
+    width_known = true;
     for (size_t a = 0; a < schema.num_attributes(); ++a) {
       const std::string& want = schema.attribute(a).name();
       bool found = false;
@@ -120,11 +152,30 @@ StatusOr<Table> ReadCsv(std::istream& in, const Schema& schema,
   }
   (void)mapped;
 
+  bool first_data_line = true;
   while (std::getline(in, line)) {
     ++line_number;
     if (options.skip_blank_lines && Trim(line).empty()) continue;
-    FAIRRANK_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                              ParseCsvRecord(line, options.delimiter));
+    if (first_data_line) {
+      if (!options.has_header) StripUtf8Bom(&line);
+      first_data_line = false;
+    }
+    FAIRRANK_ASSIGN_OR_RETURN(
+        std::vector<std::string> fields,
+        ParseCsvRecord(line, options.delimiter, options.max_field_bytes));
+    if (!width_known) {
+      expected_fields = fields.size();
+      width_known = true;
+    } else if (fields.size() != expected_fields) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": ragged row with " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(expected_fields));
+    }
+    if (options.max_rows != 0 && table.num_rows() >= options.max_rows) {
+      return Status::ResourceExhausted(
+          "CSV exceeds max_rows = " + std::to_string(options.max_rows));
+    }
     std::vector<Cell> cells;
     cells.reserve(schema.num_attributes());
     for (size_t a = 0; a < schema.num_attributes(); ++a) {

@@ -20,16 +20,32 @@ struct CsvOptions {
   bool has_header = true;
   /// Skip blank lines instead of failing on them.
   bool skip_blank_lines = true;
+  /// Maximum number of data rows to accept; 0 = unlimited. Exceeding it
+  /// fails with ResourceExhausted — a guard against unbounded memory when
+  /// reading untrusted or accidentally huge files.
+  size_t max_rows = 0;
+  /// Maximum bytes in a single parsed field; 0 = unlimited. Exceeding it
+  /// fails with ResourceExhausted (e.g. an unterminated quote swallowing
+  /// the rest of a large line).
+  size_t max_field_bytes = 0;
 };
 
 /// Parses one CSV record with RFC 4180 quoting (quoted fields may contain the
-/// delimiter; doubled quotes escape a quote). Exposed for testing.
+/// delimiter; doubled quotes escape a quote). Fields longer than
+/// `max_field_bytes` (0 = unlimited) fail with ResourceExhausted. Exposed
+/// for testing.
 StatusOr<std::vector<std::string>> ParseCsvRecord(const std::string& line,
-                                                  char delimiter);
+                                                  char delimiter,
+                                                  size_t max_field_bytes = 0);
 
 /// Reads a table from a CSV stream against `schema`. With a header, schema
 /// attributes are matched by column name; without one, the first
 /// schema.num_attributes() columns are used positionally.
+///
+/// Hardening: a UTF-8 byte-order mark on the first line is stripped; every
+/// data row must have exactly as many fields as the header (first data row
+/// when there is no header) — ragged rows fail with InvalidArgument rather
+/// than silently truncating or misaligning columns.
 StatusOr<Table> ReadCsv(std::istream& in, const Schema& schema,
                         const CsvOptions& options = CsvOptions());
 

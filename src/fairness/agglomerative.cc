@@ -13,15 +13,39 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
  public:
   std::string Name() const override { return "merge"; }
 
-  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
-                             std::vector<size_t> attrs) override {
-    // Start from the full partitioning.
+  using PartitioningAlgorithm::Run;
+
+  StatusOr<SearchResult> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs,
+                             const ExecutionContext& context) override {
+    SearchResult result;
+    // Start from the full partitioning. Each split level is one node; a trip
+    // here degrades to the partial split reached so far (still valid).
     Partitioning current{MakeRootPartition(eval.table().num_rows())};
     for (size_t attr : attrs) {
+      ExhaustionReason why = context.CheckNodes(1);
+      if (why != ExhaustionReason::kNone) {
+        result.partitioning = std::move(current);
+        return TruncatedResult(std::move(result), why);
+      }
+      ++result.nodes_visited;
       current = SplitAll(eval.table(), current, attr);
     }
     const size_t k = current.size();
-    if (k < 3) return current;  // Nothing to merge (k=2 merging gives k=1).
+    if (k < 3) {  // Nothing to merge (k=2 merging gives k=1).
+      result.partitioning = std::move(current);
+      return result;
+    }
+
+    // The k x k distance matrix is the algorithm's big allocation — an
+    // allocation checkpoint guards it; on a trip the full partitioning is
+    // returned without a merge trajectory.
+    ExhaustionReason why =
+        context.CheckMemory(k * k * sizeof(double) + k * sizeof(Histogram));
+    if (why != ExhaustionReason::kNone) {
+      result.partitioning = std::move(current);
+      return TruncatedResult(std::move(result), why);
+    }
 
     // Histograms and the pairwise distance matrix. `alive[i]` marks live
     // clusters; merged clusters are tombstoned instead of erased so the
@@ -33,11 +57,22 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
     std::vector<std::vector<double>> dist(k, std::vector<double>(k, 0.0));
     double sum = 0.0;  // Sum of pairwise distances over live pairs.
     for (size_t i = 0; i < k; ++i) {
+      // One matrix row = k-i-1 distance evaluations; a trip mid-build
+      // degrades to the full partitioning (no usable trajectory yet).
+      why = context.CheckNodes(k - i - 1);
+      if (why != ExhaustionReason::kNone) {
+        result.partitioning = std::move(current);
+        return TruncatedResult(std::move(result), why);
+      }
+      result.nodes_visited += k - i - 1;
       for (size_t j = i + 1; j < k; ++j) {
-        FAIRRANK_ASSIGN_OR_RETURN(
-            double d, eval.divergence().Distance(hists[i], hists[j]));
-        dist[i][j] = dist[j][i] = d;
-        sum += d;
+        StatusOr<double> d = eval.divergence().Distance(hists[i], hists[j]);
+        if (!d.ok()) {
+          result.partitioning = std::move(current);
+          return DegradeOnExhaustion(std::move(result), d.status());
+        }
+        dist[i][j] = dist[j][i] = *d;
+        sum += *d;
       }
     }
     size_t live = k;
@@ -53,6 +88,15 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
     double best_avg = current_avg;
 
     while (live > 2) {
+      // A merge iteration re-evaluates up to `live` distances against the
+      // combined cluster; a trip returns the best snapshot so far.
+      why = context.CheckNodes(live);
+      if (why != ExhaustionReason::kNone) {
+        result.partitioning = std::move(best);
+        return TruncatedResult(std::move(result), why);
+      }
+      result.nodes_visited += live;
+
       // Merge the closest live pair (classic agglomerative step; with ties
       // broken toward the smallest indices for determinism).
       size_t best_i = 0;
@@ -78,12 +122,15 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
       double new_sum = sum - best_d;
       for (size_t m = 0; m < k; ++m) {
         if (!alive[m] || m == best_i || m == best_j) continue;
-        FAIRRANK_ASSIGN_OR_RETURN(
-            double d, eval.divergence().Distance(combined, hists[m]));
+        StatusOr<double> d = eval.divergence().Distance(combined, hists[m]);
+        if (!d.ok()) {
+          result.partitioning = std::move(best);
+          return DegradeOnExhaustion(std::move(result), d.status());
+        }
         new_sum -= dist[best_i][m];
         new_sum -= dist[best_j][m];
-        new_sum += d;
-        dist[best_i][m] = dist[m][best_i] = d;
+        new_sum += *d;
+        dist[best_i][m] = dist[m][best_i] = *d;
       }
 
       // Commit: best_i absorbs best_j.
@@ -113,7 +160,8 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
         best = Snapshot(current, alive);
       }
     }
-    return best;
+    result.partitioning = std::move(best);
+    return result;
   }
 
  private:

@@ -1,0 +1,28 @@
+#include "fairness/algorithm.h"
+
+namespace fairrank {
+
+StatusOr<Partitioning> PartitioningAlgorithm::Run(
+    const UnfairnessEvaluator& eval, std::vector<size_t> attrs) {
+  FAIRRANK_ASSIGN_OR_RETURN(
+      SearchResult result,
+      Run(eval, std::move(attrs), ExecutionContext::Unbounded()));
+  return std::move(result.partitioning);
+}
+
+SearchResult TruncatedResult(SearchResult result, ExhaustionReason reason) {
+  if (reason != ExhaustionReason::kNone) {
+    result.truncated = true;
+    result.reason = reason;
+  }
+  return result;
+}
+
+StatusOr<SearchResult> DegradeOnExhaustion(SearchResult result,
+                                           const Status& status) {
+  if (!IsExhaustion(status)) return status;
+  return TruncatedResult(std::move(result),
+                         ExhaustionReasonFromStatus(status));
+}
+
+}  // namespace fairrank

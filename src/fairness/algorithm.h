@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "fairness/evaluator.h"
@@ -47,8 +48,27 @@ std::unique_ptr<AttributeSelector> MakeWorstAttributeSelector();
 /// seed.
 std::unique_ptr<AttributeSelector> MakeRandomAttributeSelector(uint64_t seed);
 
+/// Outcome of a bounded partition search. Always carries a valid full
+/// disjoint partitioning; `truncated` marks a best-effort answer produced
+/// under deadline, cancellation, or budget exhaustion rather than a
+/// completed search.
+struct SearchResult {
+  Partitioning partitioning;
+  /// True when the search stopped early and returned its best-so-far.
+  bool truncated = false;
+  /// Why it stopped early; kNone when not truncated.
+  ExhaustionReason reason = ExhaustionReason::kNone;
+  /// Split / candidate-evaluation checkpoints passed — the work actually
+  /// done, comparable across algorithms and against --max-nodes.
+  uint64_t nodes_visited = 0;
+};
+
 /// A partition-search algorithm. Implementations must return a valid full
-/// disjoint partitioning of the evaluator's table (IsValidPartitioning).
+/// disjoint partitioning of the evaluator's table (IsValidPartitioning) —
+/// even when truncated: on deadline, cancellation, or budget exhaustion they
+/// degrade gracefully to the best (or deepest) valid partitioning found so
+/// far instead of failing. A non-OK status is reserved for real errors
+/// (invalid arguments, internal faults), never for exhaustion.
 class PartitioningAlgorithm {
  public:
   virtual ~PartitioningAlgorithm() = default;
@@ -57,12 +77,27 @@ class PartitioningAlgorithm {
   virtual std::string Name() const = 0;
 
   /// Searches for an unfair partitioning over the protected attributes
-  /// `attrs` (indices into the evaluator's table schema). `attrs` may be
-  /// consumed in any order; passing an empty list yields the trivial
-  /// root partitioning.
-  virtual StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
-                                     std::vector<size_t> attrs) = 0;
+  /// `attrs` (indices into the evaluator's table schema), checking `context`
+  /// at split and evaluation boundaries. `attrs` may be consumed in any
+  /// order; passing an empty list yields the trivial root partitioning.
+  virtual StatusOr<SearchResult> Run(const UnfairnessEvaluator& eval,
+                                     std::vector<size_t> attrs,
+                                     const ExecutionContext& context) = 0;
+
+  /// Unbounded convenience: runs with ExecutionContext::Unbounded() and
+  /// yields just the partitioning (never truncated).
+  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs);
 };
+
+/// Marks `result` truncated for `reason` and returns it (no-op for kNone).
+SearchResult TruncatedResult(SearchResult result, ExhaustionReason reason);
+
+/// Degradation helper for a sub-step that failed with `status`: exhaustion
+/// statuses (deadline / cancelled / budget) convert the best-so-far `result`
+/// into a truncated success; real errors propagate unchanged.
+StatusOr<SearchResult> DegradeOnExhaustion(SearchResult result,
+                                           const Status& status);
 
 }  // namespace fairrank
 

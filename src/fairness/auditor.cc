@@ -41,6 +41,21 @@ StatusOr<AuditResult> FairnessAuditor::AuditScores(
   }
   FAIRRANK_ASSIGN_OR_RETURN(std::vector<size_t> attrs,
                             ResolveProtectedAttributes(options));
+
+  // Two evaluators: the *search* one carries the deadline / cancellation so
+  // in-flight pairwise loops stop, while the *reporting* one stays unbounded
+  // — metrics of the (possibly truncated) winner must not themselves fail
+  // because the deadline has since expired.
+  ResourceBudget budget = options.limits.MakeBudget();
+  ExecutionContext context = options.limits.MakeContext(&budget);
+  EvaluatorOptions search_evaluator_options = options.evaluator;
+  search_evaluator_options.deadline = context.deadline();
+  search_evaluator_options.cancel = context.cancel();
+  std::vector<double> scores_copy = scores;
+  FAIRRANK_ASSIGN_OR_RETURN(
+      UnfairnessEvaluator search_eval,
+      UnfairnessEvaluator::Make(table_, std::move(scores_copy),
+                                search_evaluator_options));
   FAIRRANK_ASSIGN_OR_RETURN(
       UnfairnessEvaluator eval,
       UnfairnessEvaluator::Make(table_, std::move(scores), options.evaluator));
@@ -53,14 +68,19 @@ StatusOr<AuditResult> FairnessAuditor::AuditScores(
                             MakeAlgorithmByName(options.algorithm, config));
 
   Stopwatch stopwatch;
-  FAIRRANK_ASSIGN_OR_RETURN(Partitioning partitioning,
-                            algorithm->Run(eval, std::move(attrs)));
+  FAIRRANK_ASSIGN_OR_RETURN(SearchResult search,
+                            algorithm->Run(search_eval, std::move(attrs),
+                                           context));
   double seconds = stopwatch.ElapsedSeconds();
+  Partitioning partitioning = std::move(search.partitioning);
 
   AuditResult result;
   result.algorithm = algorithm->Name();
   result.scoring_function = score_name;
   result.seconds = seconds;
+  result.truncated = search.truncated;
+  result.exhaustion_reason = search.reason;
+  result.nodes_visited = search.nodes_visited;
   FAIRRANK_ASSIGN_OR_RETURN(result.unfairness,
                             eval.AveragePairwiseUnfairness(partitioning));
   result.attributes_used = AttributesUsed(table_->schema(), partitioning);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "data/table.h"
 #include "fairness/evaluator.h"
@@ -33,6 +34,11 @@ struct AuditOptions {
   /// How many of the most divergent partition pairs to surface in the
   /// result (0 disables).
   size_t num_worst_pairs = 3;
+  /// Deadline / cancellation / resource budgets for the search. Inert by
+  /// default. The limits bound only the *search*: when they trip, the audit
+  /// still returns the best partitioning found so far (AuditResult::
+  /// truncated), and the reported metrics for it are computed unbounded.
+  ExecutionLimits limits;
 };
 
 /// A labeled divergent partition pair for reports: "Gender=Male vs
@@ -66,6 +72,14 @@ struct AuditResult {
   /// The most divergent partition pairs, descending (see
   /// AuditOptions::num_worst_pairs).
   std::vector<DivergentPairSummary> worst_pairs;
+  /// True when the search stopped early (deadline, cancellation, or budget)
+  /// and `partitioning` is the best-so-far rather than the full search's
+  /// answer. The metrics above still describe `partitioning` exactly.
+  bool truncated = false;
+  /// Why the search truncated; kNone when it ran to completion.
+  ExhaustionReason exhaustion_reason = ExhaustionReason::kNone;
+  /// Split / evaluation checkpoints the search passed (see SearchResult).
+  uint64_t nodes_visited = 0;
 };
 
 /// The library's front door: audits a scoring function over a worker table.

@@ -14,34 +14,46 @@ class BalancedAlgorithm : public PartitioningAlgorithm {
 
   std::string Name() const override { return name_; }
 
-  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
-                             std::vector<size_t> attrs) override {
-    Partitioning current{MakeRootPartition(eval.table().num_rows())};
-    if (attrs.empty()) return current;
+  using PartitioningAlgorithm::Run;
 
-    // First split (Algorithm 1, lines 1-4).
-    FAIRRANK_ASSIGN_OR_RETURN(size_t pos,
-                              selector_->SelectGlobal(eval, current, attrs));
-    size_t attr = attrs[pos];
-    attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(pos));
-    current = SplitAll(eval.table(), current, attr);
-    FAIRRANK_ASSIGN_OR_RETURN(double current_avg,
-                              eval.AveragePairwiseUnfairness(current));
+  StatusOr<SearchResult> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs,
+                             const ExecutionContext& context) override {
+    SearchResult result;
+    result.partitioning = {MakeRootPartition(eval.table().num_rows())};
+    if (attrs.empty()) return result;
 
-    // Iterative deepening (lines 5-16).
+    // Algorithm 1: the first split is unconditional (lines 1-4); each later
+    // level is kept only while the average pairwise divergence improves
+    // (lines 5-16). One selection round evaluates a candidate split per
+    // remaining attribute — charge them as nodes up front so a node budget
+    // bounds the EMD evaluations actually performed.
+    Partitioning& current = result.partitioning;
+    double current_avg = 0.0;
+    bool first = true;
     while (!attrs.empty()) {
-      FAIRRANK_ASSIGN_OR_RETURN(pos,
-                                selector_->SelectGlobal(eval, current, attrs));
-      attr = attrs[pos];
-      attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(pos));
+      ExhaustionReason why = context.CheckNodes(attrs.size());
+      if (why != ExhaustionReason::kNone) {
+        return TruncatedResult(std::move(result), why);
+      }
+      result.nodes_visited += attrs.size();
+
+      StatusOr<size_t> pos = selector_->SelectGlobal(eval, current, attrs);
+      if (!pos.ok()) return DegradeOnExhaustion(std::move(result),
+                                                pos.status());
+      size_t attr = attrs[*pos];
+      attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(*pos));
       Partitioning children = SplitAll(eval.table(), current, attr);
-      FAIRRANK_ASSIGN_OR_RETURN(double children_avg,
-                                eval.AveragePairwiseUnfairness(children));
-      if (current_avg >= children_avg) break;
+      StatusOr<double> children_avg = eval.AveragePairwiseUnfairness(children);
+      if (!children_avg.ok()) {
+        return DegradeOnExhaustion(std::move(result), children_avg.status());
+      }
+      if (!first && current_avg >= *children_avg) break;
       current = std::move(children);
-      current_avg = children_avg;
+      current_avg = *children_avg;
+      first = false;
     }
-    return current;
+    return result;
   }
 
  private:

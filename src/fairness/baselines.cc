@@ -10,13 +10,23 @@ class AllAttributesAlgorithm : public PartitioningAlgorithm {
  public:
   std::string Name() const override { return "all-attributes"; }
 
-  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
-                             std::vector<size_t> attrs) override {
-    Partitioning current{MakeRootPartition(eval.table().num_rows())};
+  using PartitioningAlgorithm::Run;
+
+  StatusOr<SearchResult> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs,
+                             const ExecutionContext& context) override {
+    SearchResult result;
+    result.partitioning = {MakeRootPartition(eval.table().num_rows())};
     for (size_t attr : attrs) {
-      current = SplitAll(eval.table(), current, attr);
+      ExhaustionReason why = context.CheckNodes(1);
+      if (why != ExhaustionReason::kNone) {
+        return TruncatedResult(std::move(result), why);
+      }
+      ++result.nodes_visited;
+      result.partitioning =
+          SplitAll(eval.table(), result.partitioning, attr);
     }
-    return current;
+    return result;
   }
 };
 

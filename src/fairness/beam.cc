@@ -22,11 +22,15 @@ class BeamAlgorithm : public PartitioningAlgorithm {
 
   std::string Name() const override { return "beam"; }
 
-  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
-                             std::vector<size_t> attrs) override {
+  using PartitioningAlgorithm::Run;
+
+  StatusOr<SearchResult> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs,
+                             const ExecutionContext& context) override {
     if (width_ < 1) {
       return Status::InvalidArgument("beam width must be >= 1");
     }
+    SearchResult result;
     BeamEntry root;
     root.partitioning = {MakeRootPartition(eval.table().num_rows())};
     root.remaining = std::move(attrs);
@@ -35,19 +39,36 @@ class BeamAlgorithm : public PartitioningAlgorithm {
     std::vector<BeamEntry> beam = {root};
     BeamEntry best = std::move(root);
 
-    while (true) {
+    // Each candidate expansion costs one node (one unfairness evaluation).
+    // On exhaustion the level's partial candidate set still competes for
+    // best-so-far before the search stops.
+    while (!result.truncated) {
       std::vector<BeamEntry> candidates;
       for (const BeamEntry& entry : beam) {
+        if (result.truncated) break;
         for (size_t pos = 0; pos < entry.remaining.size(); ++pos) {
+          ExhaustionReason why = context.CheckNodes(1);
+          if (why != ExhaustionReason::kNone) {
+            result = TruncatedResult(std::move(result), why);
+            break;
+          }
+          ++result.nodes_visited;
           BeamEntry child;
           child.partitioning = SplitAll(eval.table(), entry.partitioning,
                                         entry.remaining[pos]);
           child.remaining = entry.remaining;
           child.remaining.erase(child.remaining.begin() +
                                 static_cast<ptrdiff_t>(pos));
-          FAIRRANK_ASSIGN_OR_RETURN(
-              child.unfairness,
-              eval.AveragePairwiseUnfairness(child.partitioning));
+          StatusOr<double> unfairness =
+              eval.AveragePairwiseUnfairness(child.partitioning);
+          if (!unfairness.ok()) {
+            if (!IsExhaustion(unfairness.status())) return unfairness.status();
+            result = TruncatedResult(
+                std::move(result),
+                ExhaustionReasonFromStatus(unfairness.status()));
+            break;
+          }
+          child.unfairness = *unfairness;
           candidates.push_back(std::move(child));
         }
       }
@@ -59,15 +80,15 @@ class BeamAlgorithm : public PartitioningAlgorithm {
       if (candidates.size() > static_cast<size_t>(width_)) {
         candidates.resize(static_cast<size_t>(width_));
       }
-      bool improved = false;
       if (candidates.front().unfairness > best.unfairness) {
         best = candidates.front();
-        improved = true;
+      } else {
+        break;  // Best-so-far plateaued: stop expanding.
       }
-      if (!improved) break;  // Best-so-far plateaued: stop expanding.
       beam = std::move(candidates);
     }
-    return best.partitioning;
+    result.partitioning = std::move(best.partitioning);
+    return result;
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <mutex>
 
 #include "common/parallel.h"
@@ -64,34 +65,48 @@ StatusOr<double> UnfairnessEvaluator::AveragePairwiseUnfairness(
   std::vector<double> distances(num_pairs, 0.0);
   Status first_error;
   std::mutex error_mutex;
-  ParallelFor(num_pairs, options_.num_threads,
-              [&](size_t begin, size_t end) {
-                // Locate (i, j) for `begin`, then walk forward.
-                size_t m = 0;
-                size_t i = 0;
-                size_t j = 1;
-                // Advance row-by-row; k is small relative to pair count.
-                while (m + (k - 1 - i) <= begin) {
-                  m += k - 1 - i;
-                  ++i;
-                }
-                j = i + 1 + (begin - m);
-                for (size_t p = begin; p < end; ++p) {
-                  StatusOr<double> d =
-                      divergence_->Distance(hists[i], hists[j]);
-                  if (!d.ok()) {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (first_error.ok()) first_error = d.status();
-                    return;
-                  }
-                  distances[p] = *d;
-                  if (++j == k) {
-                    ++i;
-                    j = i + 1;
-                  }
-                }
-              });
+  bool complete = true;
+  try {
+    complete = ParallelForCancellable(
+        num_pairs, options_.num_threads, options_.cancel, options_.deadline,
+        [&](size_t begin, size_t end) {
+          // Locate (i, j) for `begin`, then walk forward.
+          size_t m = 0;
+          size_t i = 0;
+          size_t j = 1;
+          // Advance row-by-row; k is small relative to pair count.
+          while (m + (k - 1 - i) <= begin) {
+            m += k - 1 - i;
+            ++i;
+          }
+          j = i + 1 + (begin - m);
+          for (size_t p = begin; p < end; ++p) {
+            StatusOr<double> d = divergence_->Distance(hists[i], hists[j]);
+            if (!d.ok()) {
+              std::lock_guard<std::mutex> lock(error_mutex);
+              if (first_error.ok()) first_error = d.status();
+              return;
+            }
+            distances[p] = *d;
+            if (++j == k) {
+              ++i;
+              j = i + 1;
+            }
+          }
+        });
+  } catch (const std::exception& e) {
+    // Worker exceptions (including injected faults) are captured by
+    // ParallelFor and rethrown here; keep them inside the Status API.
+    return Status::Internal(std::string("pairwise unfairness worker: ") +
+                            e.what());
+  }
   FAIRRANK_RETURN_NOT_OK(first_error);
+  if (!complete) {
+    return options_.cancel.cancel_requested()
+               ? Status::Cancelled("pairwise unfairness cancelled")
+               : Status::DeadlineExceeded(
+                     "deadline expired during pairwise unfairness");
+  }
   double sum = 0.0;
   for (double d : distances) sum += d;
   return sum / static_cast<double>(num_pairs);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "data/table.h"
 #include "fairness/partition.h"
@@ -46,6 +47,13 @@ struct EvaluatorOptions {
   /// bit-identical across thread counts (per-pair sums are accumulated in
   /// a deterministic order).
   int num_threads = 1;
+  /// Deadline / cancellation honored inside AveragePairwiseUnfairness: the
+  /// pairwise loop stops between blocks once either fires and the call
+  /// returns DeadlineExceeded / Cancelled instead of finishing the range.
+  /// Both are inert by default. Keep them inert on evaluators used for
+  /// *reporting* — only the search evaluator should be interruptible.
+  Deadline deadline;
+  CancellationToken cancel;
 };
 
 /// Computes unfairness(P, f) (Definition 2): the average pairwise divergence

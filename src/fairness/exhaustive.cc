@@ -1,6 +1,7 @@
 #include "fairness/exhaustive.h"
 
 #include "common/stopwatch.h"
+#include "fairness/beam.h"
 #include "fairness/splitter.h"
 
 namespace fairrank {
@@ -21,43 +22,92 @@ class ExhaustiveAlgorithm : public PartitioningAlgorithm {
 
   std::string Name() const override { return "exhaustive"; }
 
-  StatusOr<Partitioning> Run(const UnfairnessEvaluator& eval,
-                             std::vector<size_t> attrs) override {
+  using PartitioningAlgorithm::Run;
+
+  StatusOr<SearchResult> Run(const UnfairnessEvaluator& eval,
+                             std::vector<size_t> attrs,
+                             const ExecutionContext& context) override {
     evaluated_ = 0;
     best_avg_ = -1.0;
     best_.clear();
+    trip_ = ExhaustionReason::kNone;
+    context_ = &context;
     stopwatch_.Restart();
+
+    Partition root = MakeRootPartition(eval.table().num_rows());
+    std::vector<size_t> attrs_copy = attrs;  // For the beam fallback.
     std::vector<PendingNode> pending;
-    pending.push_back(
-        {MakeRootPartition(eval.table().num_rows()), std::move(attrs)});
+    pending.push_back({root, std::move(attrs)});
     Partitioning leaves;
     FAIRRANK_RETURN_NOT_OK(Recurse(eval, &pending, &leaves));
-    return best_;
+
+    SearchResult result;
+    result.nodes_visited = evaluated_;
+    // The root partitioning is the first one enumerated, so best_ is only
+    // empty when the budget tripped before a single evaluation.
+    if (best_.empty()) best_ = Partitioning{root};
+    if (trip_ == ExhaustionReason::kNone) {
+      result.partitioning = std::move(best_);
+      return result;
+    }
+    result.truncated = true;
+    result.reason = trip_;
+    if (options_.fallback_to_beam && trip_ == ExhaustionReason::kNodeBudget) {
+      FallbackToBeam(eval, std::move(attrs_copy), context, &result);
+    }
+    if (result.partitioning.empty()) result.partitioning = std::move(best_);
+    return result;
   }
 
-  /// Number of complete partitionings evaluated by the last Run.
-  uint64_t evaluated() const { return evaluated_; }
-
  private:
+  /// Reruns the search as a width-bounded beam under the same deadline and
+  /// cancellation but without the exhausted node budget, keeping whichever
+  /// of {enumeration best-so-far, beam result} scores higher. Fallback
+  /// failures are swallowed: the enumeration's best-so-far already stands.
+  void FallbackToBeam(const UnfairnessEvaluator& eval,
+                      std::vector<size_t> attrs,
+                      const ExecutionContext& context, SearchResult* result) {
+    std::unique_ptr<PartitioningAlgorithm> beam =
+        MakeBeamAlgorithm(options_.fallback_beam_width);
+    StatusOr<SearchResult> beam_result =
+        beam->Run(eval, std::move(attrs), context.WithoutBudget());
+    if (!beam_result.ok()) return;
+    result->nodes_visited += beam_result->nodes_visited;
+    StatusOr<double> beam_avg =
+        eval.AveragePairwiseUnfairness(beam_result->partitioning);
+    if (!beam_avg.ok()) return;
+    if (*beam_avg > best_avg_) {
+      result->partitioning = std::move(beam_result->partitioning);
+    }
+  }
+
   Status Recurse(const UnfairnessEvaluator& eval,
                  std::vector<PendingNode>* pending, Partitioning* leaves) {
+    if (trip_ != ExhaustionReason::kNone) return Status::OK();  // Unwinding.
     if (pending->empty()) {
       // A complete partitioning: score it against the incumbent.
       ++evaluated_;
-      if (evaluated_ > options_.max_partitionings) {
-        return Status::ResourceExhausted(
-            "exhaustive search exceeded max_partitionings = " +
-            std::to_string(options_.max_partitionings));
+      ExhaustionReason why = context_->CheckNodes(1);
+      if (why == ExhaustionReason::kNone &&
+          evaluated_ > options_.max_partitionings) {
+        why = ExhaustionReason::kNodeBudget;
       }
-      if (options_.max_seconds > 0.0 &&
+      if (why == ExhaustionReason::kNone && options_.max_seconds > 0.0 &&
           stopwatch_.ElapsedSeconds() > options_.max_seconds) {
-        return Status::ResourceExhausted(
-            "exhaustive search exceeded time budget");
+        why = ExhaustionReason::kDeadline;
       }
-      FAIRRANK_ASSIGN_OR_RETURN(double avg,
-                                eval.AveragePairwiseUnfairness(*leaves));
-      if (avg > best_avg_) {
-        best_avg_ = avg;
+      if (why != ExhaustionReason::kNone) {
+        trip_ = why;
+        return Status::OK();
+      }
+      StatusOr<double> avg = eval.AveragePairwiseUnfairness(*leaves);
+      if (!avg.ok()) {
+        if (!IsExhaustion(avg.status())) return avg.status();
+        trip_ = ExhaustionReasonFromStatus(avg.status());
+        return Status::OK();
+      }
+      if (*avg > best_avg_) {
+        best_avg_ = *avg;
         best_ = *leaves;
       }
       return Status::OK();
@@ -73,7 +123,8 @@ class ExhaustiveAlgorithm : public PartitioningAlgorithm {
 
     // Option 2: split on each remaining attribute with >= 2 represented
     // values (single-child splits would re-enumerate the same partitioning).
-    for (size_t pos = 0; pos < node.attrs.size(); ++pos) {
+    for (size_t pos = 0;
+         pos < node.attrs.size() && trip_ == ExhaustionReason::kNone; ++pos) {
       std::vector<Partition> children =
           SplitPartition(eval.table(), node.partition, node.attrs[pos]);
       if (children.size() < 2) continue;
@@ -92,6 +143,8 @@ class ExhaustiveAlgorithm : public PartitioningAlgorithm {
   }
 
   ExhaustiveOptions options_;
+  const ExecutionContext* context_ = nullptr;
+  ExhaustionReason trip_ = ExhaustionReason::kNone;
   uint64_t evaluated_ = 0;
   double best_avg_ = -1.0;
   Partitioning best_;

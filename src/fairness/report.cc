@@ -61,6 +61,12 @@ std::string FormatAuditReport(const AuditResult& result,
   out += "  unfairness (avg pairwise divergence): " +
          FormatDouble(result.unfairness, 4) + "\n";
   out += "  runtime: " + FormatDouble(result.seconds, 4) + " s\n";
+  if (result.truncated) {
+    out += "  truncated: search stopped early (" +
+           std::string(ExhaustionReasonToString(result.exhaustion_reason)) +
+           " after " + std::to_string(result.nodes_visited) +
+           " nodes); showing best partitioning found so far\n";
+  }
   out += "  partitions: " + std::to_string(result.partitions.size()) + "\n";
   out += "  attributes used: " +
          (result.attributes_used.empty()
@@ -142,6 +148,12 @@ std::string FormatAuditJson(const AuditResult& result) {
          "\",";
   out += "\"unfairness\":" + FormatDouble(result.unfairness, 6) + ",";
   out += "\"seconds\":" + FormatDouble(result.seconds, 6) + ",";
+  out += std::string("\"truncated\":") +
+         (result.truncated ? "true" : "false") + ",";
+  out += "\"exhaustion_reason\":\"" +
+         std::string(ExhaustionReasonToString(result.exhaustion_reason)) +
+         "\",";
+  out += "\"nodes_visited\":" + std::to_string(result.nodes_visited) + ",";
   out += "\"attributes_used\":[";
   for (size_t i = 0; i < result.attributes_used.size(); ++i) {
     if (i > 0) out += ",";

@@ -50,7 +50,8 @@ std::string JsonEscape(const std::string& s);
 /// Renders an audit result as a JSON object:
 /// {
 ///   "algorithm": ..., "scoring_function": ..., "unfairness": ...,
-///   "seconds": ..., "attributes_used": [...],
+///   "seconds": ..., "truncated": ..., "exhaustion_reason": ...,
+///   "nodes_visited": ..., "attributes_used": [...],
 ///   "partitions": [{"label": ..., "size": ..., "mean_score": ...,
 ///                   "histogram": [counts...]}, ...]
 /// }

@@ -21,6 +21,13 @@ StatusOr<SuiteResult> AuditSuite::Run(
     result.functions.push_back(fn->Name());
   }
 
+  // Arm the suite deadline once so every cell shares it; cells reached after
+  // expiry degrade instantly instead of each getting a fresh allowance.
+  ExecutionLimits cell_limits = options.limits;
+  if (cell_limits.deadline.is_infinite() && cell_limits.timeout_ms > 0) {
+    cell_limits.deadline = Deadline::AfterMillis(cell_limits.timeout_ms);
+  }
+
   FairnessAuditor auditor(table_);
   result.cells.resize(result.algorithms.size());
   for (size_t a = 0; a < result.algorithms.size(); ++a) {
@@ -31,6 +38,7 @@ StatusOr<SuiteResult> AuditSuite::Run(
       audit_options.seed = options.seed + f;
       audit_options.protected_attributes = options.protected_attributes;
       audit_options.num_worst_pairs = 0;
+      audit_options.limits = cell_limits;
       FAIRRANK_ASSIGN_OR_RETURN(AuditResult audit,
                                 auditor.Audit(*functions[f], audit_options));
       SuiteCell cell;
@@ -40,6 +48,7 @@ StatusOr<SuiteResult> AuditSuite::Run(
       cell.seconds = audit.seconds;
       cell.num_partitions = audit.partitions.size();
       cell.attributes_used = std::move(audit.attributes_used);
+      cell.truncated = audit.truncated;
       result.cells[a].push_back(std::move(cell));
     }
   }
@@ -76,14 +85,16 @@ std::string FormatSuiteRuntime(const SuiteResult& result) {
 
 std::string FormatSuiteCsv(const SuiteResult& result) {
   std::string out =
-      "algorithm,function,unfairness,seconds,num_partitions,attributes\n";
+      "algorithm,function,unfairness,seconds,num_partitions,attributes,"
+      "truncated\n";
   for (const auto& row : result.cells) {
     for (const SuiteCell& cell : row) {
       out += cell.algorithm + "," + cell.function + "," +
              FormatDouble(cell.unfairness, 6) + "," +
              FormatDouble(cell.seconds, 6) + "," +
              std::to_string(cell.num_partitions) + "," +
-             Join(cell.attributes_used, "|") + "\n";
+             Join(cell.attributes_used, "|") + "," +
+             (cell.truncated ? "true" : "false") + "\n";
     }
   }
   return out;

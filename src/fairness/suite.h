@@ -21,6 +21,11 @@ struct SuiteOptions {
   uint64_t seed = 0;
   /// Restrict the searched protected attributes (empty = all).
   std::vector<std::string> protected_attributes;
+  /// Execution limits for the grid. The deadline/timeout is *shared*: it is
+  /// armed once before the first cell, so a 10s timeout bounds the whole
+  /// grid (late cells degrade to truncated best-so-far answers, keeping the
+  /// grid complete). Node/memory budgets apply per cell.
+  ExecutionLimits limits;
 };
 
 /// One (algorithm, function) cell of the grid.
@@ -31,6 +36,7 @@ struct SuiteCell {
   double seconds = 0.0;
   size_t num_partitions = 0;
   std::vector<std::string> attributes_used;
+  bool truncated = false;  ///< Search stopped early; see AuditResult.
 };
 
 /// A full grid of audits.

@@ -79,18 +79,29 @@ StatusOr<std::vector<CategoryAuditRow>> AuditCatalog(
   if (catalog.num_categories() == 0) {
     return Status::InvalidArgument("catalog has no categories");
   }
+  // Arm a shared deadline so the timeout bounds the whole catalog, not each
+  // category separately.
+  AuditOptions category_options = options;
+  if (category_options.limits.deadline.is_infinite() &&
+      category_options.limits.timeout_ms > 0) {
+    category_options.limits.deadline =
+        Deadline::AfterMillis(category_options.limits.timeout_ms);
+  }
+
   FairnessAuditor auditor(&workers);
   std::vector<CategoryAuditRow> rows;
   rows.reserve(catalog.num_categories());
   for (size_t c = 0; c < catalog.num_categories(); ++c) {
     const TaskCategory& category = catalog.category(c);
     LinearScoringFunction fn(category.name, category.weights);
-    FAIRRANK_ASSIGN_OR_RETURN(AuditResult audit, auditor.Audit(fn, options));
+    FAIRRANK_ASSIGN_OR_RETURN(AuditResult audit,
+                              auditor.Audit(fn, category_options));
     CategoryAuditRow row;
     row.category = category.name;
     row.unfairness = audit.unfairness;
     row.num_partitions = audit.partitions.size();
     row.attributes_used = std::move(audit.attributes_used);
+    row.truncated = audit.truncated;
     rows.push_back(std::move(row));
   }
   std::stable_sort(rows.begin(), rows.end(),

@@ -69,11 +69,15 @@ struct CategoryAuditRow {
   double unfairness = 0.0;
   size_t num_partitions = 0;
   std::vector<std::string> attributes_used;
+  bool truncated = false;  ///< This category's search stopped early.
 };
 
 /// Audits every category's scoring function against `workers` with the
 /// given options — "which job types does this platform rank least fairly?".
-/// Rows come back sorted by descending unfairness.
+/// Rows come back sorted by descending unfairness. A timeout in
+/// `options.limits` is armed once and shared across categories, so the
+/// whole catalog audit is bounded; late categories degrade to truncated
+/// best-so-far rows.
 StatusOr<std::vector<CategoryAuditRow>> AuditCatalog(
     const Table& workers, const TaskCatalog& catalog,
     const AuditOptions& options);

@@ -1,0 +1,184 @@
+#include "common/budget.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.h"
+
+namespace fairrank {
+namespace {
+
+TEST(ResourceBudgetTest, DefaultIsUnlimited) {
+  ResourceBudget budget;
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(budget.ChargeNodes());
+  EXPECT_TRUE(budget.ChargeMemoryBytes(uint64_t{1} << 40));
+  EXPECT_FALSE(budget.nodes_exhausted());
+  EXPECT_FALSE(budget.memory_exhausted());
+  EXPECT_EQ(budget.nodes_used(), 1000u);
+}
+
+TEST(ResourceBudgetTest, NodeBudgetExhausts) {
+  ResourceBudget budget(/*max_nodes=*/3, /*max_memory_bytes=*/0);
+  EXPECT_TRUE(budget.ChargeNodes());
+  EXPECT_TRUE(budget.ChargeNodes());
+  EXPECT_TRUE(budget.ChargeNodes());
+  EXPECT_FALSE(budget.nodes_exhausted());  // Exactly at the limit is fine.
+  EXPECT_FALSE(budget.ChargeNodes());
+  EXPECT_TRUE(budget.nodes_exhausted());
+  EXPECT_FALSE(budget.memory_exhausted());
+}
+
+TEST(ResourceBudgetTest, BulkChargeMayOvershootButReportsExhaustion) {
+  ResourceBudget budget(/*max_nodes=*/5, /*max_memory_bytes=*/0);
+  EXPECT_FALSE(budget.ChargeNodes(10));
+  EXPECT_TRUE(budget.nodes_exhausted());
+  EXPECT_EQ(budget.nodes_used(), 10u);  // The final charge overshoots.
+}
+
+TEST(ResourceBudgetTest, MemoryBudgetExhausts) {
+  ResourceBudget budget(/*max_nodes=*/0, /*max_memory_bytes=*/1024);
+  EXPECT_TRUE(budget.ChargeMemoryBytes(1000));
+  EXPECT_FALSE(budget.ChargeMemoryBytes(1000));
+  EXPECT_TRUE(budget.memory_exhausted());
+  EXPECT_FALSE(budget.nodes_exhausted());
+}
+
+TEST(ResourceBudgetTest, TripMemoryLatchesEvenWhenUnlimited) {
+  ResourceBudget budget;  // No memory limit.
+  EXPECT_TRUE(budget.ChargeMemoryBytes(1));
+  budget.TripMemory();
+  EXPECT_TRUE(budget.memory_exhausted());
+  EXPECT_FALSE(budget.ChargeMemoryBytes(1));
+}
+
+TEST(ExecutionContextTest, DefaultIsUnbounded) {
+  ExecutionContext context;
+  EXPECT_TRUE(context.IsUnbounded());
+  EXPECT_EQ(context.Check(), ExhaustionReason::kNone);
+  EXPECT_EQ(context.CheckNodes(1000), ExhaustionReason::kNone);
+  EXPECT_EQ(context.CheckMemory(uint64_t{1} << 40), ExhaustionReason::kNone);
+  EXPECT_TRUE(ExecutionContext::Unbounded().IsUnbounded());
+}
+
+TEST(ExecutionContextTest, ExpiredDeadlineReported) {
+  ExecutionContext context(Deadline::AfterMillis(0), CancellationToken(),
+                           nullptr);
+  EXPECT_FALSE(context.IsUnbounded());
+  EXPECT_EQ(context.Check(), ExhaustionReason::kDeadline);
+}
+
+TEST(ExecutionContextTest, CancellationReported) {
+  CancellationSource source;
+  ExecutionContext context(Deadline::Infinite(), source.token(), nullptr);
+  EXPECT_EQ(context.Check(), ExhaustionReason::kNone);
+  source.RequestCancellation();
+  EXPECT_EQ(context.Check(), ExhaustionReason::kCancelled);
+}
+
+TEST(ExecutionContextTest, DeadlineOutranksCancellationAndBudget) {
+  CancellationSource source;
+  source.RequestCancellation();
+  ResourceBudget budget(/*max_nodes=*/1, /*max_memory_bytes=*/0);
+  budget.ChargeNodes(5);  // Exhaust the node budget.
+  ExecutionContext context(Deadline::AfterMillis(0), source.token(), &budget);
+  EXPECT_EQ(context.Check(), ExhaustionReason::kDeadline);
+}
+
+TEST(ExecutionContextTest, CheckNodesChargesTheBudget) {
+  ResourceBudget budget(/*max_nodes=*/10, /*max_memory_bytes=*/0);
+  ExecutionContext context(Deadline::Infinite(), CancellationToken(), &budget);
+  EXPECT_EQ(context.CheckNodes(10), ExhaustionReason::kNone);
+  EXPECT_EQ(context.CheckNodes(1), ExhaustionReason::kNodeBudget);
+  EXPECT_EQ(budget.nodes_used(), 11u);
+}
+
+TEST(ExecutionContextTest, CheckMemoryChargesTheBudget) {
+  ResourceBudget budget(/*max_nodes=*/0, /*max_memory_bytes=*/100);
+  ExecutionContext context(Deadline::Infinite(), CancellationToken(), &budget);
+  EXPECT_EQ(context.CheckMemory(100), ExhaustionReason::kNone);
+  EXPECT_EQ(context.CheckMemory(1), ExhaustionReason::kMemoryBudget);
+}
+
+TEST(ExecutionContextTest, WithoutBudgetKeepsDeadlineAndCancellation) {
+  CancellationSource source;
+  ResourceBudget budget(/*max_nodes=*/1, /*max_memory_bytes=*/0);
+  budget.ChargeNodes(5);
+  ExecutionContext context(Deadline::Infinite(), source.token(), &budget);
+  EXPECT_EQ(context.Check(), ExhaustionReason::kNodeBudget);
+  ExecutionContext unbudgeted = context.WithoutBudget();
+  EXPECT_EQ(unbudgeted.budget(), nullptr);
+  EXPECT_EQ(unbudgeted.Check(), ExhaustionReason::kNone);
+  source.RequestCancellation();
+  EXPECT_EQ(unbudgeted.Check(), ExhaustionReason::kCancelled);
+}
+
+TEST(ExecutionLimitsTest, DefaultIsUnlimited) {
+  ExecutionLimits limits;
+  EXPECT_TRUE(limits.unlimited());
+  ResourceBudget budget = limits.MakeBudget();
+  ExecutionContext context = limits.MakeContext(&budget);
+  EXPECT_EQ(context.Check(), ExhaustionReason::kNone);
+}
+
+TEST(ExecutionLimitsTest, TimeoutArmsDeadlineAtContextCreation) {
+  ExecutionLimits limits;
+  limits.timeout_ms = 60'000;
+  EXPECT_FALSE(limits.unlimited());
+  ExecutionContext context = limits.MakeContext(nullptr);
+  EXPECT_FALSE(context.deadline().is_infinite());
+  EXPECT_GT(context.deadline().RemainingSeconds(), 0.0);
+}
+
+TEST(ExecutionLimitsTest, PreArmedDeadlineOverridesTimeout) {
+  ExecutionLimits limits;
+  limits.timeout_ms = 60'000;
+  limits.deadline = Deadline::AfterMillis(0);  // Already expired, shared.
+  ExecutionContext context = limits.MakeContext(nullptr);
+  EXPECT_EQ(context.Check(), ExhaustionReason::kDeadline);
+}
+
+TEST(ExecutionLimitsTest, MaxMemoryMbScalesToBytes) {
+  ExecutionLimits limits;
+  limits.max_memory_mb = 2;
+  limits.max_nodes = 7;
+  ResourceBudget budget = limits.MakeBudget();
+  EXPECT_EQ(budget.max_memory_bytes(), uint64_t{2} << 20);
+  EXPECT_EQ(budget.max_nodes(), 7u);
+}
+
+TEST(ExhaustionStatusTest, RoundTripsThroughStatus) {
+  EXPECT_TRUE(ExhaustionStatus(ExhaustionReason::kNone).ok());
+  for (ExhaustionReason reason :
+       {ExhaustionReason::kDeadline, ExhaustionReason::kCancelled,
+        ExhaustionReason::kNodeBudget, ExhaustionReason::kMemoryBudget}) {
+    Status status = ExhaustionStatus(reason);
+    EXPECT_FALSE(status.ok()) << ExhaustionReasonToString(reason);
+    EXPECT_TRUE(IsExhaustion(status)) << ExhaustionReasonToString(reason);
+    EXPECT_EQ(ExhaustionReasonFromStatus(status), reason);
+  }
+}
+
+TEST(ExhaustionStatusTest, NonExhaustionStatusesAreNotExhaustion) {
+  EXPECT_FALSE(IsExhaustion(Status::OK()));
+  EXPECT_FALSE(IsExhaustion(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsExhaustion(Status::Internal("boom")));
+  EXPECT_EQ(ExhaustionReasonFromStatus(Status::OK()), ExhaustionReason::kNone);
+  EXPECT_EQ(ExhaustionReasonFromStatus(Status::Internal("boom")),
+            ExhaustionReason::kNone);
+}
+
+TEST(ExhaustionStatusTest, ReasonNamesAreStable) {
+  EXPECT_STREQ(ExhaustionReasonToString(ExhaustionReason::kNone), "none");
+  EXPECT_STREQ(ExhaustionReasonToString(ExhaustionReason::kDeadline),
+               "deadline");
+  EXPECT_STREQ(ExhaustionReasonToString(ExhaustionReason::kCancelled),
+               "cancelled");
+  EXPECT_STREQ(ExhaustionReasonToString(ExhaustionReason::kNodeBudget),
+               "node-budget");
+  EXPECT_STREQ(ExhaustionReasonToString(ExhaustionReason::kMemoryBudget),
+               "memory-budget");
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -72,6 +72,36 @@ CATEGORIES=$("$FAIRAUDIT" catalog --input "$WORKDIR/w.csv" \
 # list names every algorithm.
 "$FAIRAUDIT" list | grep -q "merge" || fail "list algorithms"
 
+# execution limits: a 1 ms deadline must still exit 0 with a truncated
+# best-so-far result (graceful degradation, never a hang or hard failure).
+"$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 \
+  --algorithm balanced --timeout-ms 1 --json > "$WORKDIR/deadline.json" \
+  || fail "audit under tiny deadline must exit 0"
+grep -q '"truncated":' "$WORKDIR/deadline.json" \
+  || fail "audit json reports truncation field"
+
+# a tiny node budget on the exhaustive search (space >> 100 partitionings)
+# must truncate with the node-budget reason, not error out.
+"$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 \
+  --algorithm exhaustive --max-nodes 100 --json > "$WORKDIR/budget.json" \
+  || fail "audit under node budget must exit 0"
+grep -q '"truncated":true' "$WORKDIR/budget.json" \
+  || fail "node budget marks result truncated"
+grep -q '"exhaustion_reason":"node-budget"' "$WORKDIR/budget.json" \
+  || fail "node budget reason reported"
+
+# the truncation note also shows up in the human-readable report.
+"$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 \
+  --algorithm exhaustive --max-nodes 100 > "$WORKDIR/budget.out" \
+  || fail "text audit under node budget must exit 0"
+grep -q "truncated" "$WORKDIR/budget.out" || fail "text report truncation note"
+
+# limits flags must be rejected when malformed.
+if "$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 \
+  --timeout-ms -5 > /dev/null 2>&1; then
+  fail "negative timeout should fail"
+fi
+
 # error paths: bad input file and unknown subcommand.
 if "$FAIRAUDIT" audit --input /nonexistent.csv > /dev/null 2>&1; then
   fail "missing input should fail"

@@ -145,6 +145,96 @@ TEST(ReadCsvTest, CustomDelimiter) {
   EXPECT_EQ(table->CellToString(0, 0), "Female");
 }
 
+TEST(ParseCsvRecordTest, MaxFieldBytesEnforced) {
+  EXPECT_TRUE(ParseCsvRecord("abcde,xyz", ',', 5).ok());
+  EXPECT_EQ(ParseCsvRecord("abcdef,xyz", ',', 5).status().code(),
+            StatusCode::kResourceExhausted);
+  // A quoted field swallowing the delimiter counts its full contents.
+  EXPECT_EQ(ParseCsvRecord("\"abc,def\",x", ',', 5).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ReadCsvTest, Utf8BomStripped) {
+  std::istringstream in(
+      "\xEF\xBB\xBFGender,Age,Rating\n"
+      "Male,30,4.5\n");
+  auto table = ReadCsv(in, MakeTestSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->CellToString(0, 0), "Male");
+}
+
+TEST(ReadCsvTest, Utf8BomStrippedWithoutHeader) {
+  std::istringstream in("\xEF\xBB\xBFMale,30,4.5\n");
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ReadCsv(in, MakeTestSchema(), options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->CellToString(0, 0), "Male");
+}
+
+TEST(ReadCsvTest, RaggedRowFailsWithLineNumber) {
+  // Row 3 has an extra field; silent acceptance would mean misaligned
+  // columns whenever a field contains an unquoted delimiter.
+  std::istringstream in(
+      "Gender,Age,Rating\n"
+      "Male,30,4.5\n"
+      "Female,55,2.0,stray\n");
+  auto table = ReadCsv(in, MakeTestSchema());
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(table.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(table.status().message().find("ragged"), std::string::npos);
+}
+
+TEST(ReadCsvTest, RaggedRowCheckedAgainstFirstRowWhenHeaderless) {
+  std::istringstream in(
+      "Male,30,4.5\n"
+      "Female,55,2.0,stray\n");
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ReadCsv(in, MakeTestSchema(), options);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(table.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ReadCsvTest, MaxRowsEnforced) {
+  std::istringstream in(
+      "Gender,Age,Rating\n"
+      "Male,30,4.5\n"
+      "Female,55,2.0\n"
+      "Male,40,3.0\n");
+  CsvOptions options;
+  options.max_rows = 2;
+  auto table = ReadCsv(in, MakeTestSchema(), options);
+  EXPECT_EQ(table.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(table.status().message().find("max_rows"), std::string::npos);
+}
+
+TEST(ReadCsvTest, MaxRowsNotTrippedAtTheLimit) {
+  std::istringstream in(
+      "Gender,Age,Rating\n"
+      "Male,30,4.5\n"
+      "Female,55,2.0\n");
+  CsvOptions options;
+  options.max_rows = 2;
+  auto table = ReadCsv(in, MakeTestSchema(), options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(ReadCsvTest, MaxFieldBytesAppliesToRows) {
+  std::istringstream in(
+      "Gender,Age,Rating\n"
+      "Male,30,4.5\n"
+      "Male,300000000,4.5\n");
+  CsvOptions options;
+  options.max_field_bytes = 6;
+  auto table = ReadCsv(in, MakeTestSchema(), options);
+  EXPECT_EQ(table.status().code(), StatusCode::kResourceExhausted);
+}
+
 TEST(WriteCsvTest, RoundTrip) {
   Table table(MakeTestSchema());
   ASSERT_TRUE(table.AppendRow({std::string("Male"), int64_t{30}, 4.5}).ok());

@@ -1,0 +1,104 @@
+#include "common/deadline.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace fairrank {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, InfiniteFactoryMatchesDefault) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ZeroOrNegativeMillisAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).Expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).Expired());
+  EXPECT_TRUE(Deadline::AfterSeconds(0.0).Expired());
+  EXPECT_TRUE(Deadline::AfterSeconds(-1.0).Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  Deadline d = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 0.0);
+  EXPECT_LE(d.RemainingSeconds(), 60.0);
+}
+
+TEST(DeadlineTest, ExpiresAfterElapsing) {
+  Deadline d = Deadline::AfterMillis(5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LE(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, CopiesShareTheSameExpiry) {
+  Deadline original = Deadline::AfterMillis(1);
+  Deadline copy = original;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(original.Expired());
+  EXPECT_TRUE(copy.Expired());
+}
+
+TEST(CancellationTest, DefaultTokenNeverCancels) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancel_requested());
+}
+
+TEST(CancellationTest, SourceCancelsItsTokens) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_FALSE(source.cancel_requested());
+  EXPECT_FALSE(token.cancel_requested());
+  source.RequestCancellation();
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(token.cancel_requested());
+}
+
+TEST(CancellationTest, TokenCopiesShareTheFlag) {
+  CancellationSource source;
+  CancellationToken a = source.token();
+  CancellationToken b = a;
+  source.RequestCancellation();
+  EXPECT_TRUE(a.cancel_requested());
+  EXPECT_TRUE(b.cancel_requested());
+}
+
+TEST(CancellationTest, CancellationIsSticky) {
+  CancellationSource source;
+  source.RequestCancellation();
+  source.RequestCancellation();  // Idempotent.
+  EXPECT_TRUE(source.cancel_requested());
+}
+
+TEST(CancellationTest, TokenOutlivesSource) {
+  CancellationToken token;
+  {
+    CancellationSource source;
+    token = source.token();
+    source.RequestCancellation();
+  }
+  EXPECT_TRUE(token.cancel_requested());
+}
+
+TEST(CancellationTest, IndependentSourcesDoNotInterfere) {
+  CancellationSource a;
+  CancellationSource b;
+  a.RequestCancellation();
+  EXPECT_TRUE(a.token().cancel_requested());
+  EXPECT_FALSE(b.token().cancel_requested());
+}
+
+}  // namespace
+}  // namespace fairrank

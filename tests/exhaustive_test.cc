@@ -68,7 +68,7 @@ TEST(ExhaustiveTest, OptimumDominatesHeuristics) {
   }
 }
 
-TEST(ExhaustiveTest, BudgetExhaustionReported) {
+TEST(ExhaustiveTest, BudgetExhaustionTruncatesToBestSoFar) {
   GeneratorOptions options;
   options.num_workers = 200;
   options.seed = 13;
@@ -80,12 +80,55 @@ TEST(ExhaustiveTest, BudgetExhaustionReported) {
           .value();
   ExhaustiveOptions ex;
   ex.max_partitionings = 50;  // Far too small for 6 attributes.
+  ex.fallback_to_beam = false;
   auto algo = MakeExhaustiveAlgorithm(ex);
-  auto result = algo->Run(eval, workers.schema().ProtectedIndices());
-  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  SearchResult result = algo->Run(eval, workers.schema().ProtectedIndices(),
+                                  ExecutionContext::Unbounded())
+                            .value();
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.reason, ExhaustionReason::kNodeBudget);
+  EXPECT_TRUE(IsValidPartitioning(result.partitioning, workers.num_rows()));
+  EXPECT_EQ(result.nodes_visited, ex.max_partitionings + 1);
 }
 
-TEST(ExhaustiveTest, TimeBudgetReported) {
+TEST(ExhaustiveTest, NodeBudgetFallsBackToBeam) {
+  GeneratorOptions options;
+  options.num_workers = 200;
+  options.seed = 13;
+  Table workers = GenerateWorkers(options).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, fn->ScoreAll(workers).value(),
+                                EvaluatorOptions())
+          .value();
+  ExhaustiveOptions ex;
+  ex.max_partitionings = 50;
+  ex.fallback_to_beam = false;
+  double without_fallback =
+      eval.AveragePairwiseUnfairness(
+              MakeExhaustiveAlgorithm(ex)
+                  ->Run(eval, workers.schema().ProtectedIndices(),
+                        ExecutionContext::Unbounded())
+                  .value()
+                  .partitioning)
+          .value();
+  ex.fallback_to_beam = true;
+  SearchResult with_fallback =
+      MakeExhaustiveAlgorithm(ex)
+          ->Run(eval, workers.schema().ProtectedIndices(),
+                ExecutionContext::Unbounded())
+          .value();
+  EXPECT_TRUE(with_fallback.truncated);
+  EXPECT_EQ(with_fallback.reason, ExhaustionReason::kNodeBudget);
+  EXPECT_TRUE(
+      IsValidPartitioning(with_fallback.partitioning, workers.num_rows()));
+  // The fallback keeps the better of {enumeration best-so-far, beam}.
+  double with_fallback_avg =
+      eval.AveragePairwiseUnfairness(with_fallback.partitioning).value();
+  EXPECT_GE(with_fallback_avg + 1e-12, without_fallback);
+}
+
+TEST(ExhaustiveTest, TimeBudgetTruncatesAsDeadline) {
   GeneratorOptions options;
   options.num_workers = 200;
   options.seed = 13;
@@ -98,8 +141,12 @@ TEST(ExhaustiveTest, TimeBudgetReported) {
   ExhaustiveOptions ex;
   ex.max_seconds = 1e-9;  // Expires after the first evaluated partitioning.
   auto algo = MakeExhaustiveAlgorithm(ex);
-  auto result = algo->Run(eval, workers.schema().ProtectedIndices());
-  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  SearchResult result = algo->Run(eval, workers.schema().ProtectedIndices(),
+                                  ExecutionContext::Unbounded())
+                            .value();
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.reason, ExhaustionReason::kDeadline);
+  EXPECT_TRUE(IsValidPartitioning(result.partitioning, workers.num_rows()));
 }
 
 TEST(ExhaustiveTest, SingleAttributeSpace) {

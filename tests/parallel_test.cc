@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -45,6 +47,84 @@ TEST(ParallelForTest, TinyRangeStaysInline) {
     for (size_t i = begin; i < end; ++i) ++hits[i];
   });
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, BodyExceptionRethrownAfterJoin) {
+  const size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  EXPECT_THROW(
+      ParallelFor(n, 4,
+                  [&](size_t begin, size_t end) {
+                    for (size_t i = begin; i < end; ++i) {
+                      if (i == 7'000) throw std::runtime_error("injected");
+                      hits[i].fetch_add(1);
+                    }
+                  }),
+      std::runtime_error);
+  // The range before the faulting chunk's throw still ran exactly once; no
+  // index ran twice (workers were joined, not abandoned).
+  for (size_t i = 0; i < n; ++i) EXPECT_LE(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, FirstExceptionByChunkIndexWins) {
+  // Two chunks throw; the rethrown exception must deterministically be the
+  // lowest chunk's regardless of scheduling.
+  const size_t n = 10'000;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    try {
+      ParallelFor(n, 4, [&](size_t begin, size_t) {
+        throw std::runtime_error("chunk@" + std::to_string(begin));
+      });
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk@0");
+    }
+  }
+}
+
+TEST(ParallelForCancellableTest, CompletesWhenUnrestricted) {
+  const size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  bool complete = ParallelForCancellable(
+      n, 4, CancellationToken(), Deadline::Infinite(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+  EXPECT_TRUE(complete);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForCancellableTest, PreCancelledStopsEarly) {
+  CancellationSource source;
+  source.RequestCancellation();
+  std::atomic<size_t> processed{0};
+  bool complete = ParallelForCancellable(
+      100'000, 4, source.token(), Deadline::Infinite(),
+      [&](size_t begin, size_t end) { processed.fetch_add(end - begin); });
+  EXPECT_FALSE(complete);
+  EXPECT_LT(processed.load(), 100'000u);
+}
+
+TEST(ParallelForCancellableTest, MidFlightCancellationStops) {
+  CancellationSource source;
+  std::atomic<size_t> processed{0};
+  bool complete = ParallelForCancellable(
+      1'000'000, 2, source.token(), Deadline::Infinite(),
+      [&](size_t begin, size_t end) {
+        processed.fetch_add(end - begin);
+        source.RequestCancellation();  // First block cancels the rest.
+      });
+  EXPECT_FALSE(complete);
+  EXPECT_LT(processed.load(), 1'000'000u);
+}
+
+TEST(ParallelForCancellableTest, ExpiredDeadlineStopsEarly) {
+  std::atomic<size_t> processed{0};
+  bool complete = ParallelForCancellable(
+      100'000, 4, CancellationToken(), Deadline::AfterMillis(0),
+      [&](size_t begin, size_t end) { processed.fetch_add(end - begin); });
+  EXPECT_FALSE(complete);
+  EXPECT_LT(processed.load(), 100'000u);
 }
 
 TEST(HardwareThreadsTest, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1); }

@@ -36,6 +36,9 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
        "AlreadyExists"},
       {Status::ResourceExhausted("i"), StatusCode::kResourceExhausted,
        "ResourceExhausted"},
+      {Status::Cancelled("j"), StatusCode::kCancelled, "Cancelled"},
+      {Status::DeadlineExceeded("k"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -6,6 +6,8 @@
 //   fairaudit audit    --input workers.csv --function alpha:0.5
 //                      [--algorithm balanced] [--bins 10] [--divergence emd]
 //                      [--attributes Gender,Country] [--json] [--histograms]
+//                      [--timeout-ms 5000] [--max-nodes 100000]
+//                      [--max-memory-mb 512]
 //   fairaudit rank     --input workers.csv --function alpha:0.5 [--top 10]
 //   fairaudit exposure --input workers.csv --function alpha:0.5
 //                      [--bias log|reciprocal|topk] [--top 10]
@@ -26,6 +28,12 @@
 // "f6".."f9" for the biased-by-design functions (add ":<seed>" to reseed,
 // e.g. "f7:99"), or "weights:Attr=0.7,Other=0.3" for an arbitrary linear
 // function over observed attributes.
+//
+// `--timeout-ms`, `--max-nodes` and `--max-memory-mb` (accepted by audit,
+// repair, significance and catalog) bound the partition search; on
+// exhaustion the search degrades to its best partitioning found so far and
+// the report / JSON marks the result truncated with the reason. The command
+// still exits 0 — a bounded audit is an answer, not an error.
 //
 // Input CSVs must carry the paper's worker schema columns (see
 // `fairaudit generate`); extra columns are ignored.
@@ -203,6 +211,23 @@ StatusOr<AuditOptions> AuditOptionsFromFlags(const FlagParser& flags) {
       options.protected_attributes.emplace_back(Trim(name));
     }
   }
+  FAIRRANK_ASSIGN_OR_RETURN(int64_t timeout_ms,
+                            flags.GetInt("timeout-ms", 0));
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument("--timeout-ms must be >= 0");
+  }
+  options.limits.timeout_ms = timeout_ms;
+  FAIRRANK_ASSIGN_OR_RETURN(int64_t max_nodes, flags.GetInt("max-nodes", 0));
+  if (max_nodes < 0) {
+    return Status::InvalidArgument("--max-nodes must be >= 0");
+  }
+  options.limits.max_nodes = static_cast<uint64_t>(max_nodes);
+  FAIRRANK_ASSIGN_OR_RETURN(int64_t max_memory_mb,
+                            flags.GetInt("max-memory-mb", 0));
+  if (max_memory_mb < 0) {
+    return Status::InvalidArgument("--max-memory-mb must be >= 0");
+  }
+  options.limits.max_memory_mb = static_cast<uint64_t>(max_memory_mb);
   return options;
 }
 
@@ -481,9 +506,10 @@ int CmdSignificance(const FlagParser& flags) {
                           static_cast<size_t>(*iterations), options->seed + 2);
   if (!bootstrap.ok()) return Fail(bootstrap.status());
 
-  std::printf("audit: %s via %s -> unfairness %.4f (%zu partitions)\n",
+  std::printf("audit: %s via %s -> unfairness %.4f (%zu partitions)%s\n",
               audit->scoring_function.c_str(), audit->algorithm.c_str(),
-              audit->unfairness, audit->partitions.size());
+              audit->unfairness, audit->partitions.size(),
+              audit->truncated ? " [search truncated]" : "");
   std::printf("permutation test (%lld iterations): null mean %.4f, "
               "p-value %.4f\n",
               static_cast<long long>(*iterations), permutation->null_mean,
@@ -505,13 +531,22 @@ int CmdCatalog(const FlagParser& flags) {
   std::printf("per-category audit via %s (least fair first):\n",
               options->algorithm.c_str());
   TextTable table;
-  table.SetHeader({"category", "unfairness", "partitions", "attributes"});
+  table.SetHeader(
+      {"category", "unfairness", "partitions", "attributes", "truncated"});
+  bool any_truncated = false;
   for (const CategoryAuditRow& row : *rows) {
+    any_truncated |= row.truncated;
     table.AddRow({row.category, FormatDouble(row.unfairness, 4),
                   std::to_string(row.num_partitions),
-                  Join(row.attributes_used, ", ")});
+                  Join(row.attributes_used, ", "),
+                  row.truncated ? "yes" : "no"});
   }
   std::printf("%s", table.ToString().c_str());
+  if (any_truncated) {
+    std::printf(
+        "note: truncated rows hit the deadline or budget; their unfairness "
+        "is a lower bound from the best partitioning found in time.\n");
+  }
   return 0;
 }
 
