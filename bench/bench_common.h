@@ -50,6 +50,11 @@ inline Table MakeWorkers(size_t n, uint64_t seed = kDataSeed) {
   return std::move(table).value();
 }
 
+/// Aggregates and prints the grid's evaluator-cache counters and search
+/// throughput — the observability line EXPERIMENTS.md quotes for the
+/// memoization speedup.
+inline void PrintCacheSummary(const SuiteResult& result);
+
 /// Runs the paper's algorithm grid via AuditSuite and prints it in the
 /// paper's layout: the "Average EMD" sub-table and, for Tables 1/2, the
 /// "time (in secs)" sub-table. Returns the grid for further assertions.
@@ -74,7 +79,34 @@ inline SuiteResult RunAndPrintGrid(
   if (print_times) {
     std::printf("time (in secs)\n%s\n", FormatSuiteRuntime(*result).c_str());
   }
+  PrintCacheSummary(*result);
   return std::move(result).value();
+}
+
+inline void PrintCacheSummary(const SuiteResult& result) {
+  EvalCacheStats total;
+  uint64_t nodes = 0;
+  double seconds = 0.0;
+  for (const auto& row : result.cells) {
+    for (const SuiteCell& cell : row) {
+      total.Add(cell.cache);
+      nodes += cell.nodes_visited;
+      seconds += cell.seconds;
+    }
+  }
+  std::printf(
+      "evaluator cache: histogram hit rate %.1f%% (%llu/%llu), "
+      "divergence hit rate %.1f%% (%llu/%llu), evictions %llu\n",
+      100.0 * total.histogram_hit_rate(),
+      static_cast<unsigned long long>(total.histogram_hits),
+      static_cast<unsigned long long>(total.histogram_lookups()),
+      100.0 * total.divergence_hit_rate(),
+      static_cast<unsigned long long>(total.divergence_hits),
+      static_cast<unsigned long long>(total.divergence_lookups()),
+      static_cast<unsigned long long>(total.evictions));
+  std::printf("search throughput: %llu nodes in %.3f s (%.0f nodes/s)\n\n",
+              static_cast<unsigned long long>(nodes), seconds,
+              seconds > 0.0 ? static_cast<double>(nodes) / seconds : 0.0);
 }
 
 }  // namespace bench

@@ -14,6 +14,7 @@ namespace {
 
 std::atomic<bool> g_armed{false};
 std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_divergence_count{0};
 std::mutex g_plan_mutex;
 FaultPlan g_plan;  // Guarded by g_plan_mutex.
 std::once_flag g_env_once;
@@ -30,6 +31,7 @@ void LoadEnvOnce() {
     FaultPlan plan;
     bool any = false;
     any |= EnvInt("FAIRRANK_FAULT_ALLOC_N", &plan.fail_alloc_checkpoint);
+    any |= EnvInt("FAIRRANK_FAULT_DIVERGENCE_N", &plan.fail_divergence_eval);
     any |= EnvInt("FAIRRANK_FAULT_PARALLEL_CHUNK", &plan.throw_in_chunk);
     any |= EnvInt("FAIRRANK_FAULT_STALL_CHUNK", &plan.stall_chunk);
     EnvInt("FAIRRANK_FAULT_STALL_MS", &plan.stall_ms);
@@ -50,6 +52,7 @@ void Arm(const FaultPlan& plan) {
     g_plan = plan;
   }
   g_alloc_count.store(0, std::memory_order_relaxed);
+  g_divergence_count.store(0, std::memory_order_relaxed);
   g_armed.store(true, std::memory_order_relaxed);
 }
 
@@ -70,6 +73,18 @@ bool OnAllocCheckpoint() {
   FaultPlan plan = CurrentPlan();
   return plan.fail_alloc_checkpoint > 0 &&
          n == static_cast<uint64_t>(plan.fail_alloc_checkpoint);
+}
+
+uint64_t divergence_evals_hit() {
+  return g_divergence_count.load(std::memory_order_relaxed);
+}
+
+bool OnDivergenceEval() {
+  if (!armed()) return false;
+  uint64_t n = g_divergence_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  FaultPlan plan = CurrentPlan();
+  return plan.fail_divergence_eval > 0 &&
+         n == static_cast<uint64_t>(plan.fail_divergence_eval);
 }
 
 void OnParallelChunk(size_t chunk_index, const CancellationToken& cancel) {

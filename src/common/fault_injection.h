@@ -17,6 +17,7 @@ namespace fault {
 ///   FAIRRANK_FAULT_PARALLEL_CHUNK=<k>  throw in parallel chunk k (0-based)
 ///   FAIRRANK_FAULT_STALL_CHUNK=<k>     stall parallel chunk k ...
 ///   FAIRRANK_FAULT_STALL_MS=<ms>       ... for this long (default 50)
+///   FAIRRANK_FAULT_DIVERGENCE_N=<n>    fail the nth divergence evaluation
 ///
 /// The hooks are wired into ExecutionContext::CheckMemory (allocation
 /// checkpoints) and ParallelFor / ParallelForCancellable (chunk faults), so
@@ -28,6 +29,10 @@ struct FaultPlan {
   /// Throw std::runtime_error at the start of parallel chunk k (0-based,
   /// chunk 0 runs on the calling thread); -1 disables.
   int64_t throw_in_chunk = -1;
+  /// Fail the nth (1-based) divergence evaluation in the unfairness
+  /// evaluator's hot path; 0 disables. Exercises the error path of the
+  /// pairwise loops (including sibling-chunk early abort).
+  int64_t fail_divergence_eval = 0;
   /// Stall parallel chunk k before its body runs; -1 disables.
   int64_t stall_chunk = -1;
   /// Stall duration. The stall sleeps in 1 ms slices and aborts early once
@@ -50,9 +55,18 @@ bool armed();
 /// Total allocation checkpoints hit since the last Arm().
 uint64_t alloc_checkpoints_hit();
 
+/// Total divergence evaluations (actual computations, not cache hits) hit
+/// since the last Arm(). Counted while armed, even when no divergence fault
+/// is configured — tests use it to measure evaluator work.
+uint64_t divergence_evals_hit();
+
 /// Hook: called by ExecutionContext::CheckMemory at every allocation
 /// checkpoint. Returns true when this checkpoint must fail.
 bool OnAllocCheckpoint();
+
+/// Hook: called by UnfairnessEvaluator before every actual divergence
+/// computation. Returns true when this evaluation must fail.
+bool OnDivergenceEval();
 
 /// Hook: called by the parallel runtime at the start of every chunk. May
 /// throw (throw_in_chunk) or sleep cancellation-aware (stall_chunk).

@@ -149,6 +149,7 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
       }
       a.path.clear();
       a.rows = std::move(rows);
+      a.fingerprint = RowSetFingerprint(a.rows);
       hists[best_i] = std::move(combined);
       alive[best_j] = false;
       sum = new_sum;

@@ -59,6 +59,10 @@ StatusOr<AuditResult> FairnessAuditor::AuditScores(
   FAIRRANK_ASSIGN_OR_RETURN(
       UnfairnessEvaluator eval,
       UnfairnessEvaluator::Make(table_, std::move(scores), options.evaluator));
+  // Cache growth of the search evaluator is charged against the search's
+  // resource budget; the reporting evaluator stays unbounded like its
+  // deadline.
+  search_eval.AttachExecutionContext(context);
 
   AlgorithmConfig config;
   config.seed = options.seed;
@@ -72,6 +76,7 @@ StatusOr<AuditResult> FairnessAuditor::AuditScores(
                             algorithm->Run(search_eval, std::move(attrs),
                                            context));
   double seconds = stopwatch.ElapsedSeconds();
+  search.cache = search_eval.cache_stats();
   Partitioning partitioning = std::move(search.partitioning);
 
   AuditResult result;
@@ -81,6 +86,9 @@ StatusOr<AuditResult> FairnessAuditor::AuditScores(
   result.truncated = search.truncated;
   result.exhaustion_reason = search.reason;
   result.nodes_visited = search.nodes_visited;
+  result.nodes_per_sec =
+      seconds > 0.0 ? static_cast<double>(search.nodes_visited) / seconds : 0.0;
+  result.out_of_range_scores = search_eval.num_out_of_range();
   FAIRRANK_ASSIGN_OR_RETURN(result.unfairness,
                             eval.AveragePairwiseUnfairness(partitioning));
   result.attributes_used = AttributesUsed(table_->schema(), partitioning);
@@ -112,6 +120,10 @@ StatusOr<AuditResult> FairnessAuditor::AuditScores(
                      return a.size > b.size;
                    });
   result.partitioning = std::move(partitioning);
+  // Combined cache view: search evaluator (bounded) plus the reporting
+  // evaluator that computed the metrics above.
+  result.cache = search.cache;
+  result.cache.Add(eval.cache_stats());
   return result;
 }
 

@@ -1,0 +1,142 @@
+#include "fairness/eval_cache.h"
+
+#include <algorithm>
+
+namespace fairrank {
+
+namespace {
+
+/// Approximate per-entry overheads (node + bucket bookkeeping of the
+/// unordered_maps). The budget proxy is deliberately coarse; what matters is
+/// that growth is monotone and roughly proportional to real usage.
+constexpr uint64_t kHistogramEntryOverhead = 96;
+constexpr uint64_t kDivergenceEntryBytes = 64;
+
+/// Budget checkpoints are batched so the cache does not spam the fault-
+/// injection / budget layer with one CheckMemory per tiny entry.
+constexpr uint64_t kChargeBatchBytes = 64 * 1024;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HistogramEntryBytes(const Histogram& histogram) {
+  return kHistogramEntryOverhead + sizeof(Histogram) +
+         histogram.counts().size() * sizeof(double);
+}
+
+}  // namespace
+
+void EvalCacheStats::Add(const EvalCacheStats& other) {
+  histogram_hits += other.histogram_hits;
+  histogram_misses += other.histogram_misses;
+  divergence_hits += other.divergence_hits;
+  divergence_misses += other.divergence_misses;
+  evictions += other.evictions;
+  bytes_used += other.bytes_used;
+  entries += other.entries;
+}
+
+size_t EvaluatorCache::PairKeyHash::operator()(const PairKey& key) const {
+  return static_cast<size_t>(SplitMix64(key.lo ^ SplitMix64(key.hi)));
+}
+
+EvaluatorCache::EvaluatorCache(bool enabled, uint64_t max_bytes)
+    : enabled_(enabled), max_bytes_(max_bytes) {}
+
+void EvaluatorCache::AttachContext(const ExecutionContext& context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_ = context;
+}
+
+bool EvaluatorCache::ReserveLocked(uint64_t incoming_bytes) {
+  if (budget_stopped_) return false;
+  if (max_bytes_ > 0 && incoming_bytes > max_bytes_) return false;
+  if (max_bytes_ > 0 && stats_.bytes_used + incoming_bytes > max_bytes_) {
+    // Epoch eviction: drop everything rather than tracking per-entry LRU —
+    // deterministic, O(1) amortized, and the hot working set repopulates
+    // within one selection round.
+    stats_.evictions += histograms_.size() + divergences_.size();
+    histograms_.clear();
+    divergences_.clear();
+    stats_.bytes_used = 0;
+    stats_.entries = 0;
+  }
+  pending_charge_ += incoming_bytes;
+  if (pending_charge_ >= kChargeBatchBytes) {
+    ExhaustionReason why = context_.CheckMemory(pending_charge_);
+    pending_charge_ = 0;
+    if (why != ExhaustionReason::kNone) {
+      // The budget (or an injected allocation fault) tripped: stop growing.
+      // The search sees the latched exhaustion at its next checkpoint and
+      // truncates gracefully; cached values already stored remain valid.
+      budget_stopped_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const Histogram> EvaluatorCache::FindHistogram(
+    uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (enabled_ && fingerprint != 0) {
+    auto it = histograms_.find(fingerprint);
+    if (it != histograms_.end()) {
+      ++stats_.histogram_hits;
+      return it->second;
+    }
+  }
+  ++stats_.histogram_misses;
+  return nullptr;
+}
+
+void EvaluatorCache::InsertHistogram(
+    uint64_t fingerprint, std::shared_ptr<const Histogram> histogram) {
+  if (!enabled_ || fingerprint == 0 || histogram == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t bytes = HistogramEntryBytes(*histogram);
+  if (!ReserveLocked(bytes)) return;
+  if (histograms_.emplace(fingerprint, std::move(histogram)).second) {
+    stats_.bytes_used += bytes;
+    ++stats_.entries;
+  }
+}
+
+bool EvaluatorCache::FindDivergence(uint64_t fp_a, uint64_t fp_b,
+                                    double* value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (enabled_ && fp_a != 0 && fp_b != 0) {
+    PairKey key{std::min(fp_a, fp_b), std::max(fp_a, fp_b)};
+    auto it = divergences_.find(key);
+    if (it != divergences_.end()) {
+      ++stats_.divergence_hits;
+      *value = it->second;
+      return true;
+    }
+  }
+  ++stats_.divergence_misses;
+  return false;
+}
+
+void EvaluatorCache::InsertDivergence(uint64_t fp_a, uint64_t fp_b,
+                                      double value) {
+  if (!enabled_ || fp_a == 0 || fp_b == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ReserveLocked(kDivergenceEntryBytes)) return;
+  PairKey key{std::min(fp_a, fp_b), std::max(fp_a, fp_b)};
+  if (divergences_.emplace(key, value).second) {
+    stats_.bytes_used += kDivergenceEntryBytes;
+    ++stats_.entries;
+  }
+}
+
+EvalCacheStats EvaluatorCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fairrank

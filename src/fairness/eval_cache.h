@@ -1,0 +1,133 @@
+#ifndef FAIRRANK_FAIRNESS_EVAL_CACHE_H_
+#define FAIRRANK_FAIRNESS_EVAL_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/budget.h"
+#include "stats/histogram.h"
+
+namespace fairrank {
+
+/// Observability counters of one evaluator cache. "Misses" are actual
+/// recomputations (histogram builds / divergence evaluations), so a
+/// caching-disabled run reports every build as a miss and the hit/miss split
+/// directly measures the work the cache saved. Counter totals are exact with
+/// num_threads == 1; with a parallel evaluator two workers may race to
+/// compute the same pair, so hit/miss splits can wobble by a few counts
+/// across runs (the cached *values* never do).
+struct EvalCacheStats {
+  uint64_t histogram_hits = 0;
+  uint64_t histogram_misses = 0;  ///< Histograms actually built.
+  uint64_t divergence_hits = 0;
+  uint64_t divergence_misses = 0;  ///< Divergences actually computed.
+  uint64_t evictions = 0;          ///< Entries dropped by the byte cap.
+  uint64_t bytes_used = 0;         ///< Resident cache bytes (approximate).
+  uint64_t entries = 0;            ///< Live histogram + divergence entries.
+
+  uint64_t histogram_lookups() const {
+    return histogram_hits + histogram_misses;
+  }
+  uint64_t divergence_lookups() const {
+    return divergence_hits + divergence_misses;
+  }
+  double histogram_hit_rate() const {
+    uint64_t n = histogram_lookups();
+    return n == 0 ? 0.0 : static_cast<double>(histogram_hits) / n;
+  }
+  double divergence_hit_rate() const {
+    uint64_t n = divergence_lookups();
+    return n == 0 ? 0.0 : static_cast<double>(divergence_hits) / n;
+  }
+
+  /// Accumulates `other` into this (used to combine the search and
+  /// reporting evaluators of one audit).
+  void Add(const EvalCacheStats& other);
+};
+
+/// Memoization layer for the evaluator hot path: per-partition score
+/// histograms keyed by the partition's 64-bit row-set fingerprint, and
+/// pairwise divergences keyed by the (unordered) fingerprint pair —
+/// divergences are symmetric by the Divergence contract, so keys are
+/// normalized to (min, max).
+///
+/// One cache belongs to exactly one UnfairnessEvaluator: fingerprints
+/// identify row sets only, so entries are valid only for that evaluator's
+/// fixed score vector and histogram shape. Never share a cache across
+/// evaluators.
+///
+/// Memory discipline:
+///  - `max_bytes` caps resident size; when an insert would exceed it the
+///    whole cache is dropped in one epoch eviction (deterministic, keeps
+///    the hot working set repopulating) and the entries are counted in
+///    EvalCacheStats::evictions.
+///  - When an ExecutionContext is attached, net new cache memory is charged
+///    against its ResourceBudget in batches via CheckMemory allocation
+///    checkpoints. Once a checkpoint reports exhaustion the cache stops
+///    growing (lookups still serve) and the owning search truncates
+///    gracefully at its next budget check — a tight budget degrades, it
+///    never OOMs and never changes computed values.
+///
+/// Thread-safe: a single mutex guards both maps and the counters; with the
+/// default serial evaluator it is uncontended.
+class EvaluatorCache {
+ public:
+  /// `enabled` false makes Find/Insert count misses but never store —
+  /// cache-off runs keep the same observability counters. `max_bytes` 0
+  /// means uncapped.
+  EvaluatorCache(bool enabled, uint64_t max_bytes);
+
+  /// Budget charging context (see class comment). Cheap value copy.
+  void AttachContext(const ExecutionContext& context);
+
+  /// The cached histogram for `fingerprint`, or null on a miss.
+  std::shared_ptr<const Histogram> FindHistogram(uint64_t fingerprint);
+
+  /// Stores a freshly built histogram. No-op when disabled or stopped.
+  void InsertHistogram(uint64_t fingerprint,
+                       std::shared_ptr<const Histogram> histogram);
+
+  /// True (and `*value` set) when the divergence of the fingerprint pair is
+  /// cached. Fingerprint 0 ("unknown row set") never matches.
+  bool FindDivergence(uint64_t fp_a, uint64_t fp_b, double* value);
+
+  /// Stores a computed divergence. No-op when disabled, stopped, or either
+  /// fingerprint is 0.
+  void InsertDivergence(uint64_t fp_a, uint64_t fp_b, double value);
+
+  EvalCacheStats Snapshot() const;
+
+ private:
+  struct PairKey {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    bool operator==(const PairKey& other) const {
+      return lo == other.lo && hi == other.hi;
+    }
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& key) const;
+  };
+
+  /// Evicts everything (epoch eviction) so `incoming_bytes` can fit, and
+  /// charges the budget. Returns false when inserts must be skipped (budget
+  /// stop or entry larger than the cap). Caller holds `mutex_`.
+  bool ReserveLocked(uint64_t incoming_bytes);
+
+  const bool enabled_;
+  const uint64_t max_bytes_;
+  ExecutionContext context_;  ///< Unbounded until AttachContext.
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<const Histogram>> histograms_;
+  std::unordered_map<PairKey, double, PairKeyHash> divergences_;
+  EvalCacheStats stats_;
+  uint64_t pending_charge_ = 0;  ///< Bytes not yet charged to the budget.
+  bool budget_stopped_ = false;  ///< A CheckMemory checkpoint tripped.
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_FAIRNESS_EVAL_CACHE_H_

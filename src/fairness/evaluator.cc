@@ -1,10 +1,12 @@
 #include "fairness/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <exception>
 #include <mutex>
 
+#include "common/fault_injection.h"
 #include "common/parallel.h"
 
 namespace fairrank {
@@ -20,51 +22,100 @@ StatusOr<UnfairnessEvaluator> UnfairnessEvaluator::Make(
         "got " + std::to_string(scores.size()) + " scores for " +
         std::to_string(table->num_rows()) + " rows");
   }
-  for (size_t i = 0; i < scores.size(); ++i) {
-    if (!std::isfinite(scores[i])) {
-      return Status::InvalidArgument("score " + std::to_string(i) +
-                                     " is not finite");
-    }
-  }
   if (options.num_bins < 1) {
     return Status::InvalidArgument("num_bins must be >= 1");
   }
   if (!(options.score_lo < options.score_hi)) {
     return Status::InvalidArgument("empty score range");
   }
+  size_t num_out_of_range = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!std::isfinite(scores[i])) {
+      return Status::InvalidArgument("score " + std::to_string(i) +
+                                     " is not finite");
+    }
+    if (scores[i] < options.score_lo || scores[i] > options.score_hi) {
+      ++num_out_of_range;
+      if (options.out_of_range == OutOfRangePolicy::kReject) {
+        return Status::InvalidArgument(
+            "score " + std::to_string(i) + " (" + std::to_string(scores[i]) +
+            ") is outside [" + std::to_string(options.score_lo) + ", " +
+            std::to_string(options.score_hi) +
+            "] and out_of_range is kReject");
+      }
+    }
+  }
   FAIRRANK_ASSIGN_OR_RETURN(std::unique_ptr<Divergence> divergence,
                             MakeDivergenceByName(options.divergence));
   return UnfairnessEvaluator(table, std::move(scores), options,
-                             std::move(divergence));
+                             std::move(divergence), num_out_of_range);
+}
+
+std::shared_ptr<const Histogram> UnfairnessEvaluator::CachedHistogram(
+    const Partition& partition) const {
+  const uint64_t fp = PartitionFingerprint(partition);
+  if (std::shared_ptr<const Histogram> hit = cache_->FindHistogram(fp)) {
+    return hit;
+  }
+  auto built = std::make_shared<Histogram>(options_.num_bins,
+                                           options_.score_lo,
+                                           options_.score_hi);
+  for (size_t row : partition.rows) built->Add(scores_[row]);
+  std::shared_ptr<const Histogram> result = std::move(built);
+  cache_->InsertHistogram(fp, result);
+  return result;
+}
+
+StatusOr<double> UnfairnessEvaluator::CachedDistance(uint64_t fp_a,
+                                                     const Histogram& a,
+                                                     uint64_t fp_b,
+                                                     const Histogram& b) const {
+  double cached = 0.0;
+  if (cache_->FindDivergence(fp_a, fp_b, &cached)) return cached;
+  if (fault::OnDivergenceEval()) {
+    return Status::Internal("fault injection: divergence evaluation failed");
+  }
+  StatusOr<double> d = divergence_->Distance(a, b);
+  if (d.ok()) cache_->InsertDivergence(fp_a, fp_b, *d);
+  return d;
 }
 
 Histogram UnfairnessEvaluator::BuildHistogram(
     const Partition& partition) const {
-  Histogram h(options_.num_bins, options_.score_lo, options_.score_hi);
-  for (size_t row : partition.rows) h.Add(scores_[row]);
-  return h;
+  return *CachedHistogram(partition);
 }
 
 StatusOr<double> UnfairnessEvaluator::Distance(const Partition& a,
                                                const Partition& b) const {
-  return divergence_->Distance(BuildHistogram(a), BuildHistogram(b));
+  std::shared_ptr<const Histogram> ha = CachedHistogram(a);
+  std::shared_ptr<const Histogram> hb = CachedHistogram(b);
+  return CachedDistance(PartitionFingerprint(a), *ha, PartitionFingerprint(b),
+                        *hb);
 }
 
-StatusOr<double> UnfairnessEvaluator::AveragePairwiseUnfairness(
+StatusOr<std::vector<double>> UnfairnessEvaluator::PairwiseDistances(
     const Partitioning& partitioning) const {
-  if (partitioning.size() < 2) return 0.0;
-  std::vector<Histogram> hists;
-  hists.reserve(partitioning.size());
-  for (const Partition& p : partitioning) hists.push_back(BuildHistogram(p));
+  std::vector<double> distances;
+  if (partitioning.size() < 2) return distances;
+  const size_t k = partitioning.size();
+  std::vector<uint64_t> fps(k);
+  std::vector<std::shared_ptr<const Histogram>> hists(k);
+  for (size_t i = 0; i < k; ++i) {
+    fps[i] = PartitionFingerprint(partitioning[i]);
+    hists[i] = CachedHistogram(partitioning[i]);
+  }
 
-  const size_t k = hists.size();
   const size_t num_pairs = k * (k - 1) / 2;
   // Flatten the upper triangle so pair m maps to (i, j) and distances land
   // in a fixed slot — the final reduction order is deterministic regardless
   // of thread count.
-  std::vector<double> distances(num_pairs, 0.0);
+  distances.assign(num_pairs, 0.0);
   Status first_error;
   std::mutex error_mutex;
+  // Once any pair fails, sibling chunks stop at their next iteration instead
+  // of burning through the rest of their range — the result is discarded
+  // anyway.
+  std::atomic<bool> abort{false};
   bool complete = true;
   try {
     complete = ParallelForCancellable(
@@ -81,8 +132,11 @@ StatusOr<double> UnfairnessEvaluator::AveragePairwiseUnfairness(
           }
           j = i + 1 + (begin - m);
           for (size_t p = begin; p < end; ++p) {
-            StatusOr<double> d = divergence_->Distance(hists[i], hists[j]);
+            if (abort.load(std::memory_order_relaxed)) return;
+            StatusOr<double> d =
+                CachedDistance(fps[i], *hists[i], fps[j], *hists[j]);
             if (!d.ok()) {
+              abort.store(true, std::memory_order_relaxed);
               std::lock_guard<std::mutex> lock(error_mutex);
               if (first_error.ok()) first_error = d.status();
               return;
@@ -107,9 +161,17 @@ StatusOr<double> UnfairnessEvaluator::AveragePairwiseUnfairness(
                : Status::DeadlineExceeded(
                      "deadline expired during pairwise unfairness");
   }
+  return distances;
+}
+
+StatusOr<double> UnfairnessEvaluator::AveragePairwiseUnfairness(
+    const Partitioning& partitioning) const {
+  if (partitioning.size() < 2) return 0.0;
+  FAIRRANK_ASSIGN_OR_RETURN(std::vector<double> distances,
+                            PairwiseDistances(partitioning));
   double sum = 0.0;
   for (double d : distances) sum += d;
-  return sum / static_cast<double>(num_pairs);
+  return sum / static_cast<double>(distances.size());
 }
 
 StatusOr<std::vector<DivergentPair>> TopDivergentPairs(
@@ -117,16 +179,15 @@ StatusOr<std::vector<DivergentPair>> TopDivergentPairs(
     size_t k) {
   std::vector<DivergentPair> pairs;
   if (partitioning.size() < 2 || k == 0) return pairs;
-  std::vector<Histogram> hists;
-  hists.reserve(partitioning.size());
-  for (const Partition& p : partitioning) {
-    hists.push_back(eval.BuildHistogram(p));
-  }
-  for (size_t i = 0; i < hists.size(); ++i) {
-    for (size_t j = i + 1; j < hists.size(); ++j) {
-      FAIRRANK_ASSIGN_OR_RETURN(double d,
-                                eval.divergence().Distance(hists[i], hists[j]));
-      pairs.push_back({i, j, d});
+  // Same flattened upper triangle as AveragePairwiseUnfairness — when the
+  // audit already computed it, every lookup below is a cache hit.
+  FAIRRANK_ASSIGN_OR_RETURN(std::vector<double> distances,
+                            eval.PairwiseDistances(partitioning));
+  pairs.reserve(distances.size());
+  size_t m = 0;
+  for (size_t i = 0; i < partitioning.size(); ++i) {
+    for (size_t j = i + 1; j < partitioning.size(); ++j) {
+      pairs.push_back({i, j, distances[m++]});
     }
   }
   std::stable_sort(pairs.begin(), pairs.end(),
@@ -140,11 +201,14 @@ StatusOr<std::vector<DivergentPair>> TopDivergentPairs(
 StatusOr<double> UnfairnessEvaluator::AverageWithSiblings(
     const Partition& current, const std::vector<Partition>& siblings) const {
   if (siblings.empty()) return 0.0;
-  Histogram current_hist = BuildHistogram(current);
+  const uint64_t current_fp = PartitionFingerprint(current);
+  std::shared_ptr<const Histogram> current_hist = CachedHistogram(current);
   double sum = 0.0;
   for (const Partition& s : siblings) {
+    std::shared_ptr<const Histogram> sh = CachedHistogram(s);
     FAIRRANK_ASSIGN_OR_RETURN(
-        double d, divergence_->Distance(current_hist, BuildHistogram(s)));
+        double d, CachedDistance(current_fp, *current_hist,
+                                 PartitionFingerprint(s), *sh));
     sum += d;
   }
   return sum / static_cast<double>(siblings.size());
@@ -153,13 +217,21 @@ StatusOr<double> UnfairnessEvaluator::AverageWithSiblings(
 StatusOr<double> UnfairnessEvaluator::AverageChildrenWithSiblings(
     const std::vector<Partition>& children,
     const std::vector<Partition>& siblings) const {
-  std::vector<Histogram> child_hists;
+  std::vector<uint64_t> child_fps;
+  std::vector<std::shared_ptr<const Histogram>> child_hists;
+  child_fps.reserve(children.size());
   child_hists.reserve(children.size());
-  for (const Partition& c : children) child_hists.push_back(BuildHistogram(c));
-  std::vector<Histogram> sibling_hists;
+  for (const Partition& c : children) {
+    child_fps.push_back(PartitionFingerprint(c));
+    child_hists.push_back(CachedHistogram(c));
+  }
+  std::vector<uint64_t> sibling_fps;
+  std::vector<std::shared_ptr<const Histogram>> sibling_hists;
+  sibling_fps.reserve(siblings.size());
   sibling_hists.reserve(siblings.size());
   for (const Partition& s : siblings) {
-    sibling_hists.push_back(BuildHistogram(s));
+    sibling_fps.push_back(PartitionFingerprint(s));
+    sibling_hists.push_back(CachedHistogram(s));
   }
 
   double sum = 0.0;
@@ -168,15 +240,18 @@ StatusOr<double> UnfairnessEvaluator::AverageChildrenWithSiblings(
   for (size_t i = 0; i < child_hists.size(); ++i) {
     for (size_t j = i + 1; j < child_hists.size(); ++j) {
       FAIRRANK_ASSIGN_OR_RETURN(
-          double d, divergence_->Distance(child_hists[i], child_hists[j]));
+          double d, CachedDistance(child_fps[i], *child_hists[i],
+                                   child_fps[j], *child_hists[j]));
       sum += d;
       ++pairs;
     }
   }
   // Child-sibling pairs.
-  for (const Histogram& ch : child_hists) {
-    for (const Histogram& sh : sibling_hists) {
-      FAIRRANK_ASSIGN_OR_RETURN(double d, divergence_->Distance(ch, sh));
+  for (size_t i = 0; i < child_hists.size(); ++i) {
+    for (size_t j = 0; j < sibling_hists.size(); ++j) {
+      FAIRRANK_ASSIGN_OR_RETURN(
+          double d, CachedDistance(child_fps[i], *child_hists[i],
+                                   sibling_fps[j], *sibling_hists[j]));
       sum += d;
       ++pairs;
     }
@@ -187,8 +262,8 @@ StatusOr<double> UnfairnessEvaluator::AverageChildrenWithSiblings(
     for (size_t i = 0; i < sibling_hists.size(); ++i) {
       for (size_t j = i + 1; j < sibling_hists.size(); ++j) {
         FAIRRANK_ASSIGN_OR_RETURN(
-            double d,
-            divergence_->Distance(sibling_hists[i], sibling_hists[j]));
+            double d, CachedDistance(sibling_fps[i], *sibling_hists[i],
+                                     sibling_fps[j], *sibling_hists[j]));
         sum += d;
         ++pairs;
       }

@@ -4,9 +4,11 @@
 #include <memory>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/deadline.h"
 #include "common/status.h"
 #include "data/table.h"
+#include "fairness/eval_cache.h"
 #include "fairness/partition.h"
 #include "stats/divergence.h"
 #include "stats/histogram.h"
@@ -28,6 +30,18 @@ enum class SiblingComparison {
   /// pairwise unfairness of the candidate partitioning after replacing the
   /// partition by its children (sibling-sibling pairs included).
   kAllPairs,
+};
+
+/// What to do when scores fall outside [score_lo, score_hi]. Histograms
+/// clamp such values into the edge bins; before this policy existed the
+/// clamping was silent and quietly distorted the edge bins.
+enum class OutOfRangePolicy {
+  /// Count the offenders and surface the count via
+  /// UnfairnessEvaluator::num_out_of_range() (reports warn on it). Default:
+  /// repaired or generated score vectors may legitimately graze the range.
+  kCount,
+  /// Reject the score vector in Make with InvalidArgument.
+  kReject,
 };
 
 /// Configuration of the unfairness measure.
@@ -54,6 +68,16 @@ struct EvaluatorOptions {
   /// *reporting* — only the search evaluator should be interruptible.
   Deadline deadline;
   CancellationToken cancel;
+  /// Memoize per-partition histograms and pairwise divergences by row-set
+  /// fingerprint (see EvaluatorCache). On by default; `--no-cache` turns it
+  /// off. Results are bit-identical either way — the cache stores exactly
+  /// the values the uncached path would recompute.
+  bool enable_cache = true;
+  /// Byte cap of the memoization cache (0 = uncapped). Exceeding it triggers
+  /// an epoch eviction, never an error.
+  uint64_t cache_max_bytes = 256ull << 20;
+  /// Policy for scores outside [score_lo, score_hi]; see OutOfRangePolicy.
+  OutOfRangePolicy out_of_range = OutOfRangePolicy::kCount;
 };
 
 /// Computes unfairness(P, f) (Definition 2): the average pairwise divergence
@@ -62,7 +86,15 @@ struct EvaluatorOptions {
 /// partition histograms on demand, and exposes the sibling-relative averages
 /// Algorithm 2 needs.
 ///
-/// Thread-compatible: const after construction; all accessors are const.
+/// All evaluation paths are memoized through an EvaluatorCache keyed by
+/// partition row-set fingerprints: a partition reached twice (sibling
+/// re-evaluation, beam overlap, different split orders producing the same
+/// cell) pays for its histogram and its divergences once. The cache is
+/// internal to this evaluator — it is never valid for a different score
+/// vector — and cache-on/off results are bit-identical.
+///
+/// Thread-compatible: logically const after construction; all accessors are
+/// const (the cache is internally synchronized).
 class UnfairnessEvaluator {
  public:
   /// `table` must outlive the evaluator; `scores` must have one entry per
@@ -95,6 +127,31 @@ class UnfairnessEvaluator {
       const std::vector<Partition>& children,
       const std::vector<Partition>& siblings) const;
 
+  /// All pairwise divergences of `partitioning`, flattened in upper-triangle
+  /// order: pair (i, j), i < j, lands at the slot both
+  /// AveragePairwiseUnfairness and TopDivergentPairs read — one memoized
+  /// computation serves both. Honors the deadline/cancel options like
+  /// AveragePairwiseUnfairness; fewer than two partitions yields an empty
+  /// vector.
+  StatusOr<std::vector<double>> PairwiseDistances(
+      const Partitioning& partitioning) const;
+
+  /// Attaches the search's ExecutionContext so net new cache memory is
+  /// charged against its ResourceBudget (see EvaluatorCache). Call before
+  /// the search starts; auditors do this for the search evaluator only.
+  void AttachExecutionContext(const ExecutionContext& context) {
+    cache_->AttachContext(context);
+  }
+
+  /// Cache counters so far (hits, misses = actual builds, evictions,
+  /// resident bytes). Meaningful with the cache disabled too: misses then
+  /// count every recomputation.
+  EvalCacheStats cache_stats() const { return cache_->Snapshot(); }
+
+  /// Number of input scores outside [score_lo, score_hi] (0 under kReject,
+  /// which refuses such inputs). Reports surface a warning when nonzero.
+  size_t num_out_of_range() const { return num_out_of_range_; }
+
   const Table& table() const { return *table_; }
   const std::vector<double>& scores() const { return scores_; }
   const EvaluatorOptions& options() const { return options_; }
@@ -103,16 +160,35 @@ class UnfairnessEvaluator {
  private:
   UnfairnessEvaluator(const Table* table, std::vector<double> scores,
                       const EvaluatorOptions& options,
-                      std::unique_ptr<Divergence> divergence)
+                      std::unique_ptr<Divergence> divergence,
+                      size_t num_out_of_range)
       : table_(table),
         scores_(std::move(scores)),
         options_(options),
-        divergence_(std::move(divergence)) {}
+        divergence_(std::move(divergence)),
+        num_out_of_range_(num_out_of_range),
+        cache_(std::make_shared<EvaluatorCache>(options.enable_cache,
+                                                options.cache_max_bytes)) {}
+
+  /// The partition's histogram via the cache: lookup by fingerprint, build
+  /// and insert on a miss. Never null.
+  std::shared_ptr<const Histogram> CachedHistogram(
+      const Partition& partition) const;
+
+  /// The divergence of two histograms via the cache, keyed by the unordered
+  /// fingerprint pair. Runs the fault-injection divergence hook on the
+  /// compute (miss) path only.
+  StatusOr<double> CachedDistance(uint64_t fp_a, const Histogram& a,
+                                  uint64_t fp_b, const Histogram& b) const;
 
   const Table* table_;
   std::vector<double> scores_;
   EvaluatorOptions options_;
   std::unique_ptr<Divergence> divergence_;
+  size_t num_out_of_range_ = 0;
+  /// shared_ptr so the evaluator stays movable/copyable; the cache contents
+  /// are keyed by row sets, which move with the score vector.
+  std::shared_ptr<EvaluatorCache> cache_;
 };
 
 /// One highly divergent partition pair — the "who exactly is treated

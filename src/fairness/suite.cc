@@ -49,6 +49,8 @@ StatusOr<SuiteResult> AuditSuite::Run(
       cell.num_partitions = audit.partitions.size();
       cell.attributes_used = std::move(audit.attributes_used);
       cell.truncated = audit.truncated;
+      cell.nodes_visited = audit.nodes_visited;
+      cell.cache = audit.cache;
       result.cells[a].push_back(std::move(cell));
     }
   }
@@ -86,7 +88,7 @@ std::string FormatSuiteRuntime(const SuiteResult& result) {
 std::string FormatSuiteCsv(const SuiteResult& result) {
   std::string out =
       "algorithm,function,unfairness,seconds,num_partitions,attributes,"
-      "truncated\n";
+      "truncated,nodes_visited,hist_hit_rate,div_hit_rate\n";
   for (const auto& row : result.cells) {
     for (const SuiteCell& cell : row) {
       out += cell.algorithm + "," + cell.function + "," +
@@ -94,7 +96,10 @@ std::string FormatSuiteCsv(const SuiteResult& result) {
              FormatDouble(cell.seconds, 6) + "," +
              std::to_string(cell.num_partitions) + "," +
              Join(cell.attributes_used, "|") + "," +
-             (cell.truncated ? "true" : "false") + "\n";
+             (cell.truncated ? "true" : "false") + "," +
+             std::to_string(cell.nodes_visited) + "," +
+             FormatDouble(cell.cache.histogram_hit_rate(), 3) + "," +
+             FormatDouble(cell.cache.divergence_hit_rate(), 3) + "\n";
     }
   }
   return out;

@@ -37,6 +37,9 @@ struct SuiteCell {
   size_t num_partitions = 0;
   std::vector<std::string> attributes_used;
   bool truncated = false;  ///< Search stopped early; see AuditResult.
+  uint64_t nodes_visited = 0;  ///< Search work; see AuditResult.
+  /// Evaluator-cache counters of this cell's audit (search + reporting).
+  EvalCacheStats cache;
 };
 
 /// A full grid of audits.

@@ -27,9 +27,11 @@ double Emd1DMass(const std::vector<double>& a, const std::vector<double>& b,
                  double bin_width) {
   double emd = 0.0;
   double cdf_diff = 0.0;
-  // The final prefix sums are both 1, so the last term contributes ~0; we
-  // still include it so numerical drift is visible in tests.
-  for (size_t i = 0; i + 1 < a.size(); ++i) {
+  // The final term |sum(a) - sum(b)| is included: it vanishes for equal-mass
+  // inputs (normalized histograms agree up to rounding) but carries the
+  // mass-imbalance cost for unnormalized or drifted vectors, so imbalance is
+  // visible instead of silently dropped.
+  for (size_t i = 0; i < a.size(); ++i) {
     cdf_diff += a[i] - b[i];
     emd += std::abs(cdf_diff);
   }

@@ -32,6 +32,7 @@ int Histogram::BinOf(double value) const {
 void Histogram::Add(double value) { AddWeighted(value, 1.0); }
 
 void Histogram::AddWeighted(double value, double weight) {
+  if (value < lo_ || value > hi_) clamped_ += weight;
   counts_[BinOf(value)] += weight;
   total_ += weight;
 }
@@ -59,6 +60,7 @@ Status Histogram::MergeWith(const Histogram& other) {
   }
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   total_ += other.total_;
+  clamped_ += other.clamped_;
   return Status::OK();
 }
 

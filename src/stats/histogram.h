@@ -15,7 +15,10 @@ namespace fairrank {
 ///
 /// Values outside [lo, hi] are clamped into the edge bins (scoring functions
 /// are supposed to map into [0,1], but biased generators may graze the
-/// boundary). The upper bound is inclusive in the last bin.
+/// boundary). The upper bound is inclusive in the last bin. Clamping is no
+/// longer silent: `clamped_count()` reports how much mass landed outside the
+/// range, so callers (UnfairnessEvaluator::Make, reports) can reject or warn
+/// instead of quietly distorting the edge bins.
 class Histogram {
  public:
   /// Requires num_bins >= 1 and lo < hi (asserted via Validate in factory).
@@ -45,6 +48,10 @@ class Histogram {
   double total() const { return total_; }
   bool empty() const { return total_ <= 0.0; }
 
+  /// Total weight of observations outside [lo, hi] that were folded into an
+  /// edge bin. Included in total(); MergeWith sums it.
+  double clamped_count() const { return clamped_; }
+
   /// Probability masses (counts / total). Requires total() > 0.
   std::vector<double> Normalized() const;
 
@@ -68,6 +75,7 @@ class Histogram {
   double hi_;
   std::vector<double> counts_;
   double total_ = 0.0;
+  double clamped_ = 0.0;
 };
 
 }  // namespace fairrank

@@ -1,0 +1,248 @@
+// Tests of the evaluator memoization layer (fairness/eval_cache.h): cache-on
+// and cache-off runs must agree bit-for-bit across every algorithm, the byte
+// cap must evict instead of erroring, tight memory budgets must degrade
+// gracefully, and the counters must show the cache actually saving work.
+
+#include "fairness/eval_cache.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/budget.h"
+#include "fairness/auditor.h"
+#include "fairness/evaluator.h"
+#include "fairness/partition.h"
+#include "fairness/registry.h"
+#include "marketplace/generator.h"
+#include "marketplace/scoring.h"
+
+namespace fairrank {
+namespace {
+
+Table Workers(size_t n, uint64_t seed = 20190326) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = seed;
+  return GenerateWorkers(options).value();
+}
+
+std::vector<double> Scores(const Table& workers) {
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  return fn->ScoreAll(workers).value();
+}
+
+bool SamePartitioning(const Partitioning& a, const Partitioning& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].rows != b[i].rows) return false;
+  }
+  return true;
+}
+
+TEST(EvalCacheTest, FingerprintIsStableAndOrderSensitiveRowSetHash) {
+  EXPECT_EQ(RowSetFingerprint({1, 2, 3}), RowSetFingerprint({1, 2, 3}));
+  EXPECT_NE(RowSetFingerprint({1, 2, 3}), RowSetFingerprint({1, 2, 4}));
+  EXPECT_NE(RowSetFingerprint({1, 2, 3}), RowSetFingerprint({1, 2}));
+  EXPECT_NE(RowSetFingerprint({}), 0u);  // Never 0, even for empty sets.
+}
+
+TEST(EvalCacheTest, SplitterAssignsFingerprintsMatchingRowSets) {
+  Table workers = Workers(200);
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, Scores(workers), EvaluatorOptions())
+          .value();
+  auto algo = MakeAlgorithmByName("all-attributes").value();
+  Partitioning p =
+      algo->Run(eval, workers.schema().ProtectedIndices()).value();
+  ASSERT_GE(p.size(), 2u);
+  for (const Partition& part : p) {
+    EXPECT_NE(part.fingerprint, 0u);
+    EXPECT_EQ(part.fingerprint, RowSetFingerprint(part.rows));
+  }
+}
+
+TEST(EvalCacheTest, HitAndMissCountersTrackLookups) {
+  EvaluatorCache cache(/*enabled=*/true, /*max_bytes=*/0);
+  EXPECT_EQ(cache.FindHistogram(42), nullptr);
+  auto h = std::make_shared<Histogram>(10, 0.0, 1.0);
+  cache.InsertHistogram(42, h);
+  EXPECT_EQ(cache.FindHistogram(42), h);
+  double d = 0.0;
+  EXPECT_FALSE(cache.FindDivergence(1, 2, &d));
+  cache.InsertDivergence(1, 2, 0.75);
+  // Symmetric key: (2, 1) must hit the (1, 2) entry.
+  EXPECT_TRUE(cache.FindDivergence(2, 1, &d));
+  EXPECT_DOUBLE_EQ(d, 0.75);
+  EvalCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.histogram_hits, 1u);
+  EXPECT_EQ(stats.histogram_misses, 1u);
+  EXPECT_EQ(stats.divergence_hits, 1u);
+  EXPECT_EQ(stats.divergence_misses, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.bytes_used, 0u);
+}
+
+TEST(EvalCacheTest, DisabledCacheCountsMissesButNeverStores) {
+  EvaluatorCache cache(/*enabled=*/false, /*max_bytes=*/0);
+  cache.InsertHistogram(42, std::make_shared<Histogram>(10, 0.0, 1.0));
+  EXPECT_EQ(cache.FindHistogram(42), nullptr);
+  cache.InsertDivergence(1, 2, 0.5);
+  double d = 0.0;
+  EXPECT_FALSE(cache.FindDivergence(1, 2, &d));
+  EvalCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.histogram_hits, 0u);
+  EXPECT_EQ(stats.histogram_misses, 1u);
+  EXPECT_EQ(stats.divergence_misses, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes_used, 0u);
+}
+
+TEST(EvalCacheTest, ByteCapTriggersEpochEviction) {
+  // Cap so small that a handful of divergence entries overflow it.
+  EvaluatorCache cache(/*enabled=*/true, /*max_bytes=*/256);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    cache.InsertDivergence(i, i + 1000, 0.5);
+  }
+  EvalCacheStats stats = cache.Snapshot();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_used, 256u);
+  // Entries larger than the whole cap are refused outright, not thrashed.
+  EvaluatorCache tiny(/*enabled=*/true, /*max_bytes=*/8);
+  tiny.InsertHistogram(7, std::make_shared<Histogram>(10, 0.0, 1.0));
+  EXPECT_EQ(tiny.Snapshot().entries, 0u);
+}
+
+TEST(EvalCacheTest, CacheOnAndOffAgreeBitForBitAcrossAlgorithms) {
+  // 300 workers keeps the exhaustive row tractable while still producing
+  // multi-attribute partitionings for every algorithm.
+  Table workers = Workers(300);
+  FairnessAuditor auditor(&workers);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  for (const std::string& algorithm : KnownAlgorithmNames()) {
+    AuditOptions on;
+    on.algorithm = algorithm;
+    on.seed = 3;
+    AuditOptions off = on;
+    off.evaluator.enable_cache = false;
+    AuditResult with_cache = auditor.Audit(*fn, on).value();
+    AuditResult without_cache = auditor.Audit(*fn, off).value();
+    // Bit-identical, not approximately equal: the cache must return exactly
+    // the double the uncached path computes.
+    EXPECT_EQ(with_cache.unfairness, without_cache.unfairness) << algorithm;
+    EXPECT_TRUE(SamePartitioning(with_cache.partitioning,
+                                 without_cache.partitioning))
+        << algorithm;
+    ASSERT_EQ(with_cache.worst_pairs.size(), without_cache.worst_pairs.size())
+        << algorithm;
+    for (size_t i = 0; i < with_cache.worst_pairs.size(); ++i) {
+      EXPECT_EQ(with_cache.worst_pairs[i].distance,
+                without_cache.worst_pairs[i].distance)
+          << algorithm;
+    }
+  }
+}
+
+TEST(EvalCacheTest, CacheSavesAtLeastHalfTheHistogramBuilds) {
+  Table workers = Workers(500);
+  FairnessAuditor auditor(&workers);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  AuditOptions on;
+  on.algorithm = "unbalanced";
+  AuditOptions off = on;
+  off.evaluator.enable_cache = false;
+  AuditResult with_cache = auditor.Audit(*fn, on).value();
+  AuditResult without_cache = auditor.Audit(*fn, off).value();
+  // Both runs perform identical lookups (the search is deterministic), and
+  // misses count actual computations in both modes. The memoized run must
+  // build at most half the histograms (the >= 2x bar) and strictly fewer
+  // divergences (its hit rate on this workload is just under one half).
+  EXPECT_EQ(with_cache.cache.histogram_lookups(),
+            without_cache.cache.histogram_lookups());
+  EXPECT_EQ(with_cache.cache.divergence_lookups(),
+            without_cache.cache.divergence_lookups());
+  EXPECT_GT(without_cache.cache.histogram_misses, 0u);
+  EXPECT_LE(2 * with_cache.cache.histogram_misses,
+            without_cache.cache.histogram_misses);
+  EXPECT_LT(with_cache.cache.divergence_misses,
+            without_cache.cache.divergence_misses);
+  EXPECT_GT(with_cache.cache.divergence_hits, 0u);
+  EXPECT_GT(with_cache.cache.histogram_hits, 0u);
+  EXPECT_EQ(without_cache.cache.histogram_hits, 0u);
+}
+
+TEST(EvalCacheTest, TinyByteCapEvictsButKeepsResultsIdentical) {
+  Table workers = Workers(500);
+  FairnessAuditor auditor(&workers);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  AuditOptions roomy;
+  roomy.algorithm = "balanced";
+  AuditOptions tight = roomy;
+  tight.evaluator.cache_max_bytes = 4 * 1024;  // Forces constant eviction.
+  AuditResult roomy_result = auditor.Audit(*fn, roomy).value();
+  AuditResult tight_result = auditor.Audit(*fn, tight).value();
+  EXPECT_GT(tight_result.cache.evictions, 0u);
+  EXPECT_EQ(tight_result.unfairness, roomy_result.unfairness);
+  EXPECT_TRUE(
+      SamePartitioning(tight_result.partitioning, roomy_result.partitioning));
+}
+
+TEST(EvalCacheTest, TightMemoryBudgetDegradesGracefully) {
+  Table workers = Workers(500);
+  FairnessAuditor auditor(&workers);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  AuditOptions options;
+  options.algorithm = "balanced";
+  options.limits.max_memory_mb = 1;  // Far below what the search wants.
+  StatusOr<AuditResult> result = auditor.Audit(*fn, options);
+  // A tight budget is an answer, not an error: the audit returns a valid
+  // (possibly truncated) partitioning and correct metrics for it.
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(IsValidPartitioning(result->partitioning, workers.num_rows()));
+  UnfairnessEvaluator check =
+      UnfairnessEvaluator::Make(&workers, Scores(workers), EvaluatorOptions())
+          .value();
+  EXPECT_EQ(result->unfairness,
+            check.AveragePairwiseUnfairness(result->partitioning).value());
+}
+
+TEST(EvalCacheTest, BudgetStopFreezesCacheGrowthWithoutChangingValues) {
+  // A budget that trips almost immediately: the cache must stop growing
+  // (latched), keep serving lookups, and keep returning exact values.
+  ResourceBudget budget(/*max_nodes=*/0, /*max_memory_bytes=*/1);
+  ExecutionContext context(Deadline::Infinite(), CancellationToken(), &budget);
+  EvaluatorCache cache(/*enabled=*/true, /*max_bytes=*/0);
+  cache.AttachContext(context);
+  // Push enough entries to cross the charge batch and trip the budget.
+  for (uint64_t i = 1; i <= 3000; ++i) {
+    cache.InsertDivergence(i, i + 100000, static_cast<double>(i));
+  }
+  EvalCacheStats stats = cache.Snapshot();
+  EXPECT_LT(stats.entries, 3000u);  // Growth stopped mid-way.
+  // Entries stored before the stop still serve exact values.
+  double d = 0.0;
+  ASSERT_TRUE(cache.FindDivergence(1, 100001, &d));
+  EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
+TEST(EvalCacheTest, DistanceCachedAcrossRepeatedCalls) {
+  Table workers = Workers(200);
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, Scores(workers), EvaluatorOptions())
+          .value();
+  auto algo = MakeAlgorithmByName("all-attributes").value();
+  Partitioning p =
+      algo->Run(eval, workers.schema().ProtectedIndices()).value();
+  ASSERT_GE(p.size(), 2u);
+  double first = eval.Distance(p[0], p[1]).value();
+  EvalCacheStats before = eval.cache_stats();
+  double second = eval.Distance(p[0], p[1]).value();
+  EvalCacheStats after = eval.cache_stats();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(after.divergence_hits, before.divergence_hits + 1);
+  EXPECT_EQ(after.divergence_misses, before.divergence_misses);
+}
+
+}  // namespace
+}  // namespace fairrank

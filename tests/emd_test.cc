@@ -89,6 +89,21 @@ TEST(Emd1DMassTest, ClosedForm) {
   EXPECT_NEAR(Emd1DMass({0.5, 0.5, 0.0}, {0.0, 0.5, 0.5}, 0.5), 0.5, 1e-12);
 }
 
+TEST(Emd1DMassTest, UnnormalizedMassImbalanceIsNotDropped) {
+  // The final CDF term used to be skipped, silently discarding whatever
+  // mass imbalance accumulated through the last bin. {1, 0} vs {0, 0.5}
+  // with width 1: CDF differences are 1 (after bin 0) and 0.5 (after bin
+  // 1), so the cost is 1.5 — not the 1.0 the truncated loop reported.
+  EXPECT_NEAR(Emd1DMass({1.0, 0.0}, {0.0, 0.5}, 1.0), 1.5, 1e-12);
+  // Pure mass difference in a single bin: the whole cost is the final term.
+  EXPECT_NEAR(Emd1DMass({1.0}, {0.25}, 2.0), 1.5, 1e-12);
+  // Drifted "normalized" masses: a rounding-sized imbalance must surface as
+  // a rounding-sized cost, not zero-by-construction.
+  EXPECT_NEAR(Emd1DMass({0.5, 0.5 + 1e-9}, {0.5, 0.5}, 1.0), 1e-9, 1e-12);
+  // Equal-mass inputs are unchanged by the fix: final CDF term is zero.
+  EXPECT_NEAR(Emd1DMass({0.5, 0.5}, {0.5, 0.5}, 1.0), 0.0, 1e-15);
+}
+
 TEST(EmdGeneralTest, MatchesClosedFormOnRandomHistograms) {
   Rng rng(7);
   for (int trial = 0; trial < 20; ++trial) {

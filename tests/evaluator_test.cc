@@ -59,6 +59,32 @@ TEST(EvaluatorTest, NonFiniteScoresRejected) {
       UnfairnessEvaluator::Make(&table, scores, EvaluatorOptions()).ok());
 }
 
+TEST(EvaluatorTest, OutOfRangeScoresCountedByDefault) {
+  Table table = MakeToyTable().value();
+  std::vector<double> scores = ToyScores(table);
+  scores[0] = -0.25;
+  scores[1] = 1.5;
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&table, scores, EvaluatorOptions()).value();
+  EXPECT_EQ(eval.num_out_of_range(), 2u);
+  // In-range vectors report zero.
+  EXPECT_EQ(MakeToyEvaluator(&table).num_out_of_range(), 0u);
+}
+
+TEST(EvaluatorTest, OutOfRangeScoresRejectedUnderRejectPolicy) {
+  Table table = MakeToyTable().value();
+  std::vector<double> scores = ToyScores(table);
+  scores[0] = 1.5;
+  EvaluatorOptions options;
+  options.out_of_range = OutOfRangePolicy::kReject;
+  StatusOr<UnfairnessEvaluator> eval =
+      UnfairnessEvaluator::Make(&table, scores, options);
+  EXPECT_EQ(eval.status().code(), StatusCode::kInvalidArgument);
+  // The boundary itself is in range (hi is inclusive).
+  scores[0] = 1.0;
+  EXPECT_TRUE(UnfairnessEvaluator::Make(&table, scores, options).ok());
+}
+
 TEST(EvaluatorTest, BuildHistogramCountsPartitionScores) {
   Table table = MakeToyTable().value();
   UnfairnessEvaluator eval = MakeToyEvaluator(&table);

@@ -142,6 +142,39 @@ TEST(FaultInjectionTest, EvaluatorConvertsWorkerExceptionToStatus) {
   EXPECT_NE(avg.status().message().find("fault injection"), std::string::npos);
 }
 
+TEST(FaultInjectionTest, DivergenceFaultAbortsSiblingChunksEarly) {
+  GeneratorOptions gen;
+  gen.num_workers = 500;
+  gen.seed = 11;
+  Table workers = GenerateWorkers(gen).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  std::vector<double> scores = fn->ScoreAll(workers).value();
+  UnfairnessEvaluator setup_eval =
+      UnfairnessEvaluator::Make(&workers, scores, EvaluatorOptions()).value();
+  auto algo = MakeAlgorithmByName("all-attributes").value();
+  Partitioning p =
+      algo->Run(setup_eval, workers.schema().ProtectedIndices()).value();
+  const size_t num_pairs = p.size() * (p.size() - 1) / 2;
+  ASSERT_GE(num_pairs, 100u);
+
+  // A fresh evaluator, so every pair would actually be computed (the setup
+  // evaluator's cache already holds them all and cache hits skip the hook).
+  EvaluatorOptions options;
+  options.num_threads = 4;
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, scores, options).value();
+  fault::FaultPlan plan;
+  plan.fail_divergence_eval = 1;
+  fault::ScopedFaultPlan scoped(plan);
+  StatusOr<double> avg = eval.AveragePairwiseUnfairness(p);
+  ASSERT_FALSE(avg.ok());
+  EXPECT_EQ(avg.status().code(), StatusCode::kInternal);
+  EXPECT_NE(avg.status().message().find("fault injection"), std::string::npos);
+  // Sibling chunks observe the abort flag: after the first failure the loop
+  // must stop instead of burning through the remaining pairs.
+  EXPECT_LT(fault::divergence_evals_hit(), num_pairs / 4);
+}
+
 TEST(FaultInjectionTest, SimulatedAllocFailureDegradesMergeSearch) {
   // The merge algorithm's distance matrix is guarded by an allocation
   // checkpoint; failing it must yield a valid truncated result, not an

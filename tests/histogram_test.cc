@@ -27,6 +27,37 @@ TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
   EXPECT_EQ(h.BinOf(2.0), 9);
 }
 
+TEST(HistogramTest, InRangeValuesAreNotCountedClamped) {
+  Histogram h(10, 0.0, 1.0);
+  h.Add(0.0);
+  h.Add(0.5);
+  h.Add(1.0);  // Upper bound is inclusive, not out of range.
+  EXPECT_DOUBLE_EQ(h.clamped_count(), 0.0);
+}
+
+TEST(HistogramTest, ClampedCountTracksOutOfRangeMass) {
+  Histogram h(10, 0.0, 1.0);
+  h.Add(-0.5);
+  h.Add(2.0);
+  h.AddWeighted(1.5, 2.5);
+  h.Add(0.5);
+  EXPECT_DOUBLE_EQ(h.clamped_count(), 4.5);
+  // Clamped mass still lands in edge bins and counts toward the total.
+  EXPECT_DOUBLE_EQ(h.total(), 5.5);
+  EXPECT_DOUBLE_EQ(h.counts()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.counts()[9], 3.5);
+}
+
+TEST(HistogramTest, MergeSumsClampedCounts) {
+  Histogram a(10, 0.0, 1.0);
+  Histogram b(10, 0.0, 1.0);
+  a.Add(-1.0);
+  b.Add(2.0);
+  b.Add(3.0);
+  ASSERT_TRUE(a.MergeWith(b).ok());
+  EXPECT_DOUBLE_EQ(a.clamped_count(), 3.0);
+}
+
 TEST(HistogramTest, AddCounts) {
   Histogram h(4, 0.0, 1.0);
   h.Add(0.1);

@@ -7,7 +7,7 @@
 //                      [--algorithm balanced] [--bins 10] [--divergence emd]
 //                      [--attributes Gender,Country] [--json] [--histograms]
 //                      [--timeout-ms 5000] [--max-nodes 100000]
-//                      [--max-memory-mb 512]
+//                      [--max-memory-mb 512] [--no-cache] [--cache-mb 256]
 //   fairaudit rank     --input workers.csv --function alpha:0.5 [--top 10]
 //   fairaudit exposure --input workers.csv --function alpha:0.5
 //                      [--bias log|reciprocal|topk] [--top 10]
@@ -34,6 +34,11 @@
 // exhaustion the search degrades to its best partitioning found so far and
 // the report / JSON marks the result truncated with the reason. The command
 // still exits 0 — a bounded audit is an answer, not an error.
+//
+// The evaluator memoizes per-partition histograms and pairwise divergences
+// (see fairness/eval_cache.h); `--no-cache` disables the memoization and
+// `--cache-mb` caps its resident size. Results are bit-identical either way;
+// the report prints the hit/miss counters.
 //
 // Input CSVs must carry the paper's worker schema columns (see
 // `fairaudit generate`); extra columns are ignored.
@@ -228,6 +233,13 @@ StatusOr<AuditOptions> AuditOptionsFromFlags(const FlagParser& flags) {
     return Status::InvalidArgument("--max-memory-mb must be >= 0");
   }
   options.limits.max_memory_mb = static_cast<uint64_t>(max_memory_mb);
+  FAIRRANK_ASSIGN_OR_RETURN(bool no_cache, flags.GetBool("no-cache", false));
+  options.evaluator.enable_cache = !no_cache;
+  FAIRRANK_ASSIGN_OR_RETURN(int64_t cache_mb, flags.GetInt("cache-mb", 256));
+  if (cache_mb < 0) {
+    return Status::InvalidArgument("--cache-mb must be >= 0");
+  }
+  options.evaluator.cache_max_bytes = static_cast<uint64_t>(cache_mb) << 20;
   return options;
 }
 
