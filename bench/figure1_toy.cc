@@ -23,7 +23,11 @@ int main() {
     TextTable t;
     t.SetHeader({"worker", "Gender", "Language", "f(w)"});
     for (size_t row = 0; row < table.num_rows(); ++row) {
-      t.AddRow({"w" + std::to_string(row + 1), table.CellToString(row, 0),
+      // Built stepwise: "w" + to_string trips GCC 12's -Wrestrict false
+      // positive (PR105651) under -Werror.
+      std::string worker = "w";
+      worker += std::to_string(row + 1);
+      t.AddRow({std::move(worker), table.CellToString(row, 0),
                 table.CellToString(row, 1), table.CellToString(row, 2)});
     }
     std::printf("%s\n", t.ToString().c_str());

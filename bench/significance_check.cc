@@ -53,11 +53,16 @@ int main() {
       std::fprintf(stderr, "significance computation failed\n");
       return 1;
     }
+    // Stepwise append: chained operator+ trips GCC 12's -Wrestrict false
+    // positive (PR105651) under -Werror.
+    std::string ci = "[";
+    ci += FormatDouble(bootstrap->ci_lo, 3);
+    ci += ", ";
+    ci += FormatDouble(bootstrap->ci_hi, 3);
+    ci += "]";
     t.AddRow({fn->Name(), FormatDouble(permutation->observed, 3),
               FormatDouble(permutation->null_mean, 3),
-              FormatDouble(permutation->p_value, 3),
-              "[" + FormatDouble(bootstrap->ci_lo, 3) + ", " +
-                  FormatDouble(bootstrap->ci_hi, 3) + "]"});
+              FormatDouble(permutation->p_value, 3), std::move(ci)});
   }
   std::printf("%s\n", t.ToString().c_str());
   std::printf(

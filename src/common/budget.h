@@ -43,12 +43,12 @@ class ResourceBudget {
       : max_nodes_(max_nodes), max_memory_bytes_(max_memory_bytes) {}
 
   /// Charges `n` nodes. Returns false once the node budget is exhausted.
-  bool ChargeNodes(uint64_t n = 1);
+  [[nodiscard]] bool ChargeNodes(uint64_t n = 1);
 
   /// Charges an approximate allocation. Returns false once the memory
   /// budget is exhausted (or a fault-injected checkpoint failure latched
   /// it via ExecutionContext::CheckMemory).
-  bool ChargeMemoryBytes(uint64_t bytes);
+  [[nodiscard]] bool ChargeMemoryBytes(uint64_t bytes);
 
   bool nodes_exhausted() const;
   bool memory_exhausted() const;
@@ -100,15 +100,15 @@ class ExecutionContext {
 
   /// Deadline / cancellation / already-latched budget exhaustion, in that
   /// priority order. Charges nothing.
-  ExhaustionReason Check() const;
+  [[nodiscard]] ExhaustionReason Check() const;
 
   /// Check() plus charging `n` nodes against the budget (if any).
-  ExhaustionReason CheckNodes(uint64_t n = 1) const;
+  [[nodiscard]] ExhaustionReason CheckNodes(uint64_t n = 1) const;
 
   /// Allocation checkpoint: Check() plus charging `bytes` of approximate
   /// memory. Fault injection counts these checkpoints and can force the Nth
   /// one to fail even without a budget (see common/fault_injection.h).
-  ExhaustionReason CheckMemory(uint64_t bytes) const;
+  [[nodiscard]] ExhaustionReason CheckMemory(uint64_t bytes) const;
 
   /// True when no configured limit can ever fire.
   bool IsUnbounded() const;

@@ -7,6 +7,8 @@
 #include <string>
 #include <thread>
 
+#include "common/thread_annotations.h"
+
 namespace fairrank {
 namespace fault {
 
@@ -16,7 +18,7 @@ std::atomic<bool> g_armed{false};
 std::atomic<uint64_t> g_alloc_count{0};
 std::atomic<uint64_t> g_divergence_count{0};
 std::mutex g_plan_mutex;
-FaultPlan g_plan;  // Guarded by g_plan_mutex.
+FaultPlan g_plan FAIRRANK_GUARDED_BY(g_plan_mutex);
 std::once_flag g_env_once;
 
 bool EnvInt(const char* name, int64_t* out) {

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <limits>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/thread_annotations.h"
 
 namespace fairrank {
 
@@ -23,6 +26,35 @@ constexpr size_t kMinPerThread = 64;
 // cancelled audit stops within microseconds of real work, large enough that
 // the deadline clock read is amortized away.
 constexpr size_t kStopCheckBlock = 1024;
+
+/// Exception channel shared by the workers of one ParallelFor: keeps only
+/// the exception from the lowest chunk index, so the rethrown error is
+/// deterministic no matter which worker faults first in wall-clock order.
+class ExceptionChannel {
+ public:
+  /// Records `error` for `chunk_index` unless a lower chunk already faulted.
+  void Report(size_t chunk_index, std::exception_ptr error)
+      FAIRRANK_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (chunk_index < first_chunk_) {
+      first_chunk_ = chunk_index;
+      error_ = std::move(error);
+    }
+  }
+
+  /// Rethrows the winning exception, if any. Call only after every worker
+  /// has been joined (no further Report can race).
+  void RethrowIfSet() FAIRRANK_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  size_t first_chunk_ FAIRRANK_GUARDED_BY(mutex_) =
+      std::numeric_limits<size_t>::max();
+  std::exception_ptr error_ FAIRRANK_GUARDED_BY(mutex_);
+};
 
 /// Runs one chunk, optionally in stop-checked blocks. Returns false when
 /// stopped early. May throw (body or injected fault).
@@ -42,7 +74,7 @@ bool RunChunk(size_t chunk_index, size_t begin, size_t end, bool stoppable,
 }
 
 /// Shared driver. Joins every worker before returning or rethrowing; the
-/// first captured exception (by chunk index) wins.
+/// exception from the lowest chunk index wins (see ExceptionChannel).
 bool Run(size_t n, int num_threads, bool stoppable,
          const CancellationToken& cancel, const Deadline& deadline,
          const std::function<void(size_t, size_t)>& body) {
@@ -54,7 +86,7 @@ bool Run(size_t n, int num_threads, bool stoppable,
   }
   std::vector<std::thread> workers;
   workers.reserve(usable - 1);
-  std::vector<std::exception_ptr> errors(usable);
+  ExceptionChannel errors;
   std::atomic<bool> complete{true};
   size_t chunk = (n + usable - 1) / usable;
   for (size_t t = 1; t < usable; ++t) {
@@ -67,7 +99,7 @@ bool Run(size_t n, int num_threads, bool stoppable,
           complete.store(false, std::memory_order_relaxed);
         }
       } catch (...) {
-        errors[t] = std::current_exception();
+        errors.Report(t, std::current_exception());
       }
     });
   }
@@ -77,12 +109,10 @@ bool Run(size_t n, int num_threads, bool stoppable,
       complete.store(false, std::memory_order_relaxed);
     }
   } catch (...) {
-    errors[0] = std::current_exception();
+    errors.Report(0, std::current_exception());
   }
   for (std::thread& w : workers) w.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  errors.RethrowIfSet();
   return complete.load(std::memory_order_relaxed);
 }
 

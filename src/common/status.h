@@ -32,7 +32,12 @@ const char* StatusCodeToString(StatusCode code);
 
 /// Value-semantic result of a fallible operation: a code plus an optional
 /// message. Cheap to copy in the OK case (empty message).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is the classic way an IO or
+/// validation error disappears; every ignored return is a compile error
+/// (-Werror in CI). An intentionally best-effort call site documents itself
+/// with a `(void)` cast and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -96,8 +101,9 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Never holds both.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. Must not be OK (an OK status with no
   /// value is meaningless); enforced by assertion.

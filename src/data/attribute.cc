@@ -145,8 +145,12 @@ std::string AttributeSpec::GroupLabel(int group_index) const {
   double lo = min_ + group_index * width;
   double hi = lo + width;
   const int precision = (kind_ == AttributeKind::kInteger) ? 0 : 2;
-  std::string label = "[" + FormatDouble(lo, precision) + "," +
-                      FormatDouble(hi, precision);
+  // Built with append rather than chained operator+ — the temporary chain
+  // trips GCC 12's -Wrestrict false positive (PR105651) under -Werror.
+  std::string label = "[";
+  label += FormatDouble(lo, precision);
+  label += ",";
+  label += FormatDouble(hi, precision);
   label += (group_index == num_buckets_ - 1) ? "]" : ")";
   return label;
 }

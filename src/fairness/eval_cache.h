@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/budget.h"
+#include "common/thread_annotations.h"
 #include "stats/histogram.h"
 
 namespace fairrank {
@@ -113,19 +114,26 @@ class EvaluatorCache {
 
   /// Evicts everything (epoch eviction) so `incoming_bytes` can fit, and
   /// charges the budget. Returns false when inserts must be skipped (budget
-  /// stop or entry larger than the cap). Caller holds `mutex_`.
-  bool ReserveLocked(uint64_t incoming_bytes);
+  /// stop or entry larger than the cap).
+  bool ReserveLocked(uint64_t incoming_bytes) FAIRRANK_REQUIRES(mutex_);
 
-  const bool enabled_;
-  const uint64_t max_bytes_;
-  ExecutionContext context_;  ///< Unbounded until AttachContext.
+  const bool enabled_;      ///< Immutable after construction.
+  const uint64_t max_bytes_;  ///< Immutable after construction.
 
+  /// Guards every mutable member below: both maps, the counters, the
+  /// batched budget charge, and the attached context (AttachContext may
+  /// race a concurrent lookup in principle).
   mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, std::shared_ptr<const Histogram>> histograms_;
-  std::unordered_map<PairKey, double, PairKeyHash> divergences_;
-  EvalCacheStats stats_;
-  uint64_t pending_charge_ = 0;  ///< Bytes not yet charged to the budget.
-  bool budget_stopped_ = false;  ///< A CheckMemory checkpoint tripped.
+  ExecutionContext context_ FAIRRANK_GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, std::shared_ptr<const Histogram>> histograms_
+      FAIRRANK_GUARDED_BY(mutex_);
+  std::unordered_map<PairKey, double, PairKeyHash> divergences_
+      FAIRRANK_GUARDED_BY(mutex_);
+  EvalCacheStats stats_ FAIRRANK_GUARDED_BY(mutex_);
+  /// Bytes not yet charged to the budget.
+  uint64_t pending_charge_ FAIRRANK_GUARDED_BY(mutex_) = 0;
+  /// A CheckMemory checkpoint tripped.
+  bool budget_stopped_ FAIRRANK_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fairrank

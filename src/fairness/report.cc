@@ -197,7 +197,11 @@ std::string FormatAuditJson(const AuditResult& result) {
   out += "\"attributes_used\":[";
   for (size_t i = 0; i < result.attributes_used.size(); ++i) {
     if (i > 0) out += ",";
-    out += "\"" + JsonEscape(result.attributes_used[i]) + "\"";
+    // Stepwise append: chained operator+ trips GCC 12's -Wrestrict false
+    // positive (PR105651) under -Werror.
+    out += "\"";
+    out += JsonEscape(result.attributes_used[i]);
+    out += "\"";
   }
   out += "],\"partitions\":[";
   for (size_t i = 0; i < result.partitions.size(); ++i) {

@@ -58,8 +58,13 @@ std::vector<std::unique_ptr<ScoringFunction>> MakePaperRandomFunctions() {
   const double kAlphas[] = {0.5, 0.3, 0.7, 1.0, 0.0};
   std::vector<std::unique_ptr<ScoringFunction>> fns;
   for (size_t i = 0; i < 5; ++i) {
-    std::string name = "f" + std::to_string(i + 1) + " (alpha=" +
-                       FormatDouble(kAlphas[i], 1) + ")";
+    // Stepwise append: chained operator+ trips GCC 12's -Wrestrict false
+    // positive (PR105651) under -Werror.
+    std::string name = "f";
+    name += std::to_string(i + 1);
+    name += " (alpha=";
+    name += FormatDouble(kAlphas[i], 1);
+    name += ")";
     fns.push_back(MakeAlphaFunction(std::move(name), kAlphas[i]));
   }
   return fns;

@@ -1,6 +1,7 @@
 #include "marketplace/tasks.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "marketplace/worker.h"
 
@@ -15,7 +16,12 @@ TaskCatalog TaskCatalog::MakeDefaultCatalog() {
     category.weights = {{wa::kLanguageTest, alpha},
                         {wa::kApprovalRate, 1.0 - alpha}};
     Status st = catalog.AddCategory(std::move(category));
-    (void)st;  // Static catalog: inputs are valid by construction.
+    // Static catalog: entries are valid by construction — but assert rather
+    // than drop the Status, so an edit introducing a duplicate or empty
+    // category fails loudly in debug instead of silently shrinking the
+    // catalog.
+    assert(st.ok() && "default catalog entry rejected");
+    (void)st;  // Assert compiles out under NDEBUG.
   };
   add("content writing", 0.9);
   add("web development", 0.7);

@@ -71,7 +71,12 @@ std::string Histogram::ToAscii(int max_bar_width) const {
   for (int i = 0; i < num_bins(); ++i) {
     double lo = lo_ + i * bin_width();
     double hi = lo + bin_width();
-    out += "[" + FormatDouble(lo, 2) + "," + FormatDouble(hi, 2);
+    // Appended stepwise: chained string operator+ trips GCC 12's -Wrestrict
+    // false positive (PR105651) under -Werror.
+    out += "[";
+    out += FormatDouble(lo, 2);
+    out += ",";
+    out += FormatDouble(hi, 2);
     out += (i == num_bins() - 1) ? "]" : ")";
     out += " ";
     int bar = (max_count > 0.0)
@@ -79,7 +84,9 @@ std::string Histogram::ToAscii(int max_bar_width) const {
                                                  max_bar_width))
                   : 0;
     out.append(static_cast<size_t>(bar), '#');
-    out += " " + FormatDouble(counts_[i], 0) + "\n";
+    out += " ";
+    out += FormatDouble(counts_[i], 0);
+    out += "\n";
   }
   return out;
 }

@@ -80,7 +80,7 @@ TEST(ExecutionContextTest, DeadlineOutranksCancellationAndBudget) {
   CancellationSource source;
   source.RequestCancellation();
   ResourceBudget budget(/*max_nodes=*/1, /*max_memory_bytes=*/0);
-  budget.ChargeNodes(5);  // Exhaust the node budget.
+  EXPECT_FALSE(budget.ChargeNodes(5));  // Exhausts the node budget.
   ExecutionContext context(Deadline::AfterMillis(0), source.token(), &budget);
   EXPECT_EQ(context.Check(), ExhaustionReason::kDeadline);
 }
@@ -103,7 +103,7 @@ TEST(ExecutionContextTest, CheckMemoryChargesTheBudget) {
 TEST(ExecutionContextTest, WithoutBudgetKeepsDeadlineAndCancellation) {
   CancellationSource source;
   ResourceBudget budget(/*max_nodes=*/1, /*max_memory_bytes=*/0);
-  budget.ChargeNodes(5);
+  EXPECT_FALSE(budget.ChargeNodes(5));
   ExecutionContext context(Deadline::Infinite(), source.token(), &budget);
   EXPECT_EQ(context.Check(), ExhaustionReason::kNodeBudget);
   ExecutionContext unbudgeted = context.WithoutBudget();

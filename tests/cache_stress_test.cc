@@ -1,0 +1,202 @@
+// Multi-threaded stress tests of the evaluator memoization layer — the
+// companion to cache_test.cc that actually races it. N threads audit
+// overlapping partitions against ONE evaluator and must observe bit-identical
+// values; a tiny byte cap races epoch eviction against concurrent lookups.
+// The TSan CI job (FAIRRANK_SANITIZE=thread) runs this binary to turn any
+// latent data race in EvaluatorCache / ParallelFor into a hard failure;
+// under the plain build it still verifies determinism under contention.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/budget.h"
+#include "fairness/eval_cache.h"
+#include "fairness/evaluator.h"
+#include "fairness/partition.h"
+#include "fairness/registry.h"
+#include "marketplace/generator.h"
+#include "marketplace/scoring.h"
+#include "stats/histogram.h"
+
+namespace fairrank {
+namespace {
+
+constexpr int kThreads = 8;
+
+Table Workers(size_t n, uint64_t seed = 20190326) {
+  GeneratorOptions options;
+  options.num_workers = n;
+  options.seed = seed;
+  return GenerateWorkers(options).value();
+}
+
+std::vector<double> Scores(const Table& workers) {
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  return fn->ScoreAll(workers).value();
+}
+
+/// A multi-level partitioning whose cells overlap across levels (each level
+/// re-partitions the same rows), so concurrent evaluations keep colliding on
+/// the same fingerprints — the worst case for the cache's locking.
+Partitioning OverlappingPartitions(const UnfairnessEvaluator& eval,
+                                   const Table& workers) {
+  auto algo = MakeAlgorithmByName("all-attributes").value();
+  Partitioning p =
+      algo->Run(eval, workers.schema().ProtectedIndices()).value();
+  EXPECT_GE(p.size(), 2u);
+  return p;
+}
+
+TEST(CacheStressTest, ConcurrentEvaluationsAreBitIdentical) {
+  Table workers = Workers(400);
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, Scores(workers), EvaluatorOptions())
+          .value();
+  Partitioning p = OverlappingPartitions(eval, workers);
+
+  // Serial reference values, computed before any contention.
+  const double reference_unfairness =
+      eval.AveragePairwiseUnfairness(p).value();
+  std::vector<double> reference_distances;
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    reference_distances.push_back(eval.Distance(p[i], p[i + 1]).value());
+  }
+
+  // Every thread hammers the SAME evaluator over the SAME partitions.
+  // The cache is the only shared mutable state; any torn read or lost
+  // insert shows up as a value difference (or a TSan report).
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int round = 0; round < 20; ++round) {
+        StatusOr<double> u = eval.AveragePairwiseUnfairness(p);
+        if (!u.ok() || *u != reference_unfairness) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        for (size_t i = 0; i + 1 < p.size(); ++i) {
+          StatusOr<double> d = eval.Distance(p[i], p[i + 1]);
+          if (!d.ok() || *d != reference_distances[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The shared cache saw real traffic from the race.
+  EvalCacheStats stats = eval.cache_stats();
+  EXPECT_GT(stats.histogram_hits, 0u);
+  EXPECT_GT(stats.divergence_hits, 0u);
+}
+
+TEST(CacheStressTest, EvictionRacesLookupsWithoutCorruption) {
+  Table workers = Workers(400);
+  EvaluatorOptions options;
+  // A cap this tiny forces an epoch eviction every few inserts, so lookups
+  // constantly race the clear() under the lock.
+  options.cache_max_bytes = 2 * 1024;
+  UnfairnessEvaluator eval =
+      UnfairnessEvaluator::Make(&workers, Scores(workers), options).value();
+  Partitioning p = OverlappingPartitions(eval, workers);
+  const double reference = eval.AveragePairwiseUnfairness(p).value();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int round = 0; round < 10; ++round) {
+        StatusOr<double> u = eval.AveragePairwiseUnfairness(p);
+        if (!u.ok() || *u != reference) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(eval.cache_stats().evictions, 0u);
+}
+
+TEST(CacheStressTest, RawCacheSurvivesConcurrentInsertFindEvict) {
+  // Hammer the EvaluatorCache directly: writers insert histograms and
+  // divergences whose keys overlap across threads, readers look them up,
+  // and the 4 KiB cap keeps epoch eviction firing throughout.
+  EvaluatorCache cache(/*enabled=*/true, /*max_bytes=*/4 * 1024);
+  std::atomic<int> wrong_values{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (uint64_t i = 1; i <= 2000; ++i) {
+        uint64_t fp = 1 + (i + static_cast<uint64_t>(t) * 7) % 97;
+        cache.InsertDivergence(fp, fp + 1000, static_cast<double>(fp));
+        double d = 0.0;
+        if (cache.FindDivergence(fp, fp + 1000, &d) &&
+            d != static_cast<double>(fp)) {
+          wrong_values.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 16 == 0) {
+          auto h = std::make_shared<Histogram>(10, 0.0, 1.0);
+          cache.InsertHistogram(fp, std::move(h));
+          std::shared_ptr<const Histogram> found = cache.FindHistogram(fp);
+          if (found != nullptr && found->counts().size() != 10) {
+            wrong_values.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong_values.load(), 0);
+  EvalCacheStats stats = cache.Snapshot();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes_used, 4u * 1024u);
+}
+
+TEST(CacheStressTest, ConcurrentAuditsShareNothingAndStayExact) {
+  // Whole audits in parallel: each thread owns its evaluator (the supported
+  // sharing model — caches are per-evaluator), all reading one table.
+  Table workers = Workers(300);
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  std::vector<double> scores = fn->ScoreAll(workers).value();
+
+  UnfairnessEvaluator reference_eval =
+      UnfairnessEvaluator::Make(&workers, scores, EvaluatorOptions()).value();
+  Partitioning p = OverlappingPartitions(reference_eval, workers);
+  const double reference =
+      reference_eval.AveragePairwiseUnfairness(p).value();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      UnfairnessEvaluator eval =
+          UnfairnessEvaluator::Make(&workers, scores, EvaluatorOptions())
+              .value();
+      Partitioning mine = OverlappingPartitions(eval, workers);
+      StatusOr<double> u = eval.AveragePairwiseUnfairness(mine);
+      if (!u.ok() || *u != reference) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace fairrank

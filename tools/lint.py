@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules the generic tools can't express.
+
+Enforced over the C++ tree (fast: pure-python regex pass, < 5s):
+
+  rng-discipline   No rand()/std::rand/srand/random_device outside
+                   src/common/rng.* — all randomness flows through the
+                   seeded, reproducible Rng so runs stay deterministic.
+  no-iostream      No std::cout / std::cerr / printf-family output in src/
+                   library code (snprintf into a buffer is fine). The
+                   library reports through Status and report strings;
+                   binaries under tools/, bench/, examples/ may print.
+  no-naked-thread  No std::thread / std::async / pthread_create outside
+                   src/common/parallel.cc — all library concurrency goes
+                   through ParallelFor so cancellation, deadlines and
+                   exception capture stay in one audited place. Tests may
+                   spawn threads (stress tests race the cache on purpose).
+  include-guards   Headers use #ifndef FAIRRANK_<PATH>_H_ guards derived
+                   from their path (never #pragma once), so a moved file
+                   gets a stale-guard error instead of a silent collision.
+  no-suppressions  No blanket NOLINT without a specific rule name, and no
+                   FAIRRANK_NO_THREAD_SAFETY_ANALYSIS without a comment on
+                   the preceding or same line explaining why.
+
+Usage: python3 tools/lint.py [root]   (root defaults to the repo root)
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import os
+import re
+import sys
+
+LIBRARY_DIRS = ("src",)
+ALL_CPP_DIRS = ("src", "tests", "tools", "bench", "examples")
+CPP_EXTENSIONS = (".h", ".cc")
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment and string-literal contents with spaces (same length,
+    so reported line numbers stay correct)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_files(root, dirs):
+    for d in dirs:
+        base = os.path.join(root, d)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTENSIONS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def finding(findings, path, lineno, rule, message):
+    findings.append("%s:%d: [%s] %s" % (path, lineno, rule, message))
+
+
+def check_pattern_rule(findings, path, code_text, rule, pattern, message,
+                       exempt=()):
+    if path.replace(os.sep, "/") in exempt:
+        return
+    for m in re.finditer(pattern, code_text):
+        lineno = code_text.count("\n", 0, m.start()) + 1
+        finding(findings, path, lineno, rule, message % m.group(0))
+
+
+def check_include_guard(findings, path, raw_text):
+    rel = path.replace(os.sep, "/")
+    if not rel.startswith("src/") or not rel.endswith(".h"):
+        return
+    if re.search(r"^\s*#\s*pragma\s+once", raw_text, re.M):
+        finding(findings, path, 1, "include-guards",
+                "use an #ifndef guard, not #pragma once")
+    expected = "FAIRRANK_" + re.sub(r"[/.]", "_", rel[len("src/"):]).upper() + "_"
+    m = re.search(r"^\s*#\s*ifndef\s+(\S+)\s*\n\s*#\s*define\s+(\S+)", raw_text,
+                  re.M)
+    if m is None:
+        finding(findings, path, 1, "include-guards",
+                "missing #ifndef/#define include guard (expected %s)" % expected)
+    elif m.group(1) != expected or m.group(2) != expected:
+        lineno = raw_text.count("\n", 0, m.start()) + 1
+        finding(findings, path, lineno, "include-guards",
+                "guard %s does not match path (expected %s)"
+                % (m.group(1), expected))
+
+
+def check_suppressions(findings, path, raw_text):
+    lines = raw_text.split("\n")
+    for i, line in enumerate(lines, 1):
+        m = re.search(r"NOLINT(?!NEXTLINE)(\(([^)]*)\))?", line)
+        if m and not m.group(2):
+            finding(findings, path, i, "no-suppressions",
+                    "NOLINT must name the suppressed check, e.g. "
+                    "NOLINT(bugprone-foo)")
+        if "FAIRRANK_NO_THREAD_SAFETY_ANALYSIS" in line and \
+                not path.endswith("thread_annotations.h"):
+            prev = lines[i - 2] if i >= 2 else ""
+            if "//" not in line and "//" not in prev:
+                finding(findings, path, i, "no-suppressions",
+                        "FAIRRANK_NO_THREAD_SAFETY_ANALYSIS needs a comment "
+                        "explaining why the analysis cannot see the invariant")
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("lint.py: no src/ under %s" % root, file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in iter_files(root, ALL_CPP_DIRS):
+        with open(os.path.join(root, path), encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments_and_strings(raw)
+        rel = path.replace(os.sep, "/")
+        in_library = rel.startswith("src/")
+
+        if in_library:
+            check_pattern_rule(
+                findings, path, code, "rng-discipline",
+                r"\b(?:std\s*::\s*)?s?rand\s*\(|\bstd\s*::\s*random_device\b",
+                "'%s' — use common/rng (seeded, reproducible) instead",
+                exempt=("src/common/rng.h", "src/common/rng.cc"))
+            check_pattern_rule(
+                findings, path, code, "no-iostream",
+                r"\bstd\s*::\s*(?:cout|cerr)\b|(?<![\w:])(?:f|w)?printf\s*\(",
+                "'%s' — library code reports through Status/report strings")
+            check_pattern_rule(
+                findings, path, code, "no-naked-thread",
+                r"\bstd\s*::\s*(?:thread|j?thread|async)\b|\bpthread_create\b",
+                "'%s' — use common/parallel (ParallelFor) for concurrency",
+                exempt=("src/common/parallel.cc",))
+
+        check_include_guard(findings, path, raw)
+        check_suppressions(findings, path, raw)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print("lint.py: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
