@@ -50,10 +50,20 @@ inline Table MakeWorkers(size_t n, uint64_t seed = kDataSeed) {
   return std::move(table).value();
 }
 
-/// Aggregates and prints the grid's evaluator-cache counters and search
-/// throughput — the observability line EXPERIMENTS.md quotes for the
-/// memoization speedup.
-inline void PrintCacheSummary(const SuiteResult& result);
+/// Suite worker threads: FAIRRANK_SUITE_THREADS=4 dispatches the grid's
+/// cells onto 4 scheduler threads (default 1 = serial, the reproducible
+/// paper-faithful configuration).
+inline int SuiteThreadsFromEnv() {
+  return static_cast<int>(SizeFromEnv("FAIRRANK_SUITE_THREADS", 1));
+}
+
+/// Prints the suite-level rollup: exact aggregate cache counters (never
+/// double-counted under column-shared caches), total search work, and the
+/// wall-vs-serial-equivalent speedup of the parallel scheduler — the
+/// observability lines EXPERIMENTS.md quotes.
+inline void PrintCacheSummary(const SuiteResult& result) {
+  std::printf("%s\n", FormatSuiteSummary(result).c_str());
+}
 
 /// Runs the paper's algorithm grid via AuditSuite and prints it in the
 /// paper's layout: the "Average EMD" sub-table and, for Tables 1/2, the
@@ -68,6 +78,7 @@ inline SuiteResult RunAndPrintGrid(
   for (const auto& fn : functions) borrowed.push_back(fn.get());
   SuiteOptions options;
   options.seed = baseline_seed;
+  options.num_threads = SuiteThreadsFromEnv();
   StatusOr<SuiteResult> result = suite.Run(borrowed, options);
   if (!result.ok()) {
     std::fprintf(stderr, "suite failed: %s\n",
@@ -75,38 +86,15 @@ inline SuiteResult RunAndPrintGrid(
     std::exit(1);
   }
   std::printf("=== %s ===\n\n", title.c_str());
+  if (options.num_threads != 1) {
+    std::printf("suite threads: %d\n\n", options.num_threads);
+  }
   std::printf("Average EMD\n%s\n", FormatSuiteUnfairness(*result).c_str());
   if (print_times) {
     std::printf("time (in secs)\n%s\n", FormatSuiteRuntime(*result).c_str());
   }
   PrintCacheSummary(*result);
   return std::move(result).value();
-}
-
-inline void PrintCacheSummary(const SuiteResult& result) {
-  EvalCacheStats total;
-  uint64_t nodes = 0;
-  double seconds = 0.0;
-  for (const auto& row : result.cells) {
-    for (const SuiteCell& cell : row) {
-      total.Add(cell.cache);
-      nodes += cell.nodes_visited;
-      seconds += cell.seconds;
-    }
-  }
-  std::printf(
-      "evaluator cache: histogram hit rate %.1f%% (%llu/%llu), "
-      "divergence hit rate %.1f%% (%llu/%llu), evictions %llu\n",
-      100.0 * total.histogram_hit_rate(),
-      static_cast<unsigned long long>(total.histogram_hits),
-      static_cast<unsigned long long>(total.histogram_lookups()),
-      100.0 * total.divergence_hit_rate(),
-      static_cast<unsigned long long>(total.divergence_hits),
-      static_cast<unsigned long long>(total.divergence_lookups()),
-      static_cast<unsigned long long>(total.evictions));
-  std::printf("search throughput: %llu nodes in %.3f s (%.0f nodes/s)\n\n",
-              static_cast<unsigned long long>(nodes), seconds,
-              seconds > 0.0 ? static_cast<double>(nodes) / seconds : 0.0);
 }
 
 }  // namespace bench

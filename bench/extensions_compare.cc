@@ -34,6 +34,7 @@ int main() {
   options.algorithms = {"balanced", "unbalanced", "all-attributes", "beam",
                         "merge"};
   options.seed = 4;
+  options.num_threads = SuiteThreadsFromEnv();
   StatusOr<SuiteResult> result = suite.Run(borrowed, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());

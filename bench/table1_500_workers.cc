@@ -5,7 +5,9 @@
 // highest average EMD; unbalanced/balanced match or beat the baselines;
 // balanced is the slowest algorithm.
 //
-// Override the population size with FAIRRANK_WORKERS=<n>.
+// Override the population size with FAIRRANK_WORKERS=<n>; run the grid's
+// cells on a parallel scheduler with FAIRRANK_SUITE_THREADS=<n> (the
+// printed summary reports the wall-vs-serial-equivalent speedup).
 
 #include <cstdio>
 

@@ -6,7 +6,9 @@
 // remain the most unfair; runtimes grow with the dataset size, balanced
 // slowest.
 //
-// Override the population size with FAIRRANK_WORKERS=<n>.
+// Override the population size with FAIRRANK_WORKERS=<n>; run the grid's
+// cells on a parallel scheduler with FAIRRANK_SUITE_THREADS=<n> (the
+// printed summary reports the wall-vs-serial-equivalent speedup).
 
 #include <cstdio>
 

@@ -22,25 +22,37 @@ const char* ExhaustionReasonToString(ExhaustionReason reason) {
 
 bool ResourceBudget::ChargeNodes(uint64_t n) {
   uint64_t used = nodes_used_.fetch_add(n, std::memory_order_relaxed) + n;
-  return max_nodes_ == 0 || used <= max_nodes_;
+  bool ok = max_nodes_ == 0 || used <= max_nodes_;
+  // Charge the parent unconditionally (never short-circuit): the parent's
+  // counters must reflect every unit of work its children attempted.
+  if (parent_ != nullptr && !parent_->ChargeNodes(n)) ok = false;
+  return ok;
 }
 
 bool ResourceBudget::ChargeMemoryBytes(uint64_t bytes) {
   uint64_t used = memory_used_.fetch_add(bytes, std::memory_order_relaxed) +
                   bytes;
+  bool ok = max_memory_bytes_ == 0 || used <= max_memory_bytes_;
+  if (parent_ != nullptr && !parent_->ChargeMemoryBytes(bytes)) ok = false;
   if (memory_tripped_.load(std::memory_order_relaxed)) return false;
-  return max_memory_bytes_ == 0 || used <= max_memory_bytes_;
+  return ok;
 }
 
 bool ResourceBudget::nodes_exhausted() const {
-  return max_nodes_ != 0 &&
-         nodes_used_.load(std::memory_order_relaxed) > max_nodes_;
+  if (max_nodes_ != 0 &&
+      nodes_used_.load(std::memory_order_relaxed) > max_nodes_) {
+    return true;
+  }
+  return parent_ != nullptr && parent_->nodes_exhausted();
 }
 
 bool ResourceBudget::memory_exhausted() const {
   if (memory_tripped_.load(std::memory_order_relaxed)) return true;
-  return max_memory_bytes_ != 0 &&
-         memory_used_.load(std::memory_order_relaxed) > max_memory_bytes_;
+  if (max_memory_bytes_ != 0 &&
+      memory_used_.load(std::memory_order_relaxed) > max_memory_bytes_) {
+    return true;
+  }
+  return parent_ != nullptr && parent_->memory_exhausted();
 }
 
 const ExecutionContext& ExecutionContext::Unbounded() {
@@ -83,19 +95,23 @@ bool ExecutionContext::IsUnbounded() const {
 
 bool ExecutionLimits::unlimited() const {
   return timeout_ms <= 0 && deadline.is_infinite() && max_nodes == 0 &&
-         max_memory_mb == 0 && !cancel.cancel_requested();
+         max_memory_mb == 0 && !cancel.cancel_requested() &&
+         parent_budget == nullptr;
 }
 
 ResourceBudget ExecutionLimits::MakeBudget() const {
-  return ResourceBudget(max_nodes, max_memory_mb * (uint64_t{1} << 20));
+  return ResourceBudget(max_nodes, max_memory_mb * (uint64_t{1} << 20),
+                        parent_budget);
+}
+
+Deadline ExecutionLimits::EffectiveDeadline() const {
+  Deadline from_timeout =
+      timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms) : Deadline::Infinite();
+  return Deadline::Earlier(deadline, from_timeout);
 }
 
 ExecutionContext ExecutionLimits::MakeContext(ResourceBudget* budget) const {
-  Deadline effective = deadline;
-  if (effective.is_infinite() && timeout_ms > 0) {
-    effective = Deadline::AfterMillis(timeout_ms);
-  }
-  return ExecutionContext(effective, cancel, budget);
+  return ExecutionContext(EffectiveDeadline(), cancel, budget);
 }
 
 Status ExhaustionStatus(ExhaustionReason reason) {

@@ -34,13 +34,23 @@ const char* ExhaustionReasonToString(ExhaustionReason reason);
 /// A limit of 0 means unlimited on that axis. Charging is allowed to
 /// overshoot by the final charge; exhaustion latches (once over, always
 /// over). Shared by every worker of one audit; all members are atomic.
+///
+/// Budgets compose hierarchically: a budget constructed with a `parent`
+/// forwards every charge to the parent atomically and is exhausted as soon
+/// as either its own limit or the parent's trips. A suite gives each cell a
+/// locally-unlimited child of one parent budget, so the cells' aggregate
+/// work respects the user's *total* allowance while the child counters keep
+/// per-cell observability. The parent must outlive every child.
 class ResourceBudget {
  public:
   /// Unlimited on both axes.
   ResourceBudget() = default;
 
-  ResourceBudget(uint64_t max_nodes, uint64_t max_memory_bytes)
-      : max_nodes_(max_nodes), max_memory_bytes_(max_memory_bytes) {}
+  ResourceBudget(uint64_t max_nodes, uint64_t max_memory_bytes,
+                 ResourceBudget* parent = nullptr)
+      : max_nodes_(max_nodes),
+        max_memory_bytes_(max_memory_bytes),
+        parent_(parent) {}
 
   /// Charges `n` nodes. Returns false once the node budget is exhausted.
   [[nodiscard]] bool ChargeNodes(uint64_t n = 1);
@@ -65,10 +75,12 @@ class ResourceBudget {
   }
   uint64_t max_nodes() const { return max_nodes_; }
   uint64_t max_memory_bytes() const { return max_memory_bytes_; }
+  ResourceBudget* parent() const { return parent_; }
 
  private:
   uint64_t max_nodes_ = 0;         ///< 0 = unlimited.
   uint64_t max_memory_bytes_ = 0;  ///< 0 = unlimited.
+  ResourceBudget* parent_ = nullptr;  ///< Borrowed; shared by siblings.
   std::atomic<uint64_t> nodes_used_{0};
   std::atomic<uint64_t> memory_used_{0};
   std::atomic<bool> memory_tripped_{false};
@@ -127,24 +139,36 @@ class ExecutionContext {
 };
 
 /// User-facing execution limits, the shape the CLI flags take. Inert by
-/// default. `deadline`, when finite, is used as-is (already ticking — lets a
-/// caller share one deadline across several audits); otherwise timeout_ms
-/// starts a fresh one when the context is made.
+/// default. A pre-armed finite `deadline` (already ticking — lets a caller
+/// share one deadline across several audits) and `timeout_ms` compose: the
+/// *earlier* of the two wins, so a caller's 10s shared deadline cannot be
+/// loosened by a 60s per-call timeout and vice versa.
 struct ExecutionLimits {
   int64_t timeout_ms = 0;      ///< <= 0: no deadline.
-  Deadline deadline;           ///< Pre-armed deadline; overrides timeout_ms.
+  Deadline deadline;           ///< Pre-armed deadline; the earlier of this
+                               ///< and timeout_ms applies.
   uint64_t max_nodes = 0;      ///< 0: unlimited.
   uint64_t max_memory_mb = 0;  ///< 0: unlimited.
   CancellationToken cancel;    ///< Default token never cancels.
+  /// Hierarchical parent: when set, MakeBudget() chains the new budget to
+  /// it, so charges land on both and the parent's exhaustion stops this
+  /// child too. Borrowed — the owner (e.g. a suite holding one budget for
+  /// the whole grid) must outlive every context made from these limits.
+  ResourceBudget* parent_budget = nullptr;
 
-  /// True when every limit is inert (no deadline, no budgets, null token).
+  /// True when every limit is inert (no deadline, no budgets, null token,
+  /// no parent).
   bool unlimited() const;
 
-  /// Budget sized to max_nodes / max_memory_mb.
+  /// Budget sized to max_nodes / max_memory_mb, chained to `parent_budget`
+  /// when one is set.
   ResourceBudget MakeBudget() const;
 
-  /// Context over `budget` (may be null); arms the deadline now unless a
-  /// pre-armed one was supplied.
+  /// The deadline a context made now would carry: the earlier of the
+  /// pre-armed `deadline` and a fresh timeout_ms one.
+  Deadline EffectiveDeadline() const;
+
+  /// Context over `budget` (may be null); arms EffectiveDeadline() now.
   ExecutionContext MakeContext(ResourceBudget* budget) const;
 };
 

@@ -32,6 +32,16 @@ class Deadline {
     return finite_ && std::chrono::steady_clock::now() >= when_;
   }
 
+  /// The deadline that fires first. An infinite deadline never wins against
+  /// a finite one; two infinite deadlines stay infinite. Used wherever a
+  /// caller-supplied pre-armed deadline meets a timeout-derived one (the two
+  /// must compose, not override each other).
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    if (a.is_infinite()) return b;
+    if (b.is_infinite()) return a;
+    return a.when_ <= b.when_ ? a : b;
+  }
+
   /// Seconds until expiry: +infinity for an infinite deadline, <= 0 once
   /// expired.
   double RemainingSeconds() const {

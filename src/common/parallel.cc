@@ -118,6 +118,36 @@ bool Run(size_t n, int num_threads, bool stoppable,
 
 }  // namespace
 
+void ParallelForEach(size_t n, int num_threads,
+                     const std::function<void(size_t)>& task) {
+  if (n == 0) return;
+  size_t usable =
+      std::min<size_t>(static_cast<size_t>(std::max(num_threads, 1)), n);
+  std::atomic<size_t> next{0};
+  ExceptionChannel errors;
+  auto drain = [&]() {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        task(i);
+      } catch (...) {
+        // Keyed by task index (not worker id) so the rethrown exception is
+        // deterministic no matter which worker claimed the faulting item.
+        errors.Report(i, std::current_exception());
+      }
+    }
+  };
+  // usable == 1 degenerates to a serial in-order drain on the calling
+  // thread with identical semantics: every task still runs, the lowest
+  // faulting index still wins the rethrow.
+  std::vector<std::thread> workers;
+  workers.reserve(usable - 1);
+  for (size_t t = 1; t < usable; ++t) workers.emplace_back(drain);
+  drain();
+  for (std::thread& w : workers) w.join();
+  errors.RethrowIfSet();
+}
+
 void ParallelFor(size_t n, int num_threads,
                  const std::function<void(size_t, size_t)>& body) {
   Run(n, num_threads, /*stoppable=*/false, CancellationToken(),

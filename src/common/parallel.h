@@ -33,6 +33,22 @@ bool ParallelForCancellable(size_t n, int num_threads,
                             const Deadline& deadline,
                             const std::function<void(size_t, size_t)>& body);
 
+/// Task-pool variant for heavyweight, uneven work items (suite cells, whole
+/// audits): runs `task(i)` for every i in [0, n) across up to `num_threads`
+/// workers (including the calling thread) with *dynamic* scheduling — each
+/// worker pulls the next unclaimed index from a shared atomic counter, so a
+/// slow item (the paper's `balanced` algorithm dominates a grid) never idles
+/// the other workers the way ParallelFor's static chunking would. With
+/// num_threads <= 1 or n <= 1 the tasks run inline in index order.
+///
+/// Exception behavior is uniform across thread counts: a throwing task
+/// never stops the pool (the remaining indices still run), every worker is
+/// joined, and the exception from the lowest task index is rethrown
+/// deterministically afterwards. Tasks must be safe to run concurrently;
+/// each index runs exactly once.
+void ParallelForEach(size_t n, int num_threads,
+                     const std::function<void(size_t)>& task);
+
 /// Number of hardware threads, at least 1.
 int HardwareThreads();
 

@@ -30,6 +30,21 @@ std::string Join(const std::vector<std::string>& parts, std::string_view delim) 
   return out;
 }
 
+std::string CsvEscape(std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 std::string_view Trim(std::string_view s) {
   size_t begin = 0;
   while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) {

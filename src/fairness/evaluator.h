@@ -76,6 +76,16 @@ struct EvaluatorOptions {
   /// Byte cap of the memoization cache (0 = uncapped). Exceeding it triggers
   /// an epoch eviction, never an error.
   uint64_t cache_max_bytes = 256ull << 20;
+  /// Externally owned cache shared by several evaluators. Null (default):
+  /// the evaluator creates a private cache. Sharing is only valid between
+  /// evaluators over the *same* score vector and histogram shape — cache
+  /// entries are keyed by row-set fingerprint alone. The suite scheduler
+  /// uses this to share one cache per scoring-function column across that
+  /// column's algorithm cells (EvaluatorCache is thread-safe); the sharer is
+  /// responsible for attaching any budget-charging context exactly once.
+  /// When set, `enable_cache`/`cache_max_bytes` above are ignored — the
+  /// shared cache was built with its own configuration.
+  std::shared_ptr<EvaluatorCache> shared_cache;
   /// Policy for scores outside [score_lo, score_hi]; see OutOfRangePolicy.
   OutOfRangePolicy out_of_range = OutOfRangePolicy::kCount;
 };
@@ -167,8 +177,10 @@ class UnfairnessEvaluator {
         options_(options),
         divergence_(std::move(divergence)),
         num_out_of_range_(num_out_of_range),
-        cache_(std::make_shared<EvaluatorCache>(options.enable_cache,
-                                                options.cache_max_bytes)) {}
+        cache_(options.shared_cache != nullptr
+                   ? options.shared_cache
+                   : std::make_shared<EvaluatorCache>(
+                         options.enable_cache, options.cache_max_bytes)) {}
 
   /// The partition's histogram via the cache: lookup by fingerprint, build
   /// and insert on a miss. Never null.

@@ -222,13 +222,16 @@ std::string FormatAuditJson(const AuditResult& result) {
 }
 
 std::string FormatAuditCsvRow(const AuditResult& result) {
+  // RFC-4180: every field is escaped — algorithm and function names are
+  // caller-supplied and may contain commas or quotes, and the |-joined
+  // attribute list is escaped as one field.
   std::vector<std::string> fields = {
-      result.algorithm,
-      result.scoring_function,
+      CsvEscape(result.algorithm),
+      CsvEscape(result.scoring_function),
       FormatDouble(result.unfairness, 6),
       FormatDouble(result.seconds, 6),
       std::to_string(result.partitions.size()),
-      Join(result.attributes_used, "|"),
+      CsvEscape(Join(result.attributes_used, "|")),
   };
   return Join(fields, ",");
 }

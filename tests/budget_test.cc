@@ -180,5 +180,77 @@ TEST(ExhaustionStatusTest, ReasonNamesAreStable) {
                "memory-budget");
 }
 
+
+TEST(ResourceBudgetTest, ChildChargesFlowThroughToParent) {
+  ResourceBudget parent(10, 0);
+  ResourceBudget child(0, 0, &parent);
+  EXPECT_EQ(child.parent(), &parent);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(child.ChargeNodes());
+  EXPECT_EQ(parent.nodes_used(), 10u);
+  EXPECT_FALSE(child.ChargeNodes());
+  EXPECT_TRUE(child.nodes_exhausted());
+  EXPECT_TRUE(parent.nodes_exhausted());
+}
+
+TEST(ResourceBudgetTest, ParentExhaustionStopsSiblingChildren) {
+  ResourceBudget parent(5, 0);
+  ResourceBudget a(0, 0, &parent);
+  ResourceBudget b(0, 0, &parent);
+  EXPECT_TRUE(a.ChargeNodes(3));
+  EXPECT_TRUE(b.ChargeNodes(2));
+  EXPECT_FALSE(a.ChargeNodes());
+  EXPECT_TRUE(b.nodes_exhausted());  // Exhausted via the shared parent.
+}
+
+TEST(ResourceBudgetTest, ChildMemoryChargesFlowThroughToParent) {
+  ResourceBudget parent(0, 100);
+  ResourceBudget child(0, 0, &parent);
+  EXPECT_TRUE(child.ChargeMemoryBytes(100));
+  EXPECT_FALSE(child.ChargeMemoryBytes(1));
+  EXPECT_TRUE(child.memory_exhausted());
+  EXPECT_TRUE(parent.memory_exhausted());
+}
+
+TEST(ResourceBudgetTest, ChargesNeverShortCircuitTheParent) {
+  // A child trip must still charge the parent: the parent's counters are
+  // the grid-level observability and must reflect all attempted work.
+  ResourceBudget parent(100, 0);
+  ResourceBudget child(2, 0, &parent);
+  EXPECT_TRUE(child.ChargeNodes());
+  EXPECT_TRUE(child.ChargeNodes());
+  EXPECT_FALSE(child.ChargeNodes());
+  EXPECT_FALSE(parent.nodes_exhausted());
+  EXPECT_EQ(parent.nodes_used(), 3u);
+}
+
+TEST(ExecutionLimitsTest, MakeBudgetChainsToParent) {
+  ResourceBudget parent(50, 0);
+  ExecutionLimits limits;
+  limits.parent_budget = &parent;
+  EXPECT_FALSE(limits.unlimited());
+  ResourceBudget child = limits.MakeBudget();
+  EXPECT_EQ(child.parent(), &parent);
+  EXPECT_TRUE(child.ChargeNodes(50));
+  EXPECT_FALSE(child.ChargeNodes());
+}
+
+TEST(ExecutionLimitsTest, EffectiveDeadlineTakesTheEarlier) {
+  ExecutionLimits limits;
+  EXPECT_TRUE(limits.EffectiveDeadline().is_infinite());
+  limits.timeout_ms = 3600 * 1000;
+  Deadline timeout_only = limits.EffectiveDeadline();
+  EXPECT_FALSE(timeout_only.is_infinite());
+  EXPECT_GT(timeout_only.RemainingSeconds(), 3000.0);
+  // A pre-armed deadline earlier than the timeout wins...
+  limits.deadline = Deadline::AfterSeconds(1.0);
+  EXPECT_LE(limits.EffectiveDeadline().RemainingSeconds(), 1.0);
+  // ...and a timeout earlier than the pre-armed deadline wins too (the old
+  // arming code let a finite `deadline` silently override timeout_ms).
+  limits.deadline = Deadline::AfterSeconds(3600.0);
+  limits.timeout_ms = 1000;
+  EXPECT_LE(limits.EffectiveDeadline().RemainingSeconds(), 1.0);
+  EXPECT_GT(limits.EffectiveDeadline().RemainingSeconds(), 0.0);
+}
+
 }  // namespace
 }  // namespace fairrank

@@ -100,5 +100,18 @@ TEST(CancellationTest, IndependentSourcesDoNotInterfere) {
   EXPECT_FALSE(b.token().cancel_requested());
 }
 
+
+TEST(DeadlineTest, EarlierPicksTheSoonerDeadline) {
+  Deadline inf = Deadline::Infinite();
+  Deadline soon = Deadline::AfterSeconds(1.0);
+  Deadline late = Deadline::AfterSeconds(3600.0);
+  EXPECT_TRUE(Deadline::Earlier(inf, inf).is_infinite());
+  EXPECT_LE(Deadline::Earlier(inf, soon).RemainingSeconds(), 1.0);
+  EXPECT_LE(Deadline::Earlier(soon, inf).RemainingSeconds(), 1.0);
+  EXPECT_LE(Deadline::Earlier(soon, late).RemainingSeconds(), 1.0);
+  EXPECT_LE(Deadline::Earlier(late, soon).RemainingSeconds(), 1.0);
+  EXPECT_GT(Deadline::Earlier(late, soon).RemainingSeconds(), 0.0);
+}
+
 }  // namespace
 }  // namespace fairrank

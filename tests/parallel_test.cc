@@ -174,5 +174,50 @@ TEST(ParallelEvaluatorTest, AuditMatchesSerial) {
   EXPECT_DOUBLE_EQ(run(1), run(4));
 }
 
+
+TEST(ParallelForEachTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 3, 8}) {
+    std::vector<std::atomic<int>> counts(100);
+    ParallelForEach(100, threads,
+                    [&](size_t i) { counts[i].fetch_add(1); });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1) << threads;
+  }
+}
+
+TEST(ParallelForEachTest, ZeroItemsIsANoOp) {
+  bool ran = false;
+  ParallelForEach(0, 4, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForEachTest, SmallGridStillUsesDynamicScheduling) {
+  // Unlike ParallelFor (whose min-per-thread heuristic serializes small
+  // ranges), the scheduler must parallelize even a 6-item grid — suite
+  // cells are few and expensive, the opposite of data-parallel loops.
+  std::atomic<int> ran{0};
+  ParallelForEach(6, 3, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(ParallelForEachTest, LowestIndexExceptionWinsAndPoolDrains) {
+  for (int threads : {1, 4}) {
+    std::atomic<int> completed{0};
+    try {
+      ParallelForEach(64, threads, [&](size_t i) {
+        if (i == 3 || i == 40) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+        completed.fetch_add(1);
+      });
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3") << threads;
+    }
+    // A faulting task must not take down its worker: the rest of the grid
+    // still runs.
+    EXPECT_EQ(completed.load(), 62) << threads;
+  }
+}
+
 }  // namespace
 }  // namespace fairrank

@@ -129,5 +129,23 @@ TEST(FormatAuditCsvRowTest, FieldOrder) {
   EXPECT_NE(row.find("Gender"), std::string::npos);
 }
 
+
+TEST(FormatAuditCsvRowTest, EscapesHostileFields) {
+  AuditResult result = SampleResult();
+  result.scoring_function = "f,1\"x";
+  std::string row = FormatAuditCsvRow(result);
+  EXPECT_NE(row.find("\"f,1\"\"x\""), std::string::npos) << row;
+  // The quoted comma must not change the field count.
+  std::string unquoted;
+  bool in_quotes = false;
+  for (char c : row) {
+    if (c == '\"') in_quotes = !in_quotes;
+    if (!in_quotes) unquoted += c;
+  }
+  int commas = 0;
+  for (char c : unquoted) commas += (c == ',') ? 1 : 0;
+  EXPECT_EQ(commas, 5);
+}
+
 }  // namespace
 }  // namespace fairrank

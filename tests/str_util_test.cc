@@ -88,5 +88,21 @@ TEST(ParseInt64Test, Invalid) {
   EXPECT_FALSE(ParseInt64("x", &v));
 }
 
+
+TEST(CsvEscapeTest, PassesPlainFieldsThrough) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape(""), "");
+  EXPECT_EQ(CsvEscape("with space"), "with space");
+  EXPECT_EQ(CsvEscape("pipe|join"), "pipe|join");
+}
+
+TEST(CsvEscapeTest, QuotesRfc4180Metacharacters) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(CsvEscape("\""), "\"\"\"\"");
+}
+
 }  // namespace
 }  // namespace fairrank

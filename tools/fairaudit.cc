@@ -8,6 +8,11 @@
 //                      [--attributes Gender,Country] [--json] [--histograms]
 //                      [--timeout-ms 5000] [--max-nodes 100000]
 //                      [--max-memory-mb 512] [--no-cache] [--cache-mb 256]
+//   fairaudit suite    --input workers.csv
+//                      [--functions alpha:0.25,alpha:0.5,f6]
+//                      [--algorithms balanced,unbalanced] [--csv] [--json]
+//                      [--suite-threads 4] [--suite-budget total|per-cell]
+//                      [--no-share-cache] [+ the audit flags above]
 //   fairaudit rank     --input workers.csv --function alpha:0.5 [--top 10]
 //   fairaudit exposure --input workers.csv --function alpha:0.5
 //                      [--bias log|reciprocal|topk] [--top 10]
@@ -30,10 +35,19 @@
 // function over observed attributes.
 //
 // `--timeout-ms`, `--max-nodes` and `--max-memory-mb` (accepted by audit,
-// repair, significance and catalog) bound the partition search; on
+// suite, repair, significance and catalog) bound the partition search; on
 // exhaustion the search degrades to its best partitioning found so far and
 // the report / JSON marks the result truncated with the reason. The command
 // still exits 0 — a bounded audit is an answer, not an error.
+//
+// `suite` runs the full algorithms × functions grid (the paper's tables).
+// Cells are dispatched onto `--suite-threads` workers; with the default
+// `--suite-budget total`, `--max-nodes` / `--max-memory-mb` bound the
+// *aggregate* work of the whole grid via one hierarchical budget
+// (`per-cell` restores the old every-cell-gets-the-full-allowance
+// semantics). A failing cell renders as ERR and never aborts the grid.
+// `--functions` is comma-separated, so `weights:...` specs (which contain
+// commas) are not accepted there — use `audit` for those.
 //
 // The evaluator memoizes per-partition histograms and pairwise divergences
 // (see fairness/eval_cache.h); `--no-cache` disables the memoization and
@@ -56,6 +70,7 @@
 #include "fairness/report.h"
 #include "fairness/serialize.h"
 #include "fairness/significance.h"
+#include "fairness/suite.h"
 #include "marketplace/biased_scoring.h"
 #include "marketplace/generator.h"
 #include "marketplace/ranking.h"
@@ -75,7 +90,7 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: fairaudit <generate|profile|audit|rank|exposure|"
+               "usage: fairaudit <generate|profile|audit|suite|rank|exposure|"
                "repair|apply|significance|list> [flags]\n"
                "run `fairaudit list` for algorithms, divergences and "
                "function specs\n");
@@ -284,6 +299,76 @@ int CmdAudit(const FlagParser& flags) {
   if (!max_partitions.ok()) return Fail(max_partitions.status());
   report.max_partitions = static_cast<size_t>(*max_partitions);
   std::printf("%s", FormatAuditReport(*result, report).c_str());
+  return 0;
+}
+
+int CmdSuite(const FlagParser& flags) {
+  StatusOr<Table> workers = LoadWorkers(flags);
+  if (!workers.ok()) return Fail(workers.status());
+  StatusOr<AuditOptions> audit_options = AuditOptionsFromFlags(flags);
+  if (!audit_options.ok()) return Fail(audit_options.status());
+
+  std::vector<std::unique_ptr<ScoringFunction>> owned;
+  std::vector<const ScoringFunction*> functions;
+  for (const std::string& spec :
+       Split(flags.GetString("functions", "alpha:0.25,alpha:0.5,alpha:0.75"),
+             ',')) {
+    StatusOr<std::unique_ptr<ScoringFunction>> fn =
+        MakeFunction(std::string(Trim(spec)));
+    if (!fn.ok()) return Fail(fn.status());
+    owned.push_back(std::move(fn).value());
+    functions.push_back(owned.back().get());
+  }
+
+  SuiteOptions options;
+  std::string algorithms = flags.GetString("algorithms", "");
+  if (!algorithms.empty()) {
+    for (const std::string& name : Split(algorithms, ',')) {
+      options.algorithms.emplace_back(Trim(name));
+    }
+  }
+  options.evaluator = audit_options->evaluator;
+  options.seed = audit_options->seed;
+  options.protected_attributes = audit_options->protected_attributes;
+  options.limits = audit_options->limits;
+  StatusOr<int64_t> suite_threads = flags.GetInt("suite-threads", 1);
+  if (!suite_threads.ok()) return Fail(suite_threads.status());
+  if (*suite_threads < 0) {
+    return Fail(Status::InvalidArgument("--suite-threads must be >= 0"));
+  }
+  options.num_threads = static_cast<int>(*suite_threads);
+  std::string budget_mode = flags.GetString("suite-budget", "total");
+  if (budget_mode == "total") {
+    options.budget_mode = SuiteBudgetMode::kTotal;
+  } else if (budget_mode == "per-cell") {
+    options.budget_mode = SuiteBudgetMode::kPerCell;
+  } else {
+    return Fail(
+        Status::InvalidArgument("--suite-budget must be total|per-cell"));
+  }
+  StatusOr<bool> no_share = flags.GetBool("no-share-cache", false);
+  if (!no_share.ok()) return Fail(no_share.status());
+  options.share_column_cache = !*no_share;
+
+  AuditSuite suite(&workers.value());
+  StatusOr<SuiteResult> result = suite.Run(functions, options);
+  if (!result.ok()) return Fail(result.status());
+
+  StatusOr<bool> json = flags.GetBool("json", false);
+  if (!json.ok()) return Fail(json.status());
+  StatusOr<bool> csv = flags.GetBool("csv", false);
+  if (!csv.ok()) return Fail(csv.status());
+  if (*json) {
+    std::printf("%s\n", FormatSuiteJson(*result).c_str());
+  } else if (*csv) {
+    std::printf("%s\n%s", FormatSuiteCsv(*result).c_str(),
+                FormatSuiteSummaryCsv(*result).c_str());
+  } else {
+    std::printf("Average unfairness:\n%s\ntime (in secs):\n%s\n%s",
+                FormatSuiteUnfairness(*result).c_str(),
+                FormatSuiteRuntime(*result).c_str(),
+                FormatSuiteSummary(*result).c_str());
+  }
   return 0;
 }
 
@@ -587,6 +672,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(*flags);
   if (command == "profile") return CmdProfile(*flags);
   if (command == "audit") return CmdAudit(*flags);
+  if (command == "suite") return CmdSuite(*flags);
   if (command == "rank") return CmdRank(*flags);
   if (command == "exposure") return CmdExposure(*flags);
   if (command == "repair") return CmdRepair(*flags);

@@ -11,10 +11,12 @@ Enforced over the C++ tree (fast: pure-python regex pass, < 5s):
                    library reports through Status and report strings;
                    binaries under tools/, bench/, examples/ may print.
   no-naked-thread  No std::thread / std::async / pthread_create outside
-                   src/common/parallel.cc — all library concurrency goes
-                   through ParallelFor so cancellation, deadlines and
-                   exception capture stay in one audited place. Tests may
-                   spawn threads (stress tests race the cache on purpose).
+                   src/common/parallel.cc — all concurrency (library code,
+                   the suite scheduler, tools/, bench/, examples/) goes
+                   through ParallelFor / ParallelForEach so cancellation,
+                   deadlines and exception capture stay in one audited
+                   place. Only tests may spawn threads (stress tests race
+                   the cache on purpose).
   include-guards   Headers use #ifndef FAIRRANK_<PATH>_H_ guards derived
                    from their path (never #pragma once), so a moved file
                    gets a stale-guard error instead of a silent collision.
@@ -149,10 +151,15 @@ def main(argv):
                 findings, path, code, "no-iostream",
                 r"\bstd\s*::\s*(?:cout|cerr)\b|(?<![\w:])(?:f|w)?printf\s*\(",
                 "'%s' — library code reports through Status/report strings")
+        # Concurrency discipline covers everything but tests: tools, benches
+        # and examples drive the suite scheduler and must inherit its
+        # cancellation / exception capture rather than spawn naked threads.
+        if not rel.startswith("tests/"):
             check_pattern_rule(
                 findings, path, code, "no-naked-thread",
                 r"\bstd\s*::\s*(?:thread|j?thread|async)\b|\bpthread_create\b",
-                "'%s' — use common/parallel (ParallelFor) for concurrency",
+                "'%s' — use common/parallel (ParallelFor/ParallelForEach) "
+                "for concurrency",
                 exempt=("src/common/parallel.cc",))
 
         check_include_guard(findings, path, raw)
