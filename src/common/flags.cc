@@ -41,6 +41,18 @@ StatusOr<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
   return parser;
 }
 
+StatusOr<FlagParser> FlagParser::FromPairs(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  FlagParser parser;
+  for (const auto& [name, value] : pairs) {
+    if (name.empty()) {
+      return Status::InvalidArgument("empty parameter name");
+    }
+    parser.flags_[name] = value;
+  }
+  return parser;
+}
+
 bool FlagParser::Has(const std::string& name) const {
   return flags_.count(name) > 0;
 }
@@ -91,6 +103,25 @@ std::vector<std::string> FlagParser::FlagNames() const {
   names.reserve(flags_.size());
   for (const auto& [name, value] : flags_) names.push_back(name);
   return names;
+}
+
+Status ValidateKnownFlags(const FlagParser& flags,
+                          const std::vector<std::string>& known) {
+  std::vector<std::string> unknown;
+  for (const std::string& name : flags.FlagNames()) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back("--" + name);
+  }
+  if (unknown.empty()) return Status::OK();
+  return Status::InvalidArgument("unknown flag" +
+                                 std::string(unknown.size() > 1 ? "s " : " ") +
+                                 Join(unknown, ", "));
 }
 
 }  // namespace fairrank

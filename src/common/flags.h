@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -22,6 +23,13 @@ class FlagParser {
   /// Parses argv (excluding argv[0]). Fails on malformed input such as a
   /// flag with an empty name.
   static StatusOr<FlagParser> Parse(int argc, const char* const* argv);
+
+  /// Builds a parser from already-split name/value pairs (the server's
+  /// decoded query parameters), so flag-consuming helpers are shared
+  /// verbatim between the CLI and the HTTP surface. Later duplicates win,
+  /// matching Parse(). An empty name fails.
+  static StatusOr<FlagParser> FromPairs(
+      const std::vector<std::pair<std::string, std::string>>& pairs);
 
   /// True if --name was present (with or without a value).
   bool Has(const std::string& name) const;
@@ -53,6 +61,13 @@ class FlagParser {
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
 };
+
+/// Rejects flags outside `known` with InvalidArgument naming every unknown
+/// flag — a misspelled `--max-node` must fail loudly, not silently run an
+/// unbounded audit. Every command of fairaudit/fairauditd and every server
+/// endpoint passes its accepted set through this.
+Status ValidateKnownFlags(const FlagParser& flags,
+                          const std::vector<std::string>& known);
 
 }  // namespace fairrank
 

@@ -1,0 +1,46 @@
+#include "common/shutdown.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace fairrank {
+namespace {
+
+// Lock-free atomic stores are async-signal-safe; this is the only state the
+// handler touches. 0 = no shutdown requested.
+std::atomic<int> g_shutdown_signal{0};
+
+extern "C" void FairrankShutdownHandler(int signum) {
+  g_shutdown_signal.store(signum, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  struct sigaction action {};
+  action.sa_handler = FairrankShutdownHandler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocking accept/poll should return EINTR so the serve
+  // loop notices the latch at the next iteration instead of one poll later.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignal() {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void RequestShutdownForTest() {
+  g_shutdown_signal.store(-1, std::memory_order_relaxed);
+}
+
+void ResetShutdownState() {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fairrank

@@ -1,0 +1,37 @@
+#ifndef FAIRRANK_COMMON_SHUTDOWN_H_
+#define FAIRRANK_COMMON_SHUTDOWN_H_
+
+namespace fairrank {
+
+/// Process-wide graceful-shutdown latch for long-running binaries
+/// (fairauditd). A signal handler may only touch async-signal-safe state, so
+/// the handler here does exactly one thing: it latches the delivered signal
+/// number into a lock-free atomic. Pollers (the server's accept loop) check
+/// ShutdownRequested() between waits and run the actual drain on a normal
+/// thread, where mutexes and allocation are legal again.
+///
+/// The latch is sticky: a second SIGINT/SIGTERM does not force an immediate
+/// exit by itself — the server's drain already bounds shutdown latency with
+/// its grace deadline, so there is no escalation path to kill in-flight work
+/// abruptly from the handler.
+
+/// Installs SIGINT and SIGTERM handlers that latch the shutdown flag.
+/// Idempotent; safe to call more than once.
+void InstallShutdownHandlers();
+
+/// True once any installed handler has fired (or RequestShutdownForTest).
+bool ShutdownRequested();
+
+/// The signal number that triggered shutdown, or 0 when none fired.
+int ShutdownSignal();
+
+/// Latches shutdown without a real signal — lets tests and embedders drive
+/// the same drain path the handlers do.
+void RequestShutdownForTest();
+
+/// Clears the latch so one process can run several serve cycles (tests).
+void ResetShutdownState();
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_COMMON_SHUTDOWN_H_

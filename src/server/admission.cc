@@ -1,0 +1,75 @@
+#include "server/admission.h"
+
+#include <chrono>
+
+namespace fairrank {
+
+const char* AdmissionVerdictToString(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmit:
+      return "admit";
+    case AdmissionVerdict::kShedDraining:
+      return "draining";
+    case AdmissionVerdict::kShedBudget:
+      return "budget_exhausted";
+    case AdmissionVerdict::kShedOverload:
+      return "overloaded";
+  }
+  return "admit";
+}
+
+bool AdmissionController::BudgetOutOfHeadroom() const {
+  if (process_budget_ == nullptr) return false;
+  if (process_budget_->nodes_exhausted() ||
+      process_budget_->memory_exhausted()) {
+    return true;
+  }
+  if (process_budget_->max_nodes() != 0 &&
+      process_budget_->nodes_used() >= process_budget_->max_nodes()) {
+    return true;
+  }
+  if (process_budget_->max_memory_bytes() != 0 &&
+      process_budget_->memory_used_bytes() >=
+          process_budget_->max_memory_bytes()) {
+    return true;
+  }
+  return false;
+}
+
+AdmissionVerdict AdmissionController::TryAdmit(bool draining) {
+  if (draining) return AdmissionVerdict::kShedDraining;
+  if (BudgetOutOfHeadroom()) return AdmissionVerdict::kShedBudget;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (max_inflight_ > 0 && in_flight_ >= max_inflight_) {
+    return AdmissionVerdict::kShedOverload;
+  }
+  ++in_flight_;
+  return AdmissionVerdict::kAdmit;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (in_flight_ > 0) --in_flight_;
+  }
+  idle_.notify_all();
+}
+
+bool AdmissionController::WaitUntilIdle(const Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto idle = [this]() FAIRRANK_REQUIRES(mutex_) { return in_flight_ == 0; };
+  if (deadline.is_infinite()) {
+    idle_.wait(lock, idle);
+    return true;
+  }
+  double remaining = deadline.RemainingSeconds();
+  if (remaining <= 0) return idle();
+  return idle_.wait_for(lock, std::chrono::duration<double>(remaining), idle);
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+}  // namespace fairrank

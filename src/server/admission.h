@@ -1,0 +1,75 @@
+#ifndef FAIRRANK_SERVER_ADMISSION_H_
+#define FAIRRANK_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/budget.h"
+#include "common/deadline.h"
+#include "common/thread_annotations.h"
+
+namespace fairrank {
+
+/// Why an audit request was refused at the door. The server maps each to a
+/// structured 429/503 body with a `retry_after_ms` backoff hint.
+enum class AdmissionVerdict {
+  kAdmit = 0,
+  kShedDraining,   ///< Server is draining after SIGINT/SIGTERM.
+  kShedBudget,     ///< Process-level node/memory budget has no headroom.
+  kShedOverload,   ///< In-flight audit cap reached.
+};
+
+/// Stable snake_case name used in error bodies and /stats
+/// ("draining", "budget_exhausted", "overloaded").
+const char* AdmissionVerdictToString(AdmissionVerdict verdict);
+
+/// Gate in front of the expensive endpoints (/audit, /suite). Admission is
+/// the inverse of the hierarchical budget chain: every admitted request runs
+/// over a child ResourceBudget chained to `process_budget`, so when the
+/// parent runs out of headroom the gate closes and further work is shed
+/// before it starts — the aggregate node/memory spend of all requests ever
+/// admitted stays bounded by the process budget (plus at most one in-flight
+/// charge per concurrent request, the budget's documented overshoot
+/// granularity).
+///
+/// Also bounds concurrency: at most `max_inflight` admitted requests run at
+/// once; the rest shed with kShedOverload rather than queue behind a
+/// convoy. Thread-safe.
+class AdmissionController {
+ public:
+  /// `process_budget` is borrowed and may be null (no budget gate);
+  /// `max_inflight` <= 0 disables the concurrency gate.
+  AdmissionController(int max_inflight, const ResourceBudget* process_budget)
+      : max_inflight_(max_inflight), process_budget_(process_budget) {}
+
+  /// One admission decision. On kAdmit the caller owns one in-flight slot
+  /// and must call Release() exactly once.
+  AdmissionVerdict TryAdmit(bool draining) FAIRRANK_EXCLUDES(mutex_);
+
+  /// Returns an admitted request's slot.
+  void Release() FAIRRANK_EXCLUDES(mutex_);
+
+  /// Blocks until no request is in flight or `deadline` expires; true when
+  /// idle. The drain sequence waits here before cancelling stragglers.
+  bool WaitUntilIdle(const Deadline& deadline) FAIRRANK_EXCLUDES(mutex_);
+
+  int in_flight() const FAIRRANK_EXCLUDES(mutex_);
+
+ private:
+  /// True when the process budget has no headroom left. "No headroom"
+  /// is `used >= max` (not the budget's own latched `used > max`): once the
+  /// last node is spent, the next request could only run to be refused by
+  /// its first charge, so the gate closes one step earlier.
+  bool BudgetOutOfHeadroom() const;
+
+  const int max_inflight_;
+  const ResourceBudget* process_budget_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  int in_flight_ FAIRRANK_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_SERVER_ADMISSION_H_

@@ -1,0 +1,164 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/deadline.h"
+#include "common/str_util.h"
+
+namespace fairrank {
+
+namespace {
+
+bool PollFd(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    double remaining = deadline.RemainingSeconds();
+    if (remaining <= 0) return false;
+    int slice_ms = 100;
+    if (remaining * 1000.0 < slice_ms) {
+      slice_ms = static_cast<int>(remaining * 1000.0) + 1;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int n = poll(&pfd, 1, slice_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n > 0) return true;
+  }
+}
+
+/// RAII fd so every early return closes the socket.
+class UniqueFd {
+ public:
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() {
+    if (fd_ >= 0) close(fd_);
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
+                                    const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body,
+                                    int64_t timeout_ms) {
+  Deadline deadline = timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
+                                     : Deadline::Infinite();
+  int raw_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (raw_fd < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  UniqueFd fd(raw_fd);
+  int flags = fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl: " + std::string(std::strerror(errno)));
+  }
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host '" + host +
+                                   "' as an IPv4 address");
+  }
+  if (connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                             ": " + std::strerror(errno));
+    }
+    if (!PollFd(fd.get(), POLLOUT, deadline)) {
+      return Status::DeadlineExceeded("timed out connecting to " + host + ":" +
+                                      std::to_string(port));
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+        err != 0) {
+      return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                             ": " + std::strerror(err != 0 ? err : errno));
+    }
+  }
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host + ":" + std::to_string(port) + "\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Type: application/x-www-form-urlencoded\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n";
+  request += body;
+
+  size_t sent = 0;
+  while (sent < request.size()) {
+    if (!PollFd(fd.get(), POLLOUT, deadline)) {
+      return Status::DeadlineExceeded("timed out sending request");
+    }
+    ssize_t n = send(fd.get(), request.data() + sent, request.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string response;
+  for (;;) {
+    if (!PollFd(fd.get(), POLLIN, deadline)) {
+      return Status::DeadlineExceeded("timed out reading response");
+    }
+    char chunk[4096];
+    ssize_t n = recv(fd.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::IOError("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;  // Server closed: message complete.
+    response.append(chunk, static_cast<size_t>(n));
+  }
+
+  size_t head_end = response.find("\r\n\r\n");
+  size_t terminator = 4;
+  if (head_end == std::string::npos) {
+    head_end = response.find("\n\n");
+    terminator = 2;
+  }
+  if (head_end == std::string::npos) {
+    return Status::InvalidArgument("malformed response (no header block)");
+  }
+  HttpFetchResult result;
+  result.head = response.substr(0, head_end);
+  result.body = response.substr(head_end + terminator);
+  // Status line: "HTTP/1.1 200 OK".
+  size_t sp = result.head.find(' ');
+  int64_t code = 0;
+  if (sp == std::string::npos ||
+      !ParseInt64(Trim(result.head.substr(sp + 1, 3)), &code)) {
+    return Status::InvalidArgument("malformed status line '" +
+                                   result.head.substr(0, 32) + "'");
+  }
+  result.status_code = static_cast<int>(code);
+  return result;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,30 @@
+#ifndef FAIRRANK_SERVER_CLIENT_H_
+#define FAIRRANK_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace fairrank {
+
+/// Result of one HttpFetch: parsed status line plus the raw body.
+struct HttpFetchResult {
+  int status_code = 0;
+  std::string head;  ///< Status line + headers, verbatim.
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.1 client for tests and fairauditd's --fetch
+/// smoke mode: one request, read to EOF (the server always closes), no
+/// redirects, no TLS. `timeout_ms` bounds connect + send + receive
+/// together; <= 0 means no timeout.
+StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
+                                    const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body,
+                                    int64_t timeout_ms);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_SERVER_CLIENT_H_

@@ -1,0 +1,219 @@
+#include "server/http.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "fairness/report.h"
+
+namespace fairrank {
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Splits the head into lines, accepting CRLF or bare LF.
+std::vector<std::string_view> SplitLines(std::string_view head) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= head.size()) {
+    size_t nl = head.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? head.substr(start)
+                                : head.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '+') {
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '%' && i + 2 < s.size()) {
+      int hi = HexValue(s[i + 1]);
+      int lo = HexValue(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> ParseQueryString(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t amp = query.find('&', start);
+    std::string_view segment = amp == std::string_view::npos
+                                   ? query.substr(start)
+                                   : query.substr(start, amp - start);
+    if (!segment.empty()) {
+      size_t eq = segment.find('=');
+      if (eq == std::string_view::npos) {
+        pairs.emplace_back(PercentDecode(segment), "");
+      } else {
+        pairs.emplace_back(PercentDecode(segment.substr(0, eq)),
+                           PercentDecode(segment.substr(eq + 1)));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    start = amp + 1;
+  }
+  return pairs;
+}
+
+StatusOr<HttpRequest> ParseRequestHead(std::string_view head) {
+  std::vector<std::string_view> lines = SplitLines(head);
+  if (lines.empty() || lines[0].empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  HttpRequest request;
+  {
+    std::string_view line = lines[0];
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string_view::npos || sp2 == sp1) {
+      return Status::InvalidArgument("malformed request line");
+    }
+    request.method = std::string(line.substr(0, sp1));
+    request.target = std::string(Trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+    std::string_view version = line.substr(sp2 + 1);
+    if (!StartsWith(version, "HTTP/1.")) {
+      return Status::InvalidArgument("unsupported protocol '" +
+                                     std::string(version) + "'");
+    }
+  }
+  if (request.method != "GET" && request.method != "POST") {
+    return Status::Unimplemented("method '" + request.method +
+                                 "' not supported (GET/POST only)");
+  }
+  if (request.target.empty() || request.target[0] != '/') {
+    return Status::InvalidArgument("request target must start with '/'");
+  }
+  size_t qmark = request.target.find('?');
+  if (qmark == std::string::npos) {
+    request.path = request.target;
+  } else {
+    request.path = request.target.substr(0, qmark);
+    request.query = ParseQueryString(
+        std::string_view(request.target).substr(qmark + 1));
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (line.empty()) break;  // End of headers.
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed header line '" +
+                                     std::string(line) + "'");
+    }
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    if (name.empty()) {
+      return Status::InvalidArgument("empty header name");
+    }
+    request.headers[name] = std::string(Trim(line.substr(colon + 1)));
+  }
+  return request;
+}
+
+StatusOr<size_t> ContentLength(const HttpRequest& request,
+                               const HttpSizeLimits& limits) {
+  auto te = request.headers.find("transfer-encoding");
+  if (te != request.headers.end() && ToLower(te->second) != "identity") {
+    return Status::InvalidArgument(
+        "chunked transfer encoding not supported; send Content-Length");
+  }
+  auto it = request.headers.find("content-length");
+  if (it == request.headers.end()) return size_t{0};
+  int64_t length = 0;
+  if (!ParseInt64(it->second, &length) || length < 0) {
+    return Status::InvalidArgument("malformed Content-Length '" + it->second +
+                                   "'");
+  }
+  if (static_cast<uint64_t>(length) > limits.max_body_bytes) {
+    return Status::ResourceExhausted(
+        "request body of " + std::to_string(length) + " bytes exceeds the " +
+        std::to_string(limits.max_body_bytes) + "-byte limit");
+  }
+  return static_cast<size_t>(length);
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string FormatHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (response.retry_after_ms > 0) {
+    // Retry-After is whole seconds; round up so a 250 ms hint never becomes
+    // an immediate (0 s) retry.
+    out += "Retry-After: " +
+           std::to_string((response.retry_after_ms + 999) / 1000) + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string JsonErrorBody(int status, std::string_view code,
+                          std::string_view reason, std::string_view message,
+                          int64_t retry_after_ms) {
+  std::string out = "{\"error\":{";
+  out += "\"status\":" + std::to_string(status) + ",";
+  out += "\"code\":\"" + JsonEscape(std::string(code)) + "\",";
+  out += "\"reason\":\"" + JsonEscape(std::string(reason)) + "\",";
+  out += "\"message\":\"" + JsonEscape(std::string(message)) + "\"";
+  if (retry_after_ms > 0) {
+    out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
+  }
+  out += "}}";
+  return out;
+}
+
+HttpResponse MakeErrorResponse(int status, std::string_view code,
+                               std::string_view reason,
+                               std::string_view message,
+                               int64_t retry_after_ms) {
+  HttpResponse response;
+  response.status = status;
+  response.body = JsonErrorBody(status, code, reason, message, retry_after_ms);
+  response.retry_after_ms = retry_after_ms;
+  return response;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,96 @@
+#ifndef FAIRRANK_SERVER_HTTP_H_
+#define FAIRRANK_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairrank {
+
+/// Minimal, dependency-free HTTP/1.1 message handling for fairauditd.
+/// Deliberately small surface: GET/POST, Content-Length bodies only (no
+/// chunked encoding, no keep-alive — every response carries
+/// `Connection: close`), with hard size limits on head and body so a
+/// misbehaving client can never balloon server memory. Parsing is pure
+/// (string -> struct), so every limit and error path is unit-testable
+/// without a socket.
+
+/// Hard caps applied while reading a request off the wire.
+struct HttpSizeLimits {
+  size_t max_head_bytes = 8192;      ///< Request line + headers.
+  size_t max_body_bytes = 64 * 1024; ///< Content-Length ceiling.
+};
+
+/// A parsed request. Header names are lower-cased; query parameters are
+/// percent-decoded and kept in order of appearance (later duplicates win
+/// when converted to flags).
+struct HttpRequest {
+  std::string method;   ///< "GET" or "POST" (parse rejects others).
+  std::string target;   ///< Raw request target, e.g. "/audit?function=f6".
+  std::string path;     ///< Target up to '?'.
+  std::vector<std::pair<std::string, std::string>> query;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// A response about to be serialized. `retry_after_ms` > 0 additionally
+/// emits a Retry-After header (rounded up to whole seconds) so well-behaved
+/// HTTP clients back off without parsing the JSON body.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  int64_t retry_after_ms = 0;
+};
+
+/// Decodes %xx escapes and '+' (as space). Malformed escapes pass through
+/// literally rather than failing the whole request.
+std::string PercentDecode(std::string_view s);
+
+/// Splits "a=1&b=two" into decoded pairs. Empty segments are skipped; a
+/// segment without '=' becomes {name, ""}.
+std::vector<std::pair<std::string, std::string>> ParseQueryString(
+    std::string_view query);
+
+/// Parses the request head (everything before the blank line, body
+/// excluded). Accepts both CRLF and bare-LF line endings. Fails with
+/// InvalidArgument on malformed syntax and Unimplemented on methods other
+/// than GET/POST.
+StatusOr<HttpRequest> ParseRequestHead(std::string_view head);
+
+/// Content-Length of a parsed head, validated against `limits`:
+/// 0 when absent, InvalidArgument when malformed or chunked,
+/// ResourceExhausted when over max_body_bytes.
+StatusOr<size_t> ContentLength(const HttpRequest& request,
+                               const HttpSizeLimits& limits);
+
+/// Stable reason phrase for the status codes the server emits.
+const char* HttpReasonPhrase(int status);
+
+/// Serializes status line + headers + body, with Content-Length and
+/// `Connection: close` always present.
+std::string FormatHttpResponse(const HttpResponse& response);
+
+/// The server's structured error body:
+/// {"error":{"status":503,"code":"ResourceExhausted","reason":"...",
+///   "message":"...","retry_after_ms":250}}
+/// `retry_after_ms` is emitted only when > 0 — the client backoff hint for
+/// load-shedding responses.
+std::string JsonErrorBody(int status, std::string_view code,
+                          std::string_view reason, std::string_view message,
+                          int64_t retry_after_ms);
+
+/// Convenience: an error HttpResponse wrapping JsonErrorBody.
+HttpResponse MakeErrorResponse(int status, std::string_view code,
+                               std::string_view reason,
+                               std::string_view message,
+                               int64_t retry_after_ms = 0);
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_SERVER_HTTP_H_

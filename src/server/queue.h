@@ -1,0 +1,82 @@
+#ifndef FAIRRANK_SERVER_QUEUE_H_
+#define FAIRRANK_SERVER_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/thread_annotations.h"
+
+namespace fairrank {
+
+/// Bounded multi-producer/multi-consumer queue of pending work (accepted
+/// connection fds). The bound is the server's backpressure point: when the
+/// queue is full the listener sheds the connection with a structured 503
+/// instead of queueing unboundedly — admission control by construction.
+///
+/// Close() ends the stream: pending items are still drained (so already
+/// accepted connections get a response — typically a fast "draining" shed),
+/// after which Pop() returns nullopt and the workers exit. Push after close
+/// is refused.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` 0 behaves as capacity 1 (a zero-capacity queue could never
+  /// hand work to the pool at all).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push. False when full or closed — the caller sheds.
+  bool TryPush(T item) FAIRRANK_EXCLUDES(mutex_) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty
+  /// (then nullopt).
+  std::optional<T> Pop() FAIRRANK_EXCLUDES(mutex_) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this]() FAIRRANK_REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Ends the stream and wakes every blocked Pop().
+  void Close() FAIRRANK_EXCLUDES(mutex_) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const FAIRRANK_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_ FAIRRANK_GUARDED_BY(mutex_);
+  bool closed_ FAIRRANK_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_SERVER_QUEUE_H_

@@ -1,0 +1,390 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace fairrank {
+
+namespace {
+
+/// Accumulated cache counters worth rolling up (all-zero snapshots are
+/// common for /healthz//stats and add lock traffic for nothing).
+bool HasCacheActivity(const EvalCacheStats& stats) {
+  return stats.histogram_lookups() != 0 || stats.divergence_lookups() != 0 ||
+         stats.evictions != 0;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl(O_NONBLOCK): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Waits for `events` on `fd` until `deadline`, in short slices so drain
+/// cancellation is noticed promptly. True when the fd is ready.
+bool PollFd(int fd, short events, const Deadline& deadline,
+            const CancellationToken& cancel) {
+  for (;;) {
+    if (cancel.cancel_requested()) return false;
+    double remaining = deadline.RemainingSeconds();
+    if (remaining <= 0) return false;
+    int slice_ms = 100;
+    if (remaining * 1000.0 < slice_ms) {
+      slice_ms = static_cast<int>(remaining * 1000.0) + 1;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int n = poll(&pfd, 1, slice_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n > 0 && (pfd.revents & (events | POLLHUP | POLLERR)) != 0) {
+      return true;
+    }
+  }
+}
+
+/// Maps a request-read failure to the HTTP status of the early error reply.
+int HttpStatusForReadError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      return 413;
+    case StatusCode::kDeadlineExceeded:
+      return 408;
+    case StatusCode::kUnimplemented:
+      return 501;
+    default:
+      return 400;
+  }
+}
+
+}  // namespace
+
+FairAuditServer::FairAuditServer(
+    std::map<std::string, std::unique_ptr<Table>> tables,
+    std::string default_name, ServerOptions options)
+    : tables_(std::move(tables)),
+      options_(std::move(options)),
+      num_workers_(options_.num_workers > 0 ? options_.num_workers
+                                            : HardwareThreads()),
+      process_budget_(options_.max_total_nodes,
+                      options_.max_total_memory_mb << 20),
+      admission_(options_.max_inflight_audits > 0
+                     ? options_.max_inflight_audits
+                     : num_workers_,
+                 &process_budget_),
+      queue_(options_.queue_capacity) {
+  env_.default_dataset = std::move(default_name);
+  for (const auto& [name, table] : tables_) {
+    env_.datasets[name] = table.get();
+  }
+  env_.timeout_ceiling_ms = options_.request_timeout_ceiling_ms;
+  env_.default_timeout_ms = options_.default_timeout_ms;
+  env_.process_budget = &process_budget_;
+  env_.drain_cancel = drain_source_.token();
+  env_.max_request_threads =
+      options_.max_request_threads > 0 ? options_.max_request_threads : 1;
+  env_.retry_after_ms = options_.retry_after_ms;
+}
+
+FairAuditServer::~FairAuditServer() {
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+Status FairAuditServer::Start() {
+  if (tables_.empty()) {
+    return Status::InvalidArgument("server needs at least one dataset");
+  }
+  if (env_.datasets.find(env_.default_dataset) == env_.datasets.end()) {
+    return Status::InvalidArgument("default dataset '" + env_.default_dataset +
+                                   "' is not among the loaded datasets");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host '" + options_.host +
+                                   "' as an IPv4 address");
+  }
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Status::IOError("bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (listen(listen_fd_, 64) < 0) {
+    return Status::IOError("listen: " + std::string(std::strerror(errno)));
+  }
+  FAIRRANK_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                  &bound_len) < 0) {
+    return Status::IOError("getsockname: " +
+                           std::string(std::strerror(errno)));
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+Status FairAuditServer::Serve() {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("Serve() called before Start()");
+  }
+  try {
+    // One pool carries the whole server: task 0 is the listener (and drain
+    // coordinator), tasks 1..N serve requests. ParallelForEach is the
+    // repo's single audited thread source.
+    ParallelForEach(static_cast<size_t>(num_workers_) + 1, num_workers_ + 1,
+                    [this](size_t i) {
+                      if (i == 0) {
+                        ListenerLoop();
+                      } else {
+                        WorkerLoop();
+                      }
+                    });
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("server pool failed: ") + e.what());
+  }
+  return Status::OK();
+}
+
+void FairAuditServer::RequestShutdown() {
+  draining_.store(true, std::memory_order_relaxed);
+}
+
+void FairAuditServer::ListenerLoop() {
+  while (!draining_.load(std::memory_order_relaxed)) {
+    if (options_.external_shutdown && options_.external_shutdown()) {
+      RequestShutdown();
+      break;
+    }
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int n = poll(&pfd, 1, 100);
+    if (n < 0 && errno != EINTR) break;
+    if (n <= 0) continue;
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (SetNonBlocking(fd).ok() && queue_.TryPush(fd)) continue;
+    // Queue full (or fd setup failed): shed at the door with a canned 503
+    // so the client learns to back off instead of hanging.
+    stats_.RecordShed("queue_full");
+    HttpResponse shed = MakeErrorResponse(
+        503, "ResourceExhausted", "queue_full",
+        "request queue is full; retry later", options_.retry_after_ms);
+    SendResponse(fd, shed);
+    close(fd);
+  }
+
+  // Drain: stop accepting, let queued connections flush (they are shed as
+  // "draining"), give in-flight requests a grace window, then cancel
+  // cooperatively so stragglers return truncated best-so-far answers.
+  close(listen_fd_);
+  listen_fd_ = -1;
+  queue_.Close();
+  Deadline grace = options_.drain_grace_ms > 0
+                       ? Deadline::AfterMillis(options_.drain_grace_ms)
+                       : Deadline::AfterMillis(0);
+  if (!admission_.WaitUntilIdle(grace)) {
+    drain_source_.RequestCancellation();
+  }
+}
+
+void FairAuditServer::WorkerLoop() {
+  while (true) {
+    std::optional<int> fd = queue_.Pop();
+    if (!fd.has_value()) return;
+    ServeConnection(*fd);
+  }
+}
+
+void FairAuditServer::ServeConnection(int fd) {
+  auto start = std::chrono::steady_clock::now();
+  StatusOr<HttpRequest> request = ReadRequest(fd);
+  if (!request.ok()) {
+    stats_.RecordParseError();
+    const Status& status = request.status();
+    SendResponse(fd, MakeErrorResponse(HttpStatusForReadError(status),
+                                       StatusCodeToString(status.code()),
+                                       "bad_request", status.message()));
+    close(fd);
+    return;
+  }
+  HandlerResult result = Route(*request);
+  SendResponse(fd, result.response);
+  close(fd);
+
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  // Known endpoints keyed as-is; everything else collapses into one bucket
+  // so a path-scanning client cannot grow the stats map unboundedly.
+  const std::string& path = request->path;
+  bool known = path == "/audit" || path == "/suite" || path == "/healthz" ||
+               path == "/stats";
+  stats_.RecordRequest(known ? path : "(other)", result.response.status,
+                       seconds, result.truncated);
+  if (HasCacheActivity(result.cache)) stats_.RecordCache(result.cache);
+}
+
+HandlerResult FairAuditServer::Route(const HttpRequest& request) {
+  HandlerResult result;
+  bool is_draining = draining_.load(std::memory_order_relaxed);
+  if (request.path == "/healthz") {
+    if (is_draining) {
+      result.response =
+          MakeErrorResponse(503, "ResourceExhausted", "draining",
+                            "server is draining", options_.retry_after_ms);
+    } else {
+      result.response.body = "{\"status\":\"ok\"}";
+    }
+    return result;
+  }
+  if (request.path == "/stats") {
+    result.response.body = StatsJson();
+    return result;
+  }
+  if (request.path == "/audit" || request.path == "/suite") {
+    AdmissionVerdict verdict = admission_.TryAdmit(is_draining);
+    if (verdict != AdmissionVerdict::kAdmit) {
+      stats_.RecordShed(AdmissionVerdictToString(verdict));
+      // Overload (a transient in-flight spike) is the client's cue to
+      // retry soon: 429. Draining and an exhausted process budget are
+      // server-side unavailability: 503.
+      int status = verdict == AdmissionVerdict::kShedOverload ? 429 : 503;
+      result.response = MakeErrorResponse(
+          status, "ResourceExhausted", AdmissionVerdictToString(verdict),
+          std::string("request shed: ") + AdmissionVerdictToString(verdict),
+          options_.retry_after_ms);
+      return result;
+    }
+    stats_.RecordAccepted();
+    result = request.path == "/audit" ? HandleAudit(env_, request)
+                                      : HandleSuite(env_, request);
+    admission_.Release();
+    return result;
+  }
+  result.response = MakeErrorResponse(
+      404, "NotFound", "unknown_path",
+      "unknown path '" + request.path +
+          "' (endpoints: /audit, /suite, /healthz, /stats)");
+  return result;
+}
+
+StatusOr<HttpRequest> FairAuditServer::ReadRequest(int fd) const {
+  Deadline deadline = options_.io_timeout_ms > 0
+                          ? Deadline::AfterMillis(options_.io_timeout_ms)
+                          : Deadline::Infinite();
+  const HttpSizeLimits& limits = options_.size_limits;
+  std::string buffer;
+  size_t head_end = std::string::npos;
+  size_t terminator = 0;
+
+  while (head_end == std::string::npos) {
+    if (buffer.size() > limits.max_head_bytes) {
+      return Status::ResourceExhausted(
+          "request head exceeds " + std::to_string(limits.max_head_bytes) +
+          " bytes");
+    }
+    if (!PollFd(fd, POLLIN, deadline, env_.drain_cancel)) {
+      return Status::DeadlineExceeded("timed out reading request head");
+    }
+    char chunk[4096];
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::IOError("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::InvalidArgument("connection closed mid-request");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t crlf = buffer.find("\r\n\r\n");
+    size_t lf = buffer.find("\n\n");
+    if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+      head_end = crlf;
+      terminator = 4;
+    } else if (lf != std::string::npos) {
+      head_end = lf;
+      terminator = 2;
+    }
+  }
+
+  FAIRRANK_ASSIGN_OR_RETURN(HttpRequest request,
+                            ParseRequestHead(buffer.substr(0, head_end)));
+  FAIRRANK_ASSIGN_OR_RETURN(size_t body_bytes,
+                            ContentLength(request, limits));
+  std::string body = buffer.substr(head_end + terminator);
+  while (body.size() < body_bytes) {
+    if (!PollFd(fd, POLLIN, deadline, env_.drain_cancel)) {
+      return Status::DeadlineExceeded("timed out reading request body");
+    }
+    char chunk[4096];
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::IOError("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::InvalidArgument("connection closed mid-body");
+    }
+    body.append(chunk, static_cast<size_t>(n));
+  }
+  body.resize(body_bytes);
+  request.body = std::move(body);
+  return request;
+}
+
+void FairAuditServer::SendResponse(int fd, const HttpResponse& response) const {
+  std::string wire = FormatHttpResponse(response);
+  Deadline deadline = options_.io_timeout_ms > 0
+                          ? Deadline::AfterMillis(options_.io_timeout_ms)
+                          : Deadline::Infinite();
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    if (!PollFd(fd, POLLOUT, deadline, CancellationToken())) return;
+    ssize_t n = send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return;  // Peer went away; response delivery is best-effort.
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string FairAuditServer::StatsJson() const {
+  return stats_.ToJson(&process_budget_, admission_.in_flight(), draining(),
+                       queue_.size());
+}
+
+}  // namespace fairrank

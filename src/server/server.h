@@ -1,0 +1,149 @@
+#ifndef FAIRRANK_SERVER_SERVER_H_
+#define FAIRRANK_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/budget.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "server/admission.h"
+#include "server/handlers.h"
+#include "server/http.h"
+#include "server/queue.h"
+#include "server/stats.h"
+
+namespace fairrank {
+
+/// Configuration of a fairauditd instance.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; the bound port is port() after Start().
+  /// Worker threads serving requests; <= 0 picks HardwareThreads().
+  int num_workers = 4;
+  /// Concurrent /audit//suite requests past admission; 0 = num_workers.
+  int max_inflight_audits = 0;
+  /// Accepted connections waiting for a worker; beyond this the listener
+  /// sheds with a canned 503 ("queue_full").
+  size_t queue_capacity = 16;
+  /// Server-wide per-request wall-clock ceiling (see ServerEnv).
+  int64_t request_timeout_ceiling_ms = 10000;
+  /// Default per-request timeout when the client sends none; 0 = ceiling
+  /// only.
+  int64_t default_timeout_ms = 0;
+  /// Process-level aggregate budgets across ALL requests ever served
+  /// (0 = unlimited). When the node budget runs dry the server stops
+  /// admitting audit work (503 + retry_after_ms) rather than crashing or
+  /// queueing.
+  uint64_t max_total_nodes = 0;
+  uint64_t max_total_memory_mb = 0;
+  /// Backoff hint on every load-shedding response.
+  int64_t retry_after_ms = 250;
+  /// How long the drain sequence waits for in-flight requests before
+  /// cancelling them cooperatively.
+  int64_t drain_grace_ms = 2000;
+  /// Per-connection socket read/write inactivity timeout.
+  int64_t io_timeout_ms = 5000;
+  /// Evaluator-thread cap per request.
+  int max_request_threads = 1;
+  HttpSizeLimits size_limits;
+  /// Polled by the listener between accepts; returning true triggers the
+  /// same graceful drain as RequestShutdown(). Lets main() wire the process
+  /// signal latch (common/shutdown.h) in without the server owning signal
+  /// handling. May be empty.
+  std::function<bool()> external_shutdown;
+};
+
+/// A long-running audit service over immutable, load-once tables.
+///
+/// Lifecycle:
+///   FairAuditServer server(std::move(tables), options);
+///   FAIRRANK_RETURN_NOT_OK(server.Start());   // binds; port() now valid
+///   Status done = server.Serve();             // blocks until drained
+///
+/// Serve() runs a listener task plus num_workers worker tasks on one
+/// ParallelForEach pool (the repo's only sanctioned thread source). The
+/// listener accepts, tags connections with arrival order, and hands fds to
+/// a BoundedQueue; workers pop, parse, route, and answer. Admission control
+/// (AdmissionController) gates /audit and /suite; /healthz and /stats are
+/// always served, even while draining.
+///
+/// Fault containment: every request runs under GuardRequest (see
+/// handlers.cc) — bad input, fault-injected library failures, and budget
+/// trips produce structured JSON errors or truncated bodies on that one
+/// connection; the process and concurrent requests are unaffected.
+///
+/// Drain: RequestShutdown() (or external_shutdown returning true, wired to
+/// SIGINT/SIGTERM by fairauditd) stops accepting, waits up to
+/// drain_grace_ms for in-flight requests, then requests cooperative
+/// cancellation so stragglers return truncated best-so-far answers; Serve()
+/// returns OK after the last worker exits. Stats survive for a final
+/// StatsJson() flush.
+class FairAuditServer {
+ public:
+  /// `tables` are owned by the server and must be non-null; `default_name`
+  /// must be a key of `tables`.
+  FairAuditServer(std::map<std::string, std::unique_ptr<Table>> tables,
+                  std::string default_name, ServerOptions options);
+  ~FairAuditServer();
+
+  FairAuditServer(const FairAuditServer&) = delete;
+  FairAuditServer& operator=(const FairAuditServer&) = delete;
+
+  /// Binds and listens. After OK, port() returns the bound port (resolves
+  /// an ephemeral port 0 request).
+  Status Start();
+
+  int port() const { return port_; }
+
+  /// Serves until drained; blocks the calling thread. Call Start() first.
+  Status Serve();
+
+  /// Starts the graceful drain from any thread. Idempotent.
+  void RequestShutdown();
+
+  /// True once a drain has been requested.
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Snapshot of the /stats body, also valid after Serve() returns (the
+  /// final flush fairauditd prints on exit).
+  std::string StatsJson() const;
+
+ private:
+  /// Task 0 of the pool: accept loop + drain coordinator.
+  void ListenerLoop();
+  /// Tasks 1..N: pop a connection, serve one request, close.
+  void WorkerLoop();
+  /// Serves one connection end to end.
+  void ServeConnection(int fd);
+  /// Routes a parsed request to its endpoint.
+  HandlerResult Route(const HttpRequest& request);
+
+  /// Reads one request (head + body) off `fd` under io_timeout_ms and the
+  /// size limits. A non-OK status maps to an HTTP error the caller sends.
+  StatusOr<HttpRequest> ReadRequest(int fd) const;
+  /// Best-effort blocking send of the whole response.
+  void SendResponse(int fd, const HttpResponse& response) const;
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  const ServerOptions options_;
+  const int num_workers_;
+  ResourceBudget process_budget_;
+  AdmissionController admission_;
+  ServerStats stats_;
+  BoundedQueue<int> queue_;
+  CancellationSource drain_source_;
+  ServerEnv env_;
+  std::atomic<bool> draining_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_SERVER_SERVER_H_

@@ -1,0 +1,117 @@
+#include "server/stats.h"
+
+#include "common/str_util.h"
+#include "fairness/report.h"
+
+namespace fairrank {
+
+void ServerStats::RecordRequest(const std::string& endpoint, int status,
+                                double seconds, bool truncated) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EndpointStats& ep = endpoints_[endpoint];
+  ++ep.count;
+  if (status >= 400) ++ep.errors;
+  if (truncated) ++ep.truncated;
+  ep.total_seconds += seconds;
+  if (seconds > ep.max_seconds) ep.max_seconds = seconds;
+}
+
+void ServerStats::RecordCache(const EvalCacheStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.Add(stats);
+}
+
+void ServerStats::RecordShed(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++shed_[reason];
+}
+
+void ServerStats::RecordAccepted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++accepted_;
+}
+
+void ServerStats::RecordParseError() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++parse_errors_;
+}
+
+std::string ServerStats::ToJson(const ResourceBudget* process_budget,
+                                int in_flight, bool draining,
+                                size_t queue_depth) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  out += "\"in_flight\":" + std::to_string(in_flight) + ",";
+  out += "\"draining\":" + std::string(draining ? "true" : "false") + ",";
+  out += "\"queue_depth\":" + std::to_string(queue_depth) + ",";
+  out += "\"accepted\":" + std::to_string(accepted_) + ",";
+  out += "\"parse_errors\":" + std::to_string(parse_errors_) + ",";
+
+  out += "\"shed\":{";
+  uint64_t shed_total = 0;
+  bool first = true;
+  for (const auto& [reason, count] : shed_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(reason) + "\":" + std::to_string(count);
+    shed_total += count;
+  }
+  if (!first) out += ",";
+  out += "\"total\":" + std::to_string(shed_total);
+  out += "},";
+
+  out += "\"budget\":";
+  if (process_budget == nullptr) {
+    out += "null,";
+  } else {
+    out += "{";
+    out += "\"nodes_used\":" + std::to_string(process_budget->nodes_used()) +
+           ",";
+    out += "\"max_nodes\":" + std::to_string(process_budget->max_nodes()) +
+           ",";
+    out += "\"memory_used_bytes\":" +
+           std::to_string(process_budget->memory_used_bytes()) + ",";
+    out += "\"max_memory_bytes\":" +
+           std::to_string(process_budget->max_memory_bytes()) + ",";
+    out += "\"nodes_exhausted\":" +
+           std::string(process_budget->nodes_exhausted() ? "true" : "false") +
+           ",";
+    out += "\"memory_exhausted\":" +
+           std::string(process_budget->memory_exhausted() ? "true" : "false");
+    out += "},";
+  }
+
+  out += "\"cache\":{";
+  out += "\"histogram_hits\":" + std::to_string(cache_.histogram_hits) + ",";
+  out += "\"histogram_misses\":" + std::to_string(cache_.histogram_misses) +
+         ",";
+  out += "\"divergence_hits\":" + std::to_string(cache_.divergence_hits) + ",";
+  out += "\"divergence_misses\":" + std::to_string(cache_.divergence_misses) +
+         ",";
+  out += "\"evictions\":" + std::to_string(cache_.evictions) + ",";
+  out += "\"histogram_hit_rate\":" +
+         FormatDouble(cache_.histogram_hit_rate(), 4) + ",";
+  out += "\"divergence_hit_rate\":" +
+         FormatDouble(cache_.divergence_hit_rate(), 4);
+  out += "},";
+
+  out += "\"endpoints\":{";
+  first = true;
+  for (const auto& [endpoint, ep] : endpoints_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(endpoint) + "\":{";
+    out += "\"count\":" + std::to_string(ep.count) + ",";
+    out += "\"errors\":" + std::to_string(ep.errors) + ",";
+    out += "\"truncated\":" + std::to_string(ep.truncated) + ",";
+    out += "\"total_ms\":" + FormatDouble(ep.total_seconds * 1000.0, 3) + ",";
+    out += "\"max_ms\":" + FormatDouble(ep.max_seconds * 1000.0, 3);
+    out += "}";
+  }
+  out += "}";
+
+  out += "}";
+  return out;
+}
+
+}  // namespace fairrank

@@ -101,6 +101,22 @@ if "$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 \
   --timeout-ms -5 > /dev/null 2>&1; then
   fail "negative timeout should fail"
 fi
+if "$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 \
+  --max-memory-mb -1 > /dev/null 2>&1; then
+  fail "negative memory budget should fail"
+fi
+
+# a misspelled flag must fail loudly, not silently run an unbounded audit.
+if "$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 \
+  --max-node 100 > /dev/null 2>&1; then
+  fail "unknown flag --max-node should be rejected"
+fi
+"$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 --max-node 100 2>&1 \
+  | grep -q "unknown flag --max-node" || fail "unknown flag named in error"
+if "$FAIRAUDIT" suite --input "$WORKDIR/w.csv" --suite-thread 2 \
+  > /dev/null 2>&1; then
+  fail "unknown flag --suite-thread should be rejected"
+fi
 
 # error paths: bad input file and unknown subcommand.
 if "$FAIRAUDIT" audit --input /nonexistent.csv > /dev/null 2>&1; then

@@ -1,0 +1,132 @@
+#!/bin/sh
+# End-to-end smoke test of the fairauditd server. First argument: path to
+# the fairauditd binary. Boots the daemon on an ephemeral port, fires
+# concurrent smoke requests (including an over-budget one), exercises
+# process-level admission control, and checks the SIGTERM drain exits 0
+# with a final stats flush. Uses the binary's own --fetch client mode, so
+# the test has no curl dependency.
+set -eu
+
+FAIRAUDITD="$1"
+WORKDIR="$(mktemp -d)"
+DPID=""
+trap 'rm -rf "$WORKDIR"; [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# Unknown flags must be rejected before any serving starts.
+if "$FAIRAUDITD" --worker 10 > /dev/null 2>&1; then
+  fail "unknown flag --worker should be rejected"
+fi
+"$FAIRAUDITD" --worker 10 2>&1 | grep -q "unknown flag --worker" \
+  || fail "unknown flag named in error"
+
+start_daemon() {
+  # $1: log file, rest: extra flags.
+  LOG="$1"
+  shift
+  "$FAIRAUDITD" --workers 300 --seed 5 --port 0 --threads 2 "$@" \
+    > "$LOG" 2>&1 &
+  DPID=$!
+  # Wait for the listening line (the bound ephemeral port is printed there).
+  i=0
+  while [ $i -lt 100 ]; do
+    if grep -q "listening on" "$LOG" 2>/dev/null; then break; fi
+    kill -0 "$DPID" 2>/dev/null || fail "daemon died during startup: $(cat "$LOG")"
+    sleep 0.1
+    i=$((i + 1))
+  done
+  grep -q "listening on" "$LOG" || fail "daemon never started: $(cat "$LOG")"
+  PORT=$(grep "listening on" "$LOG" | head -1 \
+    | sed 's/.*listening on [^:]*:\([0-9]*\).*/\1/')
+  [ -n "$PORT" ] || fail "could not parse port from: $(cat "$LOG")"
+}
+
+fetch() {
+  "$FAIRAUDITD" --fetch "$1" --port "$PORT" --fetch-timeout-ms 30000
+}
+
+# --- Daemon 1: unlimited budgets, concurrent smoke traffic. ---------------
+start_daemon "$WORKDIR/d1.log"
+
+fetch "/healthz" | grep -q "status 200" || fail "healthz"
+
+# Concurrent smoke requests: two audits, a suite, and a stats read at once.
+fetch "/audit?function=f6&algorithm=unbalanced&seed=3" \
+  > "$WORKDIR/a1.out" 2>&1 &
+P1=$!
+fetch "/audit?function=alpha:0.5&algorithm=balanced" \
+  > "$WORKDIR/a2.out" 2>&1 &
+P2=$!
+fetch "/suite?functions=alpha:0.25,f6&algorithms=unbalanced,balanced" \
+  > "$WORKDIR/s1.out" 2>&1 &
+P3=$!
+fetch "/stats" > "$WORKDIR/st.out" 2>&1 &
+P4=$!
+wait $P1 $P2 $P3 $P4 || fail "a concurrent smoke request failed"
+grep -q "status 200" "$WORKDIR/a1.out" || fail "concurrent audit 1"
+grep -q '"unfairness"' "$WORKDIR/a1.out" || fail "audit 1 body"
+grep -q "status 200" "$WORKDIR/a2.out" || fail "concurrent audit 2"
+grep -q "status 200" "$WORKDIR/s1.out" || fail "concurrent suite"
+grep -q '"cells"' "$WORKDIR/s1.out" || fail "suite body"
+grep -q "status 200" "$WORKDIR/st.out" || fail "concurrent stats"
+
+# Over-budget request: a per-request node budget on the exhaustive search
+# must degrade to a truncated 200, never an error or a hang.
+fetch "/audit?function=f6&algorithm=exhaustive&max-nodes=50" \
+  > "$WORKDIR/over.out"
+grep -q "status 200" "$WORKDIR/over.out" || fail "over-budget status"
+grep -q '"truncated":true' "$WORKDIR/over.out" || fail "over-budget truncated"
+grep -q '"exhaustion_reason":"node-budget"' "$WORKDIR/over.out" \
+  || fail "over-budget reason"
+
+# A misspelled query parameter fails structurally, like a misspelled flag.
+fetch "/audit?function=f6&max-node=5" > "$WORKDIR/typo.out"
+grep -q "status 400" "$WORKDIR/typo.out" || fail "typo status"
+grep -q "unknown flag" "$WORKDIR/typo.out" || fail "typo message"
+
+# /stats shows the served endpoints and the budget rollup.
+fetch "/stats" > "$WORKDIR/stats.out"
+grep -q '"/audit"' "$WORKDIR/stats.out" || fail "stats endpoints"
+grep -q '"nodes_used"' "$WORKDIR/stats.out" || fail "stats budget"
+
+# SIGTERM: graceful drain, exit 0, final stats flushed.
+kill -TERM "$DPID"
+RC=0
+wait "$DPID" || RC=$?
+[ "$RC" -eq 0 ] || fail "daemon exit code after SIGTERM (got $RC)"
+grep -q "drained (signal 15)" "$WORKDIR/d1.log" || fail "drain log line"
+grep -q "final_stats" "$WORKDIR/d1.log" || fail "final stats flush"
+DPID=""
+
+# --- Daemon 2: tiny process-wide budget => admission control. -------------
+start_daemon "$WORKDIR/d2.log" --max-nodes 10 --retry-after-ms 500
+
+# First audit is admitted and truncates when the process budget trips.
+fetch "/audit?function=f6&algorithm=unbalanced" > "$WORKDIR/b1.out"
+grep -q "status 200" "$WORKDIR/b1.out" || fail "budget first audit status"
+grep -q '"truncated":true' "$WORKDIR/b1.out" || fail "budget first truncated"
+
+# Every later audit is shed before any work runs: 503 + retry hint.
+fetch "/audit?function=f6&algorithm=unbalanced" > "$WORKDIR/b2.out"
+grep -q "status 503" "$WORKDIR/b2.out" || fail "budget shed status"
+grep -q "budget_exhausted" "$WORKDIR/b2.out" || fail "budget shed reason"
+grep -q '"retry_after_ms":500' "$WORKDIR/b2.out" || fail "budget retry hint"
+
+# /healthz stays up; the aggregate node spend stayed near the cap.
+fetch "/healthz" | grep -q "status 200" || fail "healthz after budget"
+fetch "/stats" > "$WORKDIR/b3.out"
+grep -q '"max_nodes":10' "$WORKDIR/b3.out" || fail "stats max_nodes"
+NODES=$(grep -o '"nodes_used":[0-9]*' "$WORKDIR/b3.out" | head -1 | cut -d: -f2)
+[ "$NODES" -le 74 ] || fail "aggregate nodes bounded (got $NODES)"
+
+kill -TERM "$DPID"
+RC=0
+wait "$DPID" || RC=$?
+[ "$RC" -eq 0 ] || fail "second daemon exit code (got $RC)"
+DPID=""
+
+echo "fairauditd_test: server smoke OK"

@@ -1,0 +1,370 @@
+// End-to-end tests of the fairauditd serving layer: request/response parity
+// with the library, structured failure of bad input, chaos (fault-injected
+// library failures and stalls) isolated to the afflicted request, admission
+// control bounding aggregate work, and graceful drain.
+//
+// Tests talk to a real FairAuditServer over loopback sockets. Each fixture
+// start binds an ephemeral port (port 0), so parallel ctest runs never
+// collide. std::thread is used directly here (sanctioned in tests/) to host
+// Serve() and to fire concurrent clients.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "data/table.h"
+#include "fairness/auditor.h"
+#include "fairness/option_flags.h"
+#include "fairness/report.h"
+#include "gtest/gtest.h"
+#include "marketplace/generator.h"
+#include "server/client.h"
+#include "server/http.h"
+#include "server/server.h"
+
+namespace fairrank {
+namespace {
+
+constexpr int kNumWorkersRows = 150;
+
+std::map<std::string, std::unique_ptr<Table>> MakeTables() {
+  GeneratorOptions options;
+  options.num_workers = kNumWorkersRows;
+  options.seed = 7;
+  StatusOr<Table> table = GenerateWorkers(options);
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  std::map<std::string, std::unique_ptr<Table>> tables;
+  tables["synthetic"] = std::make_unique<Table>(std::move(table).value());
+  return tables;
+}
+
+/// A started server plus the thread hosting Serve(). Stop() drains and
+/// joins; the destructor stops too, so a failing ASSERT can't hang a test.
+struct RunningServer {
+  std::unique_ptr<FairAuditServer> server;
+  std::thread serve_thread;
+  Status serve_status = Status::OK();
+
+  ~RunningServer() { Stop(); }
+
+  void Stop() {
+    if (!serve_thread.joinable()) return;
+    server->RequestShutdown();
+    serve_thread.join();
+  }
+};
+
+std::unique_ptr<RunningServer> StartServer(ServerOptions options) {
+  auto running = std::make_unique<RunningServer>();
+  running->server = std::make_unique<FairAuditServer>(
+      MakeTables(), "synthetic", std::move(options));
+  Status started = running->server->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  if (!started.ok()) return running;
+  FairAuditServer* server = running->server.get();
+  Status* status = &running->serve_status;
+  running->serve_thread =
+      std::thread([server, status] { *status = server->Serve(); });
+  return running;
+}
+
+ServerOptions DefaultOptions() {
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 3;
+  options.request_timeout_ceiling_ms = 30000;
+  return options;
+}
+
+HttpFetchResult Fetch(const RunningServer& running, const std::string& target,
+                      int64_t timeout_ms = 30000) {
+  StatusOr<HttpFetchResult> result = HttpFetch(
+      "127.0.0.1", running.server->port(), "GET", target, "", timeout_ms);
+  EXPECT_TRUE(result.ok()) << target << ": " << result.status().ToString();
+  return result.ok() ? std::move(result).value() : HttpFetchResult{};
+}
+
+/// Strips the wall-clock-dependent fields from an audit JSON body so two
+/// runs of the same deterministic audit compare bit-identically.
+std::string StripVolatile(std::string body) {
+  for (const char* key : {"\"seconds\":", "\"nodes_per_sec\":"}) {
+    size_t pos = 0;
+    while ((pos = body.find(key, pos)) != std::string::npos) {
+      size_t end = body.find_first_of(",}", pos);
+      if (end == std::string::npos) end = body.size();
+      // Leaves a doubled comma behind; both sides of every comparison are
+      // stripped by this same function, so the artifacts align.
+      body.erase(pos, end - pos);
+    }
+  }
+  return body;
+}
+
+TEST(ServerTest, HealthzStatsAndNotFound) {
+  auto running = StartServer(DefaultOptions());
+  HttpFetchResult health = Fetch(*running, "/healthz");
+  EXPECT_EQ(health.status_code, 200);
+  EXPECT_NE(health.body.find("\"ok\""), std::string::npos);
+
+  HttpFetchResult stats = Fetch(*running, "/stats");
+  EXPECT_EQ(stats.status_code, 200);
+  EXPECT_NE(stats.body.find("\"in_flight\":"), std::string::npos);
+  EXPECT_NE(stats.body.find("\"budget\":"), std::string::npos);
+
+  HttpFetchResult missing = Fetch(*running, "/nope");
+  EXPECT_EQ(missing.status_code, 404);
+  EXPECT_NE(missing.body.find("\"code\":\"NotFound\""), std::string::npos);
+}
+
+TEST(ServerTest, AuditEndpointMatchesLibrary) {
+  auto running = StartServer(DefaultOptions());
+  HttpFetchResult response =
+      Fetch(*running, "/audit?function=f6&algorithm=unbalanced&seed=3");
+  ASSERT_EQ(response.status_code, 200) << response.body;
+
+  // The same audit straight through the library, using the same defaults
+  // the handler's flag parsing applies.
+  GeneratorOptions gen;
+  gen.num_workers = kNumWorkersRows;
+  gen.seed = 7;
+  StatusOr<Table> table = GenerateWorkers(gen);
+  ASSERT_TRUE(table.ok());
+  StatusOr<std::unique_ptr<ScoringFunction>> fn = MakeFunctionFromSpec("f6");
+  ASSERT_TRUE(fn.ok());
+  AuditOptions options;
+  options.algorithm = "unbalanced";
+  options.seed = 3;
+  FairnessAuditor auditor(&table.value());
+  StatusOr<AuditResult> direct = auditor.Audit(**fn, options);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  std::string expected = StripVolatile(FormatAuditJson(*direct));
+  std::string actual = StripVolatile(response.body);
+  // The body ends with a newline-less JSON object; compare modulo trailing
+  // whitespace.
+  while (!actual.empty() && (actual.back() == '\n' || actual.back() == '\r')) {
+    actual.pop_back();
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ServerTest, BadInputFailsStructurallyNotFatally) {
+  auto running = StartServer(DefaultOptions());
+  // Unknown query parameter: the misspelled limit must 400, exactly like a
+  // misspelled CLI flag.
+  HttpFetchResult typo = Fetch(*running, "/audit?function=f6&max-node=5");
+  EXPECT_EQ(typo.status_code, 400);
+  EXPECT_NE(typo.body.find("unknown flag --max-node"), std::string::npos);
+
+  // Unknown function spec.
+  HttpFetchResult bad_fn = Fetch(*running, "/audit?function=nosuch");
+  EXPECT_EQ(bad_fn.status_code, 400);
+  EXPECT_NE(bad_fn.body.find("unknown function spec"), std::string::npos);
+
+  // Negative limit: rejected before the int64 -> uint64 cast can wrap it
+  // into a near-infinite budget.
+  HttpFetchResult negative = Fetch(*running, "/audit?function=f6&max-nodes=-1");
+  EXPECT_EQ(negative.status_code, 400);
+  EXPECT_NE(negative.body.find("--max-nodes must be >= 0"), std::string::npos);
+
+  // Unknown dataset.
+  HttpFetchResult no_data = Fetch(*running, "/audit?function=f6&dataset=prod");
+  EXPECT_EQ(no_data.status_code, 400);
+  EXPECT_NE(no_data.body.find("unknown dataset"), std::string::npos);
+
+  // The process survived all of it.
+  EXPECT_EQ(Fetch(*running, "/healthz").status_code, 200);
+}
+
+TEST(ServerTest, SuiteEndpointRunsGrid) {
+  auto running = StartServer(DefaultOptions());
+  HttpFetchResult response = Fetch(
+      *running,
+      "/suite?functions=alpha:0.25,f6&algorithms=unbalanced,balanced&seed=5");
+  ASSERT_EQ(response.status_code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"cells\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"unbalanced\""), std::string::npos);
+}
+
+TEST(ServerTest, ChaosDivergenceFaultIsolatedToOneRequest) {
+  auto running = StartServer(DefaultOptions());
+  const std::string target = "/audit?function=f6&algorithm=unbalanced&seed=3";
+
+  // Fault-free baseline for the bit-identical comparison.
+  HttpFetchResult baseline = Fetch(*running, target);
+  ASSERT_EQ(baseline.status_code, 200);
+
+  // Arm: the next (1st) divergence evaluation process-wide fails. Exactly
+  // one of the three concurrent requests hits it; the library surfaces it
+  // as an Internal error, the server as a structured 500 on that request
+  // alone.
+  std::vector<HttpFetchResult> results(3);
+  {
+    fault::FaultPlan plan;
+    plan.fail_divergence_eval = 1;
+    fault::ScopedFaultPlan armed(plan);
+    std::vector<std::thread> clients;
+    clients.reserve(results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      clients.emplace_back([&running, &results, &target, i] {
+        StatusOr<HttpFetchResult> r = HttpFetch(
+            "127.0.0.1", running->server->port(), "GET", target, "", 30000);
+        if (r.ok()) results[i] = std::move(r).value();
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  int failures = 0;
+  for (const HttpFetchResult& r : results) {
+    if (r.status_code == 500) {
+      ++failures;
+      EXPECT_NE(r.body.find("fault injection"), std::string::npos) << r.body;
+    } else {
+      ASSERT_EQ(r.status_code, 200) << r.body;
+      EXPECT_EQ(StripVolatile(r.body), StripVolatile(baseline.body));
+    }
+  }
+  EXPECT_EQ(failures, 1);
+
+  // The process survived the chaos.
+  EXPECT_EQ(Fetch(*running, "/healthz").status_code, 200);
+}
+
+TEST(ServerTest, ChaosStallWithDeadlineReturnsTruncated) {
+  auto running = StartServer(DefaultOptions());
+  // Stall the first parallel chunk well past the request deadline: the
+  // request must still come back — 200 with truncated: true — instead of
+  // hanging or erroring.
+  fault::FaultPlan plan;
+  plan.stall_chunk = 0;
+  plan.stall_ms = 150;
+  fault::ScopedFaultPlan armed(plan);
+  HttpFetchResult response = Fetch(
+      *running, "/audit?function=f6&algorithm=unbalanced&timeout-ms=40");
+  ASSERT_EQ(response.status_code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"truncated\":true"), std::string::npos)
+      << response.body;
+}
+
+TEST(ServerTest, AdmissionShedsOnceProcessBudgetExhausts) {
+  ServerOptions options = DefaultOptions();
+  options.max_total_nodes = 10;  // Tiny aggregate allowance.
+  options.retry_after_ms = 333;
+  auto running = StartServer(options);
+
+  // First request: admitted (budget untouched), runs, and truncates when
+  // the process-level parent budget trips mid-search — a bounded answer,
+  // not an error.
+  HttpFetchResult first =
+      Fetch(*running, "/audit?function=f6&algorithm=unbalanced");
+  ASSERT_EQ(first.status_code, 200) << first.body;
+  EXPECT_NE(first.body.find("\"truncated\":true"), std::string::npos);
+
+  // From now on admission must latch: no headroom, so audit work is shed
+  // with a structured 503 + retry_after_ms before any search runs.
+  for (int i = 0; i < 2; ++i) {
+    HttpFetchResult shed =
+        Fetch(*running, "/audit?function=f6&algorithm=unbalanced");
+    EXPECT_EQ(shed.status_code, 503) << shed.body;
+    EXPECT_NE(shed.body.find("budget_exhausted"), std::string::npos);
+    EXPECT_NE(shed.body.find("\"retry_after_ms\":333"), std::string::npos);
+  }
+
+  // /stats proves the aggregate bound: nodes_used may overshoot max_nodes
+  // by at most the final bulk charge of the one admitted request (the
+  // budget's documented granularity), never by another admitted search.
+  HttpFetchResult stats = Fetch(*running, "/stats");
+  ASSERT_EQ(stats.status_code, 200);
+  size_t pos = stats.body.find("\"nodes_used\":");
+  ASSERT_NE(pos, std::string::npos);
+  uint64_t nodes_used = std::stoull(stats.body.substr(pos + 13));
+  EXPECT_LE(nodes_used, 10u + 64u) << stats.body;
+  EXPECT_NE(stats.body.find("\"budget_exhausted\":2"), std::string::npos)
+      << stats.body;
+
+  // /healthz and /stats stay available even with the budget gone.
+  EXPECT_EQ(Fetch(*running, "/healthz").status_code, 200);
+}
+
+TEST(ServerTest, OverloadShedsWith429) {
+  ServerOptions options = DefaultOptions();
+  options.num_workers = 3;
+  options.max_inflight_audits = 1;
+  auto running = StartServer(options);
+
+  // One slow audit (exhaustive, deadline-bounded) occupies the single
+  // in-flight slot; a concurrent audit must shed 429 "overloaded" while
+  // /healthz keeps answering.
+  std::thread slow([&running] {
+    StatusOr<HttpFetchResult> r = HttpFetch(
+        "127.0.0.1", running->server->port(), "GET",
+        "/audit?function=f6&algorithm=exhaustive&timeout-ms=800", "", 30000);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_EQ(r->status_code, 200) << r->body;
+    }
+  });
+
+  // Poll until the slow request is in flight, then fire the contender.
+  bool shed_seen = false;
+  for (int attempt = 0; attempt < 50 && !shed_seen; ++attempt) {
+    HttpFetchResult contender =
+        Fetch(*running, "/audit?function=f6&algorithm=unbalanced");
+    if (contender.status_code == 429) {
+      EXPECT_NE(contender.body.find("overloaded"), std::string::npos);
+      shed_seen = true;
+    }
+  }
+  EXPECT_TRUE(shed_seen);
+  EXPECT_EQ(Fetch(*running, "/healthz").status_code, 200);
+  slow.join();
+}
+
+TEST(ServerTest, DrainCancelsStragglersAndExitsCleanly) {
+  ServerOptions options = DefaultOptions();
+  options.drain_grace_ms = 50;
+  auto running = StartServer(options);
+
+  // A request that would run for ~20s without intervention; drain's grace
+  // window (50 ms) expires first, cancellation fires, and the request comes
+  // back truncated with reason "cancelled" instead of being dropped.
+  std::thread straggler([&running] {
+    StatusOr<HttpFetchResult> r = HttpFetch(
+        "127.0.0.1", running->server->port(), "GET",
+        "/audit?function=f6&algorithm=exhaustive&timeout-ms=20000", "", 30000);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (r.ok()) {
+      EXPECT_EQ(r->status_code, 200) << r->body;
+      EXPECT_NE(r->body.find("\"truncated\":true"), std::string::npos)
+          << r->body;
+      EXPECT_NE(r->body.find("\"exhaustion_reason\":\"cancelled\""),
+                std::string::npos)
+          << r->body;
+    }
+  });
+
+  // Let the straggler get admitted before draining.
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    HttpFetchResult stats = Fetch(*running, "/stats");
+    if (stats.body.find("\"in_flight\":1") != std::string::npos) break;
+  }
+
+  running->server->RequestShutdown();
+  running->serve_thread.join();
+  EXPECT_TRUE(running->serve_status.ok())
+      << running->serve_status.ToString();
+  straggler.join();
+
+  // The final stats flush still works after Serve() returned.
+  std::string final_stats = running->server->StatsJson();
+  EXPECT_NE(final_stats.find("\"draining\":true"), std::string::npos);
+  EXPECT_NE(final_stats.find("\"/audit\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairrank

@@ -58,6 +58,7 @@
 // `fairaudit generate`); extra columns are ignored.
 
 #include <cstdio>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -67,11 +68,11 @@
 #include "data/profile.h"
 #include "fairness/auditor.h"
 #include "fairness/exposure.h"
+#include "fairness/option_flags.h"
 #include "fairness/report.h"
 #include "fairness/serialize.h"
 #include "fairness/significance.h"
 #include "fairness/suite.h"
-#include "marketplace/biased_scoring.h"
 #include "marketplace/generator.h"
 #include "marketplace/ranking.h"
 #include "marketplace/realistic.h"
@@ -97,45 +98,11 @@ int Usage() {
   return 2;
 }
 
-/// Parses a scoring-function spec (see file header).
+/// Parses a scoring-function spec (see file header). Shared with
+/// fairauditd so CLI and HTTP specs parse identically.
 StatusOr<std::unique_ptr<ScoringFunction>> MakeFunction(
     const std::string& spec) {
-  std::vector<std::string> parts = Split(spec, ':');
-  const std::string& kind = parts[0];
-  if (kind == "alpha") {
-    double alpha = 0.5;
-    if (parts.size() > 1 && !ParseDouble(parts[1], &alpha)) {
-      return Status::InvalidArgument("bad alpha in spec '" + spec + "'");
-    }
-    return MakeAlphaFunction("alpha=" + FormatDouble(alpha, 2), alpha);
-  }
-  if (kind == "f6" || kind == "f7" || kind == "f8" || kind == "f9") {
-    int64_t seed = 42;
-    if (parts.size() > 1 && !ParseInt64(parts[1], &seed)) {
-      return Status::InvalidArgument("bad seed in spec '" + spec + "'");
-    }
-    uint64_t s = static_cast<uint64_t>(seed);
-    if (kind == "f6") return MakeF6(s);
-    if (kind == "f7") return MakeF7(s);
-    if (kind == "f8") return MakeF8(s);
-    return MakeF9(s);
-  }
-  if (kind == "weights" && parts.size() > 1) {
-    std::vector<std::pair<std::string, double>> weights;
-    for (const std::string& term : Split(parts[1], ',')) {
-      std::vector<std::string> kv = Split(term, '=');
-      double w = 0.0;
-      if (kv.size() != 2 || !ParseDouble(kv[1], &w)) {
-        return Status::InvalidArgument("bad weight term '" + term + "'");
-      }
-      weights.emplace_back(std::string(Trim(kv[0])), w);
-    }
-    return std::unique_ptr<ScoringFunction>(
-        std::make_unique<LinearScoringFunction>(spec, std::move(weights)));
-  }
-  return Status::InvalidArgument(
-      "unknown function spec '" + spec +
-      "' (want alpha:<a>, f6..f9[:<seed>], or weights:A=0.7,B=0.3)");
+  return MakeFunctionFromSpec(spec);
 }
 
 StatusOr<Table> LoadWorkers(const FlagParser& flags) {
@@ -211,51 +178,6 @@ int CmdProfile(const FlagParser& flags) {
         "subgroup combinations.\n");
   }
   return 0;
-}
-
-StatusOr<AuditOptions> AuditOptionsFromFlags(const FlagParser& flags) {
-  AuditOptions options;
-  options.algorithm = flags.GetString("algorithm", "balanced");
-  FAIRRANK_ASSIGN_OR_RETURN(int64_t bins, flags.GetInt("bins", 10));
-  options.evaluator.num_bins = static_cast<int>(bins);
-  options.evaluator.divergence = flags.GetString("divergence", "emd");
-  FAIRRANK_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 0));
-  options.seed = static_cast<uint64_t>(seed);
-  FAIRRANK_ASSIGN_OR_RETURN(int64_t width, flags.GetInt("beam-width", 3));
-  options.beam_width = static_cast<int>(width);
-  FAIRRANK_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 1));
-  options.evaluator.num_threads = static_cast<int>(threads);
-  std::string attrs = flags.GetString("attributes", "");
-  if (!attrs.empty()) {
-    for (const std::string& name : Split(attrs, ',')) {
-      options.protected_attributes.emplace_back(Trim(name));
-    }
-  }
-  FAIRRANK_ASSIGN_OR_RETURN(int64_t timeout_ms,
-                            flags.GetInt("timeout-ms", 0));
-  if (timeout_ms < 0) {
-    return Status::InvalidArgument("--timeout-ms must be >= 0");
-  }
-  options.limits.timeout_ms = timeout_ms;
-  FAIRRANK_ASSIGN_OR_RETURN(int64_t max_nodes, flags.GetInt("max-nodes", 0));
-  if (max_nodes < 0) {
-    return Status::InvalidArgument("--max-nodes must be >= 0");
-  }
-  options.limits.max_nodes = static_cast<uint64_t>(max_nodes);
-  FAIRRANK_ASSIGN_OR_RETURN(int64_t max_memory_mb,
-                            flags.GetInt("max-memory-mb", 0));
-  if (max_memory_mb < 0) {
-    return Status::InvalidArgument("--max-memory-mb must be >= 0");
-  }
-  options.limits.max_memory_mb = static_cast<uint64_t>(max_memory_mb);
-  FAIRRANK_ASSIGN_OR_RETURN(bool no_cache, flags.GetBool("no-cache", false));
-  options.evaluator.enable_cache = !no_cache;
-  FAIRRANK_ASSIGN_OR_RETURN(int64_t cache_mb, flags.GetInt("cache-mb", 256));
-  if (cache_mb < 0) {
-    return Status::InvalidArgument("--cache-mb must be >= 0");
-  }
-  options.evaluator.cache_max_bytes = static_cast<uint64_t>(cache_mb) << 20;
-  return options;
 }
 
 int CmdAudit(const FlagParser& flags) {
@@ -664,11 +586,63 @@ int CmdList() {
   return 0;
 }
 
+/// The exact flags each command accepts. A flag outside this set fails the
+/// command (see ValidateKnownFlags) — a misspelled `--max-node` must not
+/// silently run an unbounded audit.
+StatusOr<std::vector<std::string>> KnownFlagsForCommand(
+    const std::string& command) {
+  std::vector<std::string> known;
+  auto add = [&known](std::initializer_list<const char*> names) {
+    for (const char* name : names) known.emplace_back(name);
+  };
+  auto add_audit_flags = [&known] {
+    const std::vector<std::string>& names = AuditOptionFlagNames();
+    known.insert(known.end(), names.begin(), names.end());
+  };
+  if (command == "generate") {
+    add({"workers", "seed", "realistic", "bias", "out"});
+  } else if (command == "profile") {
+    add({"input", "function"});
+  } else if (command == "audit") {
+    add_audit_flags();
+    add({"input", "function", "json", "histograms", "max-partitions",
+         "save-partitioning"});
+  } else if (command == "suite") {
+    add_audit_flags();
+    add({"input", "functions", "algorithms", "csv", "json", "suite-threads",
+         "suite-budget", "no-share-cache"});
+  } else if (command == "rank") {
+    add({"input", "function", "top"});
+  } else if (command == "exposure") {
+    add({"input", "function", "bias", "top"});
+  } else if (command == "repair") {
+    add_audit_flags();
+    add({"input", "function", "strategy", "lambda", "out"});
+  } else if (command == "apply") {
+    add({"input", "spec", "function", "collect-rest", "bins", "divergence"});
+  } else if (command == "significance") {
+    add_audit_flags();
+    add({"input", "function", "iterations"});
+  } else if (command == "catalog") {
+    add_audit_flags();
+    add({"input"});
+  } else if (command == "list") {
+    // No flags.
+  } else {
+    return Status::InvalidArgument("unknown command '" + command + "'");
+  }
+  return known;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   StatusOr<FlagParser> flags = FlagParser::Parse(argc - 2, argv + 2);
   if (!flags.ok()) return Fail(flags.status());
+  StatusOr<std::vector<std::string>> known = KnownFlagsForCommand(command);
+  if (!known.ok()) return Usage();
+  Status validated = ValidateKnownFlags(*flags, *known);
+  if (!validated.ok()) return Fail(validated);
   if (command == "generate") return CmdGenerate(*flags);
   if (command == "profile") return CmdProfile(*flags);
   if (command == "audit") return CmdAudit(*flags);

@@ -12,11 +12,19 @@ Enforced over the C++ tree (fast: pure-python regex pass, < 5s):
                    binaries under tools/, bench/, examples/ may print.
   no-naked-thread  No std::thread / std::async / pthread_create outside
                    src/common/parallel.cc — all concurrency (library code,
-                   the suite scheduler, tools/, bench/, examples/) goes
-                   through ParallelFor / ParallelForEach so cancellation,
-                   deadlines and exception capture stay in one audited
-                   place. Only tests may spawn threads (stress tests race
-                   the cache on purpose).
+                   the suite scheduler, the src/server/ request executor,
+                   tools/, bench/, examples/) goes through ParallelFor /
+                   ParallelForEach so cancellation, deadlines and exception
+                   capture stay in one audited place. fairauditd's
+                   listener+worker pool is ParallelForEach(workers+1, ...)
+                   for exactly this reason. Only tests may spawn threads
+                   (stress tests race the cache on purpose).
+  no-sleep-in-server
+                   No sleep_for / sleep_until / usleep / nanosleep / sleep()
+                   inside src/server/ — the serving layer must be
+                   event-driven (poll timeouts, condition variables,
+                   Deadline) so drain latency is bounded by real events,
+                   never by a hard-coded nap that holds a worker hostage.
   include-guards   Headers use #ifndef FAIRRANK_<PATH>_H_ guards derived
                    from their path (never #pragma once), so a moved file
                    gets a stale-guard error instead of a silent collision.
@@ -141,6 +149,12 @@ def main(argv):
         rel = path.replace(os.sep, "/")
         in_library = rel.startswith("src/")
 
+        if rel.startswith("src/server/"):
+            check_pattern_rule(
+                findings, path, code, "no-sleep-in-server",
+                r"\bsleep_(?:for|until)\b|\b(?:u|nano)?sleep\s*\(",
+                "'%s' — the serving layer is event-driven; wait on poll "
+                "timeouts, condition variables or Deadline instead")
         if in_library:
             check_pattern_rule(
                 findings, path, code, "rng-discipline",
