@@ -48,20 +48,21 @@ class UniqueFd {
   UniqueFd(const UniqueFd&) = delete;
   UniqueFd& operator=(const UniqueFd&) = delete;
   int get() const { return fd_; }
+  /// Gives up ownership (the destructor no longer closes).
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
 
  private:
   int fd_;
 };
 
-}  // namespace
-
-StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
-                                    const std::string& method,
-                                    const std::string& target,
-                                    const std::string& body,
-                                    int64_t timeout_ms) {
-  Deadline deadline = timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
-                                     : Deadline::Infinite();
+/// Connects to host:port with a non-blocking socket under `deadline`.
+/// Returns the raw fd; the caller owns it.
+StatusOr<int> ConnectNonBlocking(const std::string& host, int port,
+                                 const Deadline& deadline) {
   int raw_fd = socket(AF_INET, SOCK_STREAM, 0);
   if (raw_fd < 0) {
     return Status::IOError("socket: " + std::string(std::strerror(errno)));
@@ -98,6 +99,48 @@ StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
                              ": " + std::strerror(err != 0 ? err : errno));
     }
   }
+  return fd.release();
+}
+
+/// Case-insensitive single-header lookup in a raw response head. Returns
+/// false when absent.
+bool FindHeader(const std::string& head, const std::string& lower_name,
+                std::string* value) {
+  for (const std::string& line : Split(head, '\n')) {
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (ToLower(Trim(line.substr(0, colon))) != lower_name) continue;
+    *value = std::string(Trim(line.substr(colon + 1)));
+    return true;
+  }
+  return false;
+}
+
+/// Parses "HTTP/1.1 200 OK" into its numeric code.
+Status ParseStatusLine(const std::string& head, int* code) {
+  size_t sp = head.find(' ');
+  int64_t parsed = 0;
+  if (sp == std::string::npos ||
+      !ParseInt64(Trim(head.substr(sp + 1, 3)), &parsed)) {
+    return Status::InvalidArgument("malformed status line '" +
+                                   head.substr(0, 32) + "'");
+  }
+  *code = static_cast<int>(parsed);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
+                                    const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body,
+                                    int64_t timeout_ms) {
+  Deadline deadline = timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
+                                     : Deadline::Infinite();
+  FAIRRANK_ASSIGN_OR_RETURN(int raw_fd,
+                            ConnectNonBlocking(host, port, deadline));
+  UniqueFd fd(raw_fd);
 
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: " + host + ":" + std::to_string(port) + "\r\n";
@@ -149,15 +192,179 @@ StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
   HttpFetchResult result;
   result.head = response.substr(0, head_end);
   result.body = response.substr(head_end + terminator);
-  // Status line: "HTTP/1.1 200 OK".
-  size_t sp = result.head.find(' ');
-  int64_t code = 0;
-  if (sp == std::string::npos ||
-      !ParseInt64(Trim(result.head.substr(sp + 1, 3)), &code)) {
-    return Status::InvalidArgument("malformed status line '" +
-                                   result.head.substr(0, 32) + "'");
+  FAIRRANK_RETURN_NOT_OK(ParseStatusLine(result.head, &result.status_code));
+  return result;
+}
+
+HttpClient::HttpClient(std::string host, int port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
   }
-  result.status_code = static_cast<int>(code);
+  carry_.clear();
+}
+
+StatusOr<HttpFetchResult> HttpClient::Fetch(const std::string& method,
+                                            const std::string& target,
+                                            const std::string& body,
+                                            int64_t timeout_ms) {
+  bool reused = fd_ >= 0;
+  bool stale = false;
+  StatusOr<HttpFetchResult> result =
+      FetchOnce(method, target, body, timeout_ms, &stale);
+  if (!result.ok() && reused && stale) {
+    // The server closed the kept-alive connection between our requests
+    // (idle timeout, per-connection cap, drain). That is its prerogative —
+    // retry exactly once on a fresh connection.
+    Close();
+    result = FetchOnce(method, target, body, timeout_ms, &stale);
+  }
+  if (!result.ok()) Close();
+  return result;
+}
+
+StatusOr<HttpFetchResult> HttpClient::FetchOnce(const std::string& method,
+                                                const std::string& target,
+                                                const std::string& body,
+                                                int64_t timeout_ms,
+                                                bool* stale) {
+  *stale = false;
+  Deadline deadline = timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
+                                     : Deadline::Infinite();
+  bool reused = fd_ >= 0;
+  if (!reused) {
+    FAIRRANK_ASSIGN_OR_RETURN(fd_,
+                              ConnectNonBlocking(host_, port_, deadline));
+    ++connects_;
+    carry_.clear();
+  }
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Type: application/x-www-form-urlencoded\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: keep-alive\r\n\r\n";
+  request += body;
+
+  size_t sent = 0;
+  while (sent < request.size()) {
+    if (!PollFd(fd_, POLLOUT, deadline)) {
+      return Status::DeadlineExceeded("timed out sending request");
+    }
+    ssize_t n = send(fd_, request.data() + sent, request.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      // EPIPE/ECONNRESET on a reused socket: the server already closed it.
+      *stale = reused && (errno == EPIPE || errno == ECONNRESET);
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  // Read the response head. The carry may already hold (part of) it when
+  // the server pipelined ahead of us.
+  std::string response = std::move(carry_);
+  carry_.clear();
+  size_t head_end = std::string::npos;
+  size_t terminator = 0;
+  for (;;) {
+    size_t crlf = response.find("\r\n\r\n");
+    size_t lf = response.find("\n\n");
+    if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+      head_end = crlf;
+      terminator = 4;
+      break;
+    }
+    if (lf != std::string::npos) {
+      head_end = lf;
+      terminator = 2;
+      break;
+    }
+    if (!PollFd(fd_, POLLIN, deadline)) {
+      return Status::DeadlineExceeded("timed out reading response head");
+    }
+    char chunk[4096];
+    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      *stale = reused && errno == ECONNRESET && response.empty();
+      return Status::IOError("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      *stale = reused && response.empty();
+      return Status::IOError("connection closed before response head");
+    }
+    response.append(chunk, static_cast<size_t>(n));
+  }
+
+  HttpFetchResult result;
+  result.head = response.substr(0, head_end);
+  FAIRRANK_RETURN_NOT_OK(ParseStatusLine(result.head, &result.status_code));
+
+  std::string length_value;
+  if (!FindHeader(result.head, "content-length", &length_value)) {
+    // Without a length the only framing left is connection close: drain to
+    // EOF and drop the socket.
+    result.body = response.substr(head_end + terminator);
+    for (;;) {
+      if (!PollFd(fd_, POLLIN, deadline)) {
+        return Status::DeadlineExceeded("timed out reading response body");
+      }
+      char chunk[4096];
+      ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;
+        }
+        return Status::IOError("recv: " + std::string(std::strerror(errno)));
+      }
+      if (n == 0) break;
+      result.body.append(chunk, static_cast<size_t>(n));
+    }
+    Close();
+    return result;
+  }
+
+  int64_t body_bytes = 0;
+  if (!ParseInt64(length_value, &body_bytes) || body_bytes < 0) {
+    return Status::InvalidArgument("bad Content-Length '" + length_value +
+                                   "'");
+  }
+  std::string full_body = response.substr(head_end + terminator);
+  while (full_body.size() < static_cast<size_t>(body_bytes)) {
+    if (!PollFd(fd_, POLLIN, deadline)) {
+      return Status::DeadlineExceeded("timed out reading response body");
+    }
+    char chunk[4096];
+    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::IOError("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed mid-body");
+    }
+    full_body.append(chunk, static_cast<size_t>(n));
+  }
+  if (full_body.size() > static_cast<size_t>(body_bytes)) {
+    carry_ = full_body.substr(static_cast<size_t>(body_bytes));
+    full_body.resize(static_cast<size_t>(body_bytes));
+  }
+  result.body = std::move(full_body);
+
+  std::string connection;
+  if (FindHeader(result.head, "connection", &connection) &&
+      ToLower(connection).find("close") != std::string::npos) {
+    Close();
+  }
   return result;
 }
 

@@ -16,14 +16,61 @@ struct HttpFetchResult {
 };
 
 /// Minimal blocking HTTP/1.1 client for tests and fairauditd's --fetch
-/// smoke mode: one request, read to EOF (the server always closes), no
-/// redirects, no TLS. `timeout_ms` bounds connect + send + receive
-/// together; <= 0 means no timeout.
+/// smoke mode: one request over one fresh connection, `Connection: close`,
+/// read to EOF, no redirects, no TLS. `timeout_ms` bounds connect + send +
+/// receive together; <= 0 means no timeout.
 StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
                                     const std::string& method,
                                     const std::string& target,
                                     const std::string& body,
                                     int64_t timeout_ms);
+
+/// A persistent HTTP/1.1 connection: connect once, issue many requests on
+/// one socket. Every Fetch asks for keep-alive and reads exactly
+/// Content-Length body bytes, leaving the socket positioned at the next
+/// response. When the server closes anyway (idle timeout, request cap,
+/// drain, `Connection: close` in its response) the next Fetch reconnects
+/// transparently; reconnects() counts how often that happened, which is the
+/// load generator's measure of connection reuse actually achieved.
+///
+/// Not thread-safe — one HttpClient per client thread.
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One request/response. Opens the connection on first use; retries once
+  /// on a fresh connection when a reused socket turns out stale (the server
+  /// closed it between requests). `timeout_ms` bounds the whole attempt
+  /// including any reconnect; <= 0 means no timeout.
+  StatusOr<HttpFetchResult> Fetch(const std::string& method,
+                                  const std::string& target,
+                                  const std::string& body, int64_t timeout_ms);
+
+  /// Connections opened so far (1 = perfect reuse across all fetches).
+  uint64_t connects() const { return connects_; }
+
+  /// Drops the current connection (next Fetch reconnects).
+  void Close();
+
+ private:
+  /// One request/response over the current socket. `*stale` is set when the
+  /// failure looks like the server closed a previously-good connection
+  /// under us — the caller may retry on a fresh one.
+  StatusOr<HttpFetchResult> FetchOnce(const std::string& method,
+                                      const std::string& target,
+                                      const std::string& body,
+                                      int64_t timeout_ms, bool* stale);
+
+  const std::string host_;
+  const int port_;
+  int fd_ = -1;
+  std::string carry_;  ///< Bytes read past the previous response.
+  uint64_t connects_ = 0;
+};
 
 }  // namespace fairrank
 

@@ -201,6 +201,21 @@ HandlerResult GuardRequest(const ServerEnv& env, Fn&& fn) {
 
 }  // namespace
 
+StatusOr<std::string> CanonicalRequestKey(const ServerEnv& env,
+                                          const HttpRequest& request) {
+  FAIRRANK_ASSIGN_OR_RETURN(FlagParser flags, RequestFlags(request));
+  std::string key = request.path;
+  key += '\n';
+  key += flags.GetString("dataset", env.default_dataset);
+  for (const std::string& name : flags.FlagNames()) {
+    key += '\n';
+    key += name;
+    key += '=';
+    key += flags.GetString(name, "");
+  }
+  return key;
+}
+
 HttpResponse ResponseFromStatus(const Status& status, int64_t retry_after_ms) {
   int http_status = 500;
   int64_t retry = 0;

@@ -67,6 +67,19 @@ HandlerResult HandleAudit(const ServerEnv& env, const HttpRequest& request);
 /// error); the response is 200 unless the grid itself cannot be configured.
 HandlerResult HandleSuite(const ServerEnv& env, const HttpRequest& request);
 
+/// Canonical identity of a cacheable /audit//suite request:
+/// "<path>\n<dataset>\n<name>=<value>\n..." with the flags normalized
+/// exactly as the handlers see them (query string plus POST form body,
+/// '_' -> '-', later duplicates win) and serialized in sorted name order —
+/// so GET vs POST and parameter reordering collapse onto one key, and two
+/// requests with equal keys run the identical computation over the same
+/// immutable table. The `dataset` component is resolved against
+/// `env.default_dataset` so naming the default explicitly hits the same
+/// entry as omitting it. Fails only when the parameters fail to parse (the
+/// handler would fail the same request identically).
+StatusOr<std::string> CanonicalRequestKey(const ServerEnv& env,
+                                          const HttpRequest& request);
+
 /// Maps a non-OK library Status to the server's structured error response:
 /// InvalidArgument/NotFound/OutOfRange/Unimplemented -> 400,
 /// exhaustion (ResourceExhausted/DeadlineExceeded/Cancelled) -> 503 with

@@ -33,6 +33,15 @@ std::vector<std::string_view> SplitLines(std::string_view head) {
   return lines;
 }
 
+/// True when the comma-separated header list `value` contains `token`
+/// (case-insensitive, per-element trimmed) — RFC 7230 list semantics.
+bool HeaderListContains(std::string_view value, std::string_view token) {
+  for (const std::string& element : Split(value, ',')) {
+    if (ToLower(Trim(element)) == token) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string PercentDecode(std::string_view s) {
@@ -82,7 +91,8 @@ std::vector<std::pair<std::string, std::string>> ParseQueryString(
   return pairs;
 }
 
-StatusOr<HttpRequest> ParseRequestHead(std::string_view head) {
+StatusOr<HttpRequest> ParseRequestHead(std::string_view head,
+                                       const HttpSizeLimits& limits) {
   std::vector<std::string_view> lines = SplitLines(head);
   if (lines.empty() || lines[0].empty()) {
     return Status::InvalidArgument("empty request");
@@ -102,6 +112,7 @@ StatusOr<HttpRequest> ParseRequestHead(std::string_view head) {
       return Status::InvalidArgument("unsupported protocol '" +
                                      std::string(version) + "'");
     }
+    request.minor_version = version == "HTTP/1.0" ? 0 : 1;
   }
   if (request.method != "GET" && request.method != "POST") {
     return Status::Unimplemented("method '" + request.method +
@@ -118,9 +129,16 @@ StatusOr<HttpRequest> ParseRequestHead(std::string_view head) {
     request.query = ParseQueryString(
         std::string_view(request.target).substr(qmark + 1));
   }
+  size_t header_count = 0;
   for (size_t i = 1; i < lines.size(); ++i) {
     std::string_view line = lines[i];
     if (line.empty()) break;  // End of headers.
+    if (limits.max_header_count > 0 &&
+        ++header_count > limits.max_header_count) {
+      return Status::OutOfRange(
+          "more than " + std::to_string(limits.max_header_count) +
+          " header fields");
+    }
     size_t colon = line.find(':');
     if (colon == std::string_view::npos) {
       return Status::InvalidArgument("malformed header line '" +
@@ -130,7 +148,18 @@ StatusOr<HttpRequest> ParseRequestHead(std::string_view head) {
     if (name.empty()) {
       return Status::InvalidArgument("empty header name");
     }
-    request.headers[name] = std::string(Trim(line.substr(colon + 1)));
+    std::string value(Trim(line.substr(colon + 1)));
+    auto [it, inserted] = request.headers.emplace(name, value);
+    if (!inserted) {
+      // Duplicated framing headers are the classic request-smuggling
+      // vector: two Content-Lengths (or a CL + TE pair split across
+      // proxies) make different hops disagree on where the body ends.
+      // Refuse instead of silently letting the last one win.
+      if (name == "content-length" || name == "transfer-encoding") {
+        return Status::InvalidArgument("duplicate " + name + " header");
+      }
+      it->second += ", " + value;  // RFC 7230 list merge for the rest.
+    }
   }
   return request;
 }
@@ -138,9 +167,18 @@ StatusOr<HttpRequest> ParseRequestHead(std::string_view head) {
 StatusOr<size_t> ContentLength(const HttpRequest& request,
                                const HttpSizeLimits& limits) {
   auto te = request.headers.find("transfer-encoding");
-  if (te != request.headers.end() && ToLower(te->second) != "identity") {
-    return Status::InvalidArgument(
-        "chunked transfer encoding not supported; send Content-Length");
+  if (te != request.headers.end()) {
+    // "identity" (alone or repeated in a comma-separated list) means "no
+    // transformation" and is equivalent to absent. Anything else —
+    // chunked, gzip, ... — is well-formed HTTP this server deliberately
+    // does not implement: 501, not 400.
+    for (const std::string& coding : Split(te->second, ',')) {
+      std::string token = ToLower(Trim(coding));
+      if (token.empty() || token == "identity") continue;
+      return Status::Unimplemented(
+          "transfer coding '" + token +
+          "' not supported; send an identity body with Content-Length");
+    }
   }
   auto it = request.headers.find("content-length");
   if (it == request.headers.end()) return size_t{0};
@@ -155,6 +193,16 @@ StatusOr<size_t> ContentLength(const HttpRequest& request,
         std::to_string(limits.max_body_bytes) + "-byte limit");
   }
   return static_cast<size_t>(length);
+}
+
+bool RequestWantsKeepAlive(const HttpRequest& request) {
+  auto it = request.headers.find("connection");
+  if (request.minor_version == 0) {
+    return it != request.headers.end() &&
+           HeaderListContains(it->second, "keep-alive");
+  }
+  return it == request.headers.end() ||
+         !HeaderListContains(it->second, "close");
 }
 
 const char* HttpReasonPhrase(int status) {
@@ -185,7 +233,8 @@ std::string FormatHttpResponse(const HttpResponse& response) {
     out += "Retry-After: " +
            std::to_string((response.retry_after_ms + 999) / 1000) + "\r\n";
   }
-  out += "Connection: close\r\n\r\n";
+  out += response.keep_alive ? "Connection: keep-alive\r\n\r\n"
+                             : "Connection: close\r\n\r\n";
   out += response.body;
   return out;
 }

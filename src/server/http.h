@@ -14,25 +14,31 @@ namespace fairrank {
 
 /// Minimal, dependency-free HTTP/1.1 message handling for fairauditd.
 /// Deliberately small surface: GET/POST, Content-Length bodies only (no
-/// chunked encoding, no keep-alive — every response carries
-/// `Connection: close`), with hard size limits on head and body so a
-/// misbehaving client can never balloon server memory. Parsing is pure
-/// (string -> struct), so every limit and error path is unit-testable
-/// without a socket.
+/// chunked encoding), with hard size limits on head, body, and header count
+/// so a misbehaving client can never balloon server memory. HTTP/1.1
+/// connections are kept alive by default (`Connection: close` opts out);
+/// HTTP/1.0 connections close unless the client asks for keep-alive.
+/// Parsing is pure (string -> struct), so every limit and error path is
+/// unit-testable without a socket.
 
 /// Hard caps applied while reading a request off the wire.
 struct HttpSizeLimits {
-  size_t max_head_bytes = 8192;      ///< Request line + headers.
-  size_t max_body_bytes = 64 * 1024; ///< Content-Length ceiling.
+  size_t max_head_bytes = 8192;      ///< Request line + headers (431 when over).
+  size_t max_body_bytes = 64 * 1024; ///< Content-Length ceiling (413 when over).
+  size_t max_header_count = 64;      ///< Distinct header lines (431 when over).
 };
 
-/// A parsed request. Header names are lower-cased; query parameters are
-/// percent-decoded and kept in order of appearance (later duplicates win
-/// when converted to flags).
+/// A parsed request. Header names are lower-cased; duplicate header values
+/// are joined with ", " (RFC 7230 list semantics) except Content-Length /
+/// Transfer-Encoding, whose duplication is rejected outright
+/// (request-smuggling hygiene). Query parameters are percent-decoded and
+/// kept in order of appearance (later duplicates win when converted to
+/// flags).
 struct HttpRequest {
   std::string method;   ///< "GET" or "POST" (parse rejects others).
   std::string target;   ///< Raw request target, e.g. "/audit?function=f6".
   std::string path;     ///< Target up to '?'.
+  int minor_version = 1;  ///< 1 for HTTP/1.1, 0 for HTTP/1.0.
   std::vector<std::pair<std::string, std::string>> query;
   std::map<std::string, std::string> headers;
   std::string body;
@@ -40,12 +46,15 @@ struct HttpRequest {
 
 /// A response about to be serialized. `retry_after_ms` > 0 additionally
 /// emits a Retry-After header (rounded up to whole seconds) so well-behaved
-/// HTTP clients back off without parsing the JSON body.
+/// HTTP clients back off without parsing the JSON body. `keep_alive`
+/// controls the Connection header; error paths leave it false so a
+/// desynchronized connection is always torn down.
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
   int64_t retry_after_ms = 0;
+  bool keep_alive = false;
 };
 
 /// Decodes %xx escapes and '+' (as space). Malformed escapes pass through
@@ -59,21 +68,32 @@ std::vector<std::pair<std::string, std::string>> ParseQueryString(
 
 /// Parses the request head (everything before the blank line, body
 /// excluded). Accepts both CRLF and bare-LF line endings. Fails with
-/// InvalidArgument on malformed syntax and Unimplemented on methods other
-/// than GET/POST.
-StatusOr<HttpRequest> ParseRequestHead(std::string_view head);
+/// InvalidArgument on malformed syntax (including duplicated
+/// Content-Length / Transfer-Encoding headers), OutOfRange when the header
+/// count exceeds `limits.max_header_count` (the caller answers 431), and
+/// Unimplemented on methods other than GET/POST.
+StatusOr<HttpRequest> ParseRequestHead(std::string_view head,
+                                       const HttpSizeLimits& limits = {});
 
 /// Content-Length of a parsed head, validated against `limits`:
-/// 0 when absent, InvalidArgument when malformed or chunked,
-/// ResourceExhausted when over max_body_bytes.
+/// 0 when absent, InvalidArgument when malformed, Unimplemented when the
+/// Transfer-Encoding list names any codings beyond "identity" (the caller
+/// answers 501 — the request is well-formed HTTP the server chooses not to
+/// implement), ResourceExhausted when over max_body_bytes.
 StatusOr<size_t> ContentLength(const HttpRequest& request,
                                const HttpSizeLimits& limits);
+
+/// True when the client may receive further responses on this connection:
+/// HTTP/1.1 defaults to keep-alive unless the Connection header lists
+/// "close"; HTTP/1.0 defaults to close unless it lists "keep-alive".
+bool RequestWantsKeepAlive(const HttpRequest& request);
 
 /// Stable reason phrase for the status codes the server emits.
 const char* HttpReasonPhrase(int status);
 
-/// Serializes status line + headers + body, with Content-Length and
-/// `Connection: close` always present.
+/// Serializes status line + headers + body, with Content-Length always
+/// present and `Connection: keep-alive` or `close` from
+/// `response.keep_alive`.
 std::string FormatHttpResponse(const HttpResponse& response);
 
 /// The server's structured error body:

@@ -1,0 +1,87 @@
+#include "server/response_cache.h"
+
+#include <utility>
+
+namespace fairrank {
+
+uint64_t ResponseCache::EntryBytes(const std::string& key,
+                                   const HttpResponse& response) {
+  // Key + body dominate; the fixed struct overhead is folded into a small
+  // constant so a million tiny entries still register.
+  return key.size() + response.body.size() + response.content_type.size() +
+         64;
+}
+
+bool ResponseCache::Find(const std::string& key, HttpResponse* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  *out = it->second.response;
+  out->keep_alive = false;  // Connection framing is per-connection.
+  return true;
+}
+
+void ResponseCache::Insert(const std::string& key,
+                           const HttpResponse& response) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_stopped_) return;
+
+  uint64_t incoming = EntryBytes(key, response);
+  auto existing = entries_.find(key);
+  if (existing != entries_.end()) {
+    // Replacement (a concurrent identical miss got here first). Drop the
+    // old entry; the new bytes take its place.
+    stats_.bytes_used -= existing->second.bytes;
+    lru_.erase(existing->second.lru_position);
+    entries_.erase(existing);
+    --stats_.entries;
+  }
+  if (!MakeRoomLocked(incoming)) return;
+
+  lru_.push_front(key);
+  Entry entry;
+  entry.response = response;
+  entry.response.keep_alive = false;
+  entry.response.retry_after_ms = 0;
+  entry.bytes = incoming;
+  entry.lru_position = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  stats_.bytes_used += incoming;
+  ++stats_.entries;
+  ++stats_.insertions;
+  ChargeLocked(incoming);
+}
+
+bool ResponseCache::MakeRoomLocked(uint64_t incoming) {
+  if (incoming > max_bytes_) return false;
+  while (stats_.bytes_used + incoming > max_bytes_ && !lru_.empty()) {
+    auto victim = entries_.find(lru_.back());
+    lru_.pop_back();
+    if (victim == entries_.end()) continue;  // Defensive; lists stay in sync.
+    stats_.bytes_used -= victim->second.bytes;
+    entries_.erase(victim);
+    --stats_.entries;
+    ++stats_.evictions;
+  }
+  return stats_.bytes_used + incoming <= max_bytes_;
+}
+
+void ResponseCache::ChargeLocked(uint64_t bytes) {
+  if (budget_ == nullptr) return;
+  // One atomic add per insert — inserts happen at most once per cache miss,
+  // never on the hit path, so there is nothing to batch.
+  if (!budget_->ChargeMemoryBytes(bytes)) budget_stopped_ = true;
+}
+
+ResponseCacheStats ResponseCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,109 @@
+#ifndef FAIRRANK_SERVER_RESPONSE_CACHE_H_
+#define FAIRRANK_SERVER_RESPONSE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/budget.h"
+#include "common/thread_annotations.h"
+#include "server/http.h"
+
+namespace fairrank {
+
+/// Observability counters of the response cache, surfaced in /stats.
+/// hits + misses = lookups; insertions <= misses (error and truncated
+/// responses are never stored).
+struct ResponseCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;   ///< Entries dropped to make room (LRU order).
+  uint64_t bytes_used = 0;  ///< Resident cached bytes (keys + bodies).
+  uint64_t entries = 0;     ///< Live cached responses.
+};
+
+/// Whole-response memoization for the expensive endpoints. Keyed on the
+/// canonical request identity (endpoint, dataset, canonicalized flags — see
+/// CanonicalRequestKey in handlers.h); the loaded tables are immutable for
+/// the life of the process, so two requests with the same key are the same
+/// computation and the first 200 body can be replayed bit-identically.
+///
+/// Policy:
+///  - Only complete successes are cached: status 200 and not truncated.
+///    A truncated body depends on wall-clock/budget state at evaluation
+///    time, so replaying it would freeze a transient degradation.
+///  - `max_bytes` caps resident size with LRU eviction (per-entry, not
+///    epoch: one giant suite body must not flush every small audit entry).
+///  - Net new cache memory is charged to the borrowed process-level
+///    ResourceBudget on every insert. Once a charge reports exhaustion the cache
+///    latches read-only (lookups still serve, inserts stop) — the same
+///    degrade-don't-die discipline as the evaluator caches. Eviction does
+///    not refund the budget: the budget's memory axis is documented as
+///    cumulative, an allocation-pressure proxy rather than a live gauge.
+///
+/// Thread-safe: one mutex guards the map, the LRU list, and the counters.
+class ResponseCache {
+ public:
+  /// `max_bytes` 0 disables the cache entirely (every lookup misses and
+  /// nothing is stored — counters still run so /stats shows the misses).
+  /// `budget` is borrowed and may be null (no charging).
+  ResponseCache(uint64_t max_bytes, ResourceBudget* budget)
+      : max_bytes_(max_bytes), budget_(budget) {}
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  bool enabled() const { return max_bytes_ > 0; }
+
+  /// True (and `*out` filled) on a hit. The returned response carries the
+  /// cached status/content-type/body; connection-level fields (keep_alive)
+  /// are reset so the caller frames it for the current connection.
+  bool Find(const std::string& key, HttpResponse* out)
+      FAIRRANK_EXCLUDES(mutex_);
+
+  /// Stores a response under `key`. No-op when disabled, budget-latched, or
+  /// the entry alone exceeds max_bytes. Re-inserting an existing key
+  /// replaces the entry (concurrent identical misses race benignly: both
+  /// computed the same bytes).
+  void Insert(const std::string& key, const HttpResponse& response)
+      FAIRRANK_EXCLUDES(mutex_);
+
+  ResponseCacheStats Snapshot() const FAIRRANK_EXCLUDES(mutex_);
+
+ private:
+  struct Entry {
+    HttpResponse response;
+    uint64_t bytes = 0;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  /// Approximate resident cost of one entry.
+  static uint64_t EntryBytes(const std::string& key,
+                             const HttpResponse& response);
+
+  /// Evicts LRU entries until `incoming` fits under max_bytes. Returns
+  /// false when it cannot fit (entry larger than the whole cap).
+  bool MakeRoomLocked(uint64_t incoming) FAIRRANK_REQUIRES(mutex_);
+
+  /// Charges `bytes` of net-new cache memory to the budget (one atomic add
+  /// per miss-side insert); latches budget_stopped_ on exhaustion.
+  void ChargeLocked(uint64_t bytes) FAIRRANK_REQUIRES(mutex_);
+
+  const uint64_t max_bytes_;        ///< Immutable after construction.
+  ResourceBudget* const budget_;    ///< Borrowed; may be null.
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_ FAIRRANK_GUARDED_BY(mutex_);
+  /// Front = most recently used; back = eviction candidate.
+  std::list<std::string> lru_ FAIRRANK_GUARDED_BY(mutex_);
+  ResponseCacheStats stats_ FAIRRANK_GUARDED_BY(mutex_);
+  /// A budget charge tripped: the cache stops growing.
+  bool budget_stopped_ FAIRRANK_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_SERVER_RESPONSE_CACHE_H_

@@ -63,10 +63,16 @@ bool PollFd(int fd, short events, const Deadline& deadline,
 }
 
 /// Maps a request-read failure to the HTTP status of the early error reply.
+/// OutOfRange is the parser's "header fields too large/too many" signal
+/// (431); ResourceExhausted is an oversized body (413); Unimplemented is
+/// well-formed HTTP the server chooses not to speak — unsupported methods
+/// and non-identity transfer codings (501).
 int HttpStatusForReadError(const Status& status) {
   switch (status.code()) {
     case StatusCode::kResourceExhausted:
       return 413;
+    case StatusCode::kOutOfRange:
+      return 431;
     case StatusCode::kDeadlineExceeded:
       return 408;
     case StatusCode::kUnimplemented:
@@ -91,6 +97,7 @@ FairAuditServer::FairAuditServer(
                      ? options_.max_inflight_audits
                      : num_workers_,
                  &process_budget_),
+      response_cache_(options_.response_cache_mb << 20, &process_budget_),
       queue_(options_.queue_capacity) {
   env_.default_dataset = std::move(default_name);
   for (const auto& [name, table] : tables_) {
@@ -195,14 +202,24 @@ void FairAuditServer::ListenerLoop() {
     if (n <= 0) continue;
     int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    if (SetNonBlocking(fd).ok() && queue_.TryPush(fd)) continue;
-    // Queue full (or fd setup failed): shed at the door with a canned 503
-    // so the client learns to back off instead of hanging.
-    stats_.RecordShed("queue_full");
+    // Shed at the door with a canned 503 so the client learns to back off
+    // instead of hanging. The two causes are distinct operational signals:
+    // queue_full is load (clients should back off), fd_setup_failed is a
+    // local kernel/resource problem (backing off won't help; an operator
+    // should look). The shed send is bounded by shed_send_timeout_ms —
+    // task 0 is the accept loop and must not be held hostage by one slow
+    // client for a full io_timeout.
+    bool fd_ready = SetNonBlocking(fd).ok();
+    if (fd_ready && queue_.TryPush(fd)) continue;
+    const char* reason = fd_ready ? "queue_full" : "fd_setup_failed";
+    stats_.RecordShed(reason);
     HttpResponse shed = MakeErrorResponse(
-        503, "ResourceExhausted", "queue_full",
-        "request queue is full; retry later", options_.retry_after_ms);
-    SendResponse(fd, shed);
+        503, "ResourceExhausted", reason,
+        std::string("request shed: ") + reason, options_.retry_after_ms);
+    SendResponse(fd, shed,
+                 Deadline::AfterMillis(options_.shed_send_timeout_ms > 0
+                                           ? options_.shed_send_timeout_ms
+                                           : 1));
     close(fd);
   }
 
@@ -229,32 +246,58 @@ void FairAuditServer::WorkerLoop() {
 }
 
 void FairAuditServer::ServeConnection(int fd) {
-  auto start = std::chrono::steady_clock::now();
-  StatusOr<HttpRequest> request = ReadRequest(fd);
-  if (!request.ok()) {
-    stats_.RecordParseError();
-    const Status& status = request.status();
-    SendResponse(fd, MakeErrorResponse(HttpStatusForReadError(status),
+  std::string carry;  // Bytes read past the previous request (pipelining).
+  int served = 0;
+  for (;;) {
+    auto start = std::chrono::steady_clock::now();
+    StatusOr<HttpRequest> request = ReadRequest(fd, &carry, served > 0);
+    if (!request.ok()) {
+      const Status& status = request.status();
+      // Cancelled marks the quiet ends of a kept-alive connection — peer
+      // closed between requests, idle deadline, drain — not a protocol
+      // error: close without a response and without polluting the
+      // parse-error counter.
+      if (status.code() != StatusCode::kCancelled) {
+        stats_.RecordParseError();
+        SendResponse(fd,
+                     MakeErrorResponse(HttpStatusForReadError(status),
                                        StatusCodeToString(status.code()),
-                                       "bad_request", status.message()));
-    close(fd);
-    return;
-  }
-  HandlerResult result = Route(*request);
-  SendResponse(fd, result.response);
-  close(fd);
+                                       "bad_request", status.message()),
+                     IoDeadline());
+      }
+      break;
+    }
+    if (served > 0) stats_.RecordConnectionReuse();
 
-  double seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
-  // Known endpoints keyed as-is; everything else collapses into one bucket
-  // so a path-scanning client cannot grow the stats map unboundedly.
-  const std::string& path = request->path;
-  bool known = path == "/audit" || path == "/suite" || path == "/healthz" ||
-               path == "/stats";
-  stats_.RecordRequest(known ? path : "(other)", result.response.status,
-                       seconds, result.truncated);
-  if (HasCacheActivity(result.cache)) stats_.RecordCache(result.cache);
+    // Decide the connection's future before routing so the response frames
+    // it: the client must opt in (HTTP/1.1 default), the per-connection
+    // request cap must leave room, and a draining server closes as fast as
+    // it can.
+    bool keep = options_.keep_alive && RequestWantsKeepAlive(*request) &&
+                (options_.max_requests_per_connection <= 0 ||
+                 served + 1 < options_.max_requests_per_connection) &&
+                !draining_.load(std::memory_order_relaxed);
+    HandlerResult result = Route(*request);
+    result.response.keep_alive = keep;
+    SendResponse(fd, result.response, IoDeadline());
+
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    // Known endpoints keyed as-is; everything else collapses into one
+    // bucket so a path-scanning client cannot grow the stats map
+    // unboundedly.
+    const std::string& path = request->path;
+    bool known = path == "/audit" || path == "/suite" || path == "/healthz" ||
+                 path == "/stats";
+    stats_.RecordRequest(known ? path : "(other)", result.response.status,
+                         seconds, result.truncated);
+    if (HasCacheActivity(result.cache)) stats_.RecordCache(result.cache);
+
+    ++served;
+    if (!keep) break;
+  }
+  close(fd);
 }
 
 HandlerResult FairAuditServer::Route(const HttpRequest& request) {
@@ -275,6 +318,20 @@ HandlerResult FairAuditServer::Route(const HttpRequest& request) {
     return result;
   }
   if (request.path == "/audit" || request.path == "/suite") {
+    // Response cache first: a hit replays a completed success without
+    // touching admission — no evaluation runs, so there is nothing to
+    // gate, charge, or shed. Skipped while draining (the drain contract is
+    // "stop answering audit work", cached or not). A request whose flags
+    // fail to parse gets no key and flows to the handler for its
+    // structured 400.
+    std::string cache_key;
+    if (response_cache_.enabled() && !is_draining) {
+      StatusOr<std::string> key = CanonicalRequestKey(env_, request);
+      if (key.ok()) {
+        cache_key = std::move(key).value();
+        if (response_cache_.Find(cache_key, &result.response)) return result;
+      }
+    }
     AdmissionVerdict verdict = admission_.TryAdmit(is_draining);
     if (verdict != AdmissionVerdict::kAdmit) {
       stats_.RecordShed(AdmissionVerdictToString(verdict));
@@ -292,6 +349,13 @@ HandlerResult FairAuditServer::Route(const HttpRequest& request) {
     result = request.path == "/audit" ? HandleAudit(env_, request)
                                       : HandleSuite(env_, request);
     admission_.Release();
+    // Only complete successes are replayable: an error is cheap to
+    // recompute and a truncated body froze a transient budget/deadline
+    // state that the next identical request might not hit.
+    if (!cache_key.empty() && result.response.status == 200 &&
+        !result.truncated) {
+      response_cache_.Insert(cache_key, result.response);
+    }
     return result;
   }
   result.response = MakeErrorResponse(
@@ -301,18 +365,74 @@ HandlerResult FairAuditServer::Route(const HttpRequest& request) {
   return result;
 }
 
-StatusOr<HttpRequest> FairAuditServer::ReadRequest(int fd) const {
-  Deadline deadline = options_.io_timeout_ms > 0
-                          ? Deadline::AfterMillis(options_.io_timeout_ms)
-                          : Deadline::Infinite();
+Deadline FairAuditServer::IoDeadline() const {
+  return options_.io_timeout_ms > 0
+             ? Deadline::AfterMillis(options_.io_timeout_ms)
+             : Deadline::Infinite();
+}
+
+StatusOr<HttpRequest> FairAuditServer::ReadRequest(int fd, std::string* carry,
+                                                   bool subsequent) const {
   const HttpSizeLimits& limits = options_.size_limits;
-  std::string buffer;
+  std::string buffer = std::move(*carry);
+  carry->clear();
+
+  // Between requests of a kept-alive connection: wait for the first byte
+  // under the idle deadline (the earlier of io_timeout and
+  // keep_alive_idle_ms), in short slices so a drain request closes idle
+  // connections promptly instead of after a full idle window. All quiet
+  // ends — peer close, idle expiry, drain — return Cancelled, which the
+  // caller maps to "close without a response".
+  if (subsequent && buffer.empty()) {
+    Deadline idle = Deadline::Earlier(
+        IoDeadline(), options_.keep_alive_idle_ms > 0
+                          ? Deadline::AfterMillis(options_.keep_alive_idle_ms)
+                          : Deadline::Infinite());
+    for (;;) {
+      if (draining_.load(std::memory_order_relaxed) ||
+          env_.drain_cancel.cancel_requested()) {
+        return Status::Cancelled("server draining");
+      }
+      double remaining = idle.RemainingSeconds();
+      if (remaining <= 0) return Status::Cancelled("keep-alive idle timeout");
+      int slice_ms = 50;
+      if (remaining * 1000.0 < slice_ms) {
+        slice_ms = static_cast<int>(remaining * 1000.0) + 1;
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      int n = poll(&pfd, 1, slice_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Cancelled("poll: " + std::string(std::strerror(errno)));
+      }
+      if (n > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) break;
+    }
+  }
+
+  Deadline deadline = IoDeadline();
   size_t head_end = std::string::npos;
   size_t terminator = 0;
 
-  while (head_end == std::string::npos) {
+  for (;;) {
+    // The carry (or a previous recv) may already hold a complete head —
+    // check before waiting for more bytes, or a pipelining client stalls.
+    size_t crlf = buffer.find("\r\n\r\n");
+    size_t lf = buffer.find("\n\n");
+    if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+      head_end = crlf;
+      terminator = 4;
+      break;
+    }
+    if (lf != std::string::npos) {
+      head_end = lf;
+      terminator = 2;
+      break;
+    }
     if (buffer.size() > limits.max_head_bytes) {
-      return Status::ResourceExhausted(
+      return Status::OutOfRange(
           "request head exceeds " + std::to_string(limits.max_head_bytes) +
           " bytes");
     }
@@ -326,22 +446,17 @@ StatusOr<HttpRequest> FairAuditServer::ReadRequest(int fd) const {
       return Status::IOError("recv: " + std::string(std::strerror(errno)));
     }
     if (n == 0) {
+      if (buffer.empty() && subsequent) {
+        return Status::Cancelled("connection closed between requests");
+      }
       return Status::InvalidArgument("connection closed mid-request");
     }
     buffer.append(chunk, static_cast<size_t>(n));
-    size_t crlf = buffer.find("\r\n\r\n");
-    size_t lf = buffer.find("\n\n");
-    if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
-      head_end = crlf;
-      terminator = 4;
-    } else if (lf != std::string::npos) {
-      head_end = lf;
-      terminator = 2;
-    }
   }
 
-  FAIRRANK_ASSIGN_OR_RETURN(HttpRequest request,
-                            ParseRequestHead(buffer.substr(0, head_end)));
+  FAIRRANK_ASSIGN_OR_RETURN(
+      HttpRequest request, ParseRequestHead(buffer.substr(0, head_end),
+                                            limits));
   FAIRRANK_ASSIGN_OR_RETURN(size_t body_bytes,
                             ContentLength(request, limits));
   std::string body = buffer.substr(head_end + terminator);
@@ -360,31 +475,56 @@ StatusOr<HttpRequest> FairAuditServer::ReadRequest(int fd) const {
     }
     body.append(chunk, static_cast<size_t>(n));
   }
-  body.resize(body_bytes);
+  // Bytes past this request's body are the start of the next pipelined
+  // request: keep them for the connection's next ReadRequest.
+  if (body.size() > body_bytes) {
+    *carry = body.substr(body_bytes);
+    body.resize(body_bytes);
+  }
   request.body = std::move(body);
   return request;
 }
 
-void FairAuditServer::SendResponse(int fd, const HttpResponse& response) const {
+void FairAuditServer::SendResponse(int fd, const HttpResponse& response,
+                                   const Deadline& deadline) const {
   std::string wire = FormatHttpResponse(response);
-  Deadline deadline = options_.io_timeout_ms > 0
-                          ? Deadline::AfterMillis(options_.io_timeout_ms)
-                          : Deadline::Infinite();
   size_t sent = 0;
   while (sent < wire.size()) {
-    if (!PollFd(fd, POLLOUT, deadline, CancellationToken())) return;
-    ssize_t n = send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    double remaining = deadline.RemainingSeconds();
+    if (remaining <= 0) return;
+    int slice_ms = 100;
+    if (remaining * 1000.0 < slice_ms) {
+      slice_ms = static_cast<int>(remaining * 1000.0) + 1;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    int n = poll(&pfd, 1, slice_ms);
     if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (n == 0) continue;  // Slice elapsed; re-check the deadline.
+    if ((pfd.revents & POLLOUT) == 0) {
+      // POLLHUP/POLLERR without writability: the peer is gone or the
+      // socket is broken. A plain `continue` here would spin — poll
+      // reports the (persistent) hangup immediately while send keeps
+      // returning EAGAIN against the full buffer of a stalled client.
+      return;
+    }
+    ssize_t w = send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
       return;  // Peer went away; response delivery is best-effort.
     }
-    sent += static_cast<size_t>(n);
+    sent += static_cast<size_t>(w);
   }
 }
 
 std::string FairAuditServer::StatsJson() const {
   return stats_.ToJson(&process_budget_, admission_.in_flight(), draining(),
-                       queue_.size());
+                       queue_.size(), response_cache_.Snapshot());
 }
 
 }  // namespace fairrank

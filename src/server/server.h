@@ -16,6 +16,7 @@
 #include "server/handlers.h"
 #include "server/http.h"
 #include "server/queue.h"
+#include "server/response_cache.h"
 #include "server/stats.h"
 
 namespace fairrank {
@@ -49,6 +50,26 @@ struct ServerOptions {
   int64_t drain_grace_ms = 2000;
   /// Per-connection socket read/write inactivity timeout.
   int64_t io_timeout_ms = 5000;
+  /// HTTP/1.1 keep-alive: serve multiple requests per connection. Off
+  /// forces `Connection: close` after every response.
+  bool keep_alive = true;
+  /// How long a kept-alive connection may sit idle between requests before
+  /// the worker closes it (composed with io_timeout_ms via
+  /// Deadline::Earlier; a kept-alive idle connection holds a worker, so
+  /// this also bounds worker occupancy). <= 0 falls back to io_timeout_ms.
+  int64_t keep_alive_idle_ms = 5000;
+  /// Requests served on one connection before the server closes it
+  /// (guards a single client monopolizing a worker forever); <= 0 is
+  /// unlimited.
+  int max_requests_per_connection = 100;
+  /// Byte cap of the whole-response cache over (dataset, canonicalized
+  /// flags); 0 disables caching. Cache memory is charged to the
+  /// process-level memory budget.
+  uint64_t response_cache_mb = 8;
+  /// Upper bound on the time the *listener* spends pushing a canned shed
+  /// response to a slow client — task 0 must return to accepting, so this
+  /// is much shorter than io_timeout_ms.
+  int64_t shed_send_timeout_ms = 250;
   /// Evaluator-thread cap per request.
   int max_request_threads = 1;
   HttpSizeLimits size_limits;
@@ -117,24 +138,41 @@ class FairAuditServer {
  private:
   /// Task 0 of the pool: accept loop + drain coordinator.
   void ListenerLoop();
-  /// Tasks 1..N: pop a connection, serve one request, close.
+  /// Tasks 1..N: pop a connection, serve it until it closes.
   void WorkerLoop();
-  /// Serves one connection end to end.
+  /// Serves one connection end to end: a keep-alive loop reading requests
+  /// off one fd until the client opts out (`Connection: close`), the idle
+  /// deadline expires, the per-connection request cap is reached, or a
+  /// drain starts.
   void ServeConnection(int fd);
-  /// Routes a parsed request to its endpoint.
+  /// Routes a parsed request to its endpoint (response cache consulted for
+  /// /audit and /suite).
   HandlerResult Route(const HttpRequest& request);
 
   /// Reads one request (head + body) off `fd` under io_timeout_ms and the
-  /// size limits. A non-OK status maps to an HTTP error the caller sends.
-  StatusOr<HttpRequest> ReadRequest(int fd) const;
-  /// Best-effort blocking send of the whole response.
-  void SendResponse(int fd, const HttpResponse& response) const;
+  /// size limits. `carry` holds bytes read past the previous request on
+  /// this connection (in) and past this one (out). With `subsequent` true
+  /// (second and later requests of a kept-alive connection) the wait for
+  /// the first byte runs under the idle deadline and aborts on drain; a
+  /// quiet connection end there returns Cancelled, which the caller treats
+  /// as a normal close rather than an error. Other non-OK statuses map to
+  /// the HTTP error the caller sends.
+  StatusOr<HttpRequest> ReadRequest(int fd, std::string* carry,
+                                    bool subsequent) const;
+  /// Best-effort blocking send of the whole response, bounded by
+  /// `deadline`. Gives up early when the peer hangs up without becoming
+  /// writable (no busy-spin against a dead or stalled client).
+  void SendResponse(int fd, const HttpResponse& response,
+                    const Deadline& deadline) const;
+  /// The per-request I/O deadline (io_timeout_ms, infinite when 0).
+  Deadline IoDeadline() const;
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
   const ServerOptions options_;
   const int num_workers_;
   ResourceBudget process_budget_;
   AdmissionController admission_;
+  ResponseCache response_cache_;
   ServerStats stats_;
   BoundedQueue<int> queue_;
   CancellationSource drain_source_;

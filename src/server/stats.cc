@@ -36,9 +36,16 @@ void ServerStats::RecordParseError() {
   ++parse_errors_;
 }
 
+void ServerStats::RecordConnectionReuse() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++keep_alive_reuses_;
+}
+
 std::string ServerStats::ToJson(const ResourceBudget* process_budget,
                                 int in_flight, bool draining,
-                                size_t queue_depth) const {
+                                size_t queue_depth,
+                                const ResponseCacheStats& response_cache)
+    const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{";
   out += "\"in_flight\":" + std::to_string(in_flight) + ",";
@@ -46,6 +53,16 @@ std::string ServerStats::ToJson(const ResourceBudget* process_budget,
   out += "\"queue_depth\":" + std::to_string(queue_depth) + ",";
   out += "\"accepted\":" + std::to_string(accepted_) + ",";
   out += "\"parse_errors\":" + std::to_string(parse_errors_) + ",";
+  out += "\"keep_alive_reuses\":" + std::to_string(keep_alive_reuses_) + ",";
+
+  out += "\"response_cache\":{";
+  out += "\"hits\":" + std::to_string(response_cache.hits) + ",";
+  out += "\"misses\":" + std::to_string(response_cache.misses) + ",";
+  out += "\"insertions\":" + std::to_string(response_cache.insertions) + ",";
+  out += "\"evictions\":" + std::to_string(response_cache.evictions) + ",";
+  out += "\"bytes_used\":" + std::to_string(response_cache.bytes_used) + ",";
+  out += "\"entries\":" + std::to_string(response_cache.entries);
+  out += "},";
 
   out += "\"shed\":{";
   uint64_t shed_total = 0;

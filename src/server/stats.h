@@ -10,6 +10,7 @@
 #include "common/thread_annotations.h"
 #include "fairness/eval_cache.h"
 #include "server/admission.h"
+#include "server/response_cache.h"
 
 namespace fairrank {
 
@@ -42,11 +43,16 @@ class ServerStats {
   /// A connection whose bytes never parsed into a routable request.
   void RecordParseError() FAIRRANK_EXCLUDES(mutex_);
 
+  /// A request served on an already-used kept-alive connection (the
+  /// second and later requests of one fd) — the saved TCP setups.
+  void RecordConnectionReuse() FAIRRANK_EXCLUDES(mutex_);
+
   /// JSON snapshot. `process_budget` may be null; `in_flight`,
-  /// `queue_depth`, and `draining` are the live gauges sampled by the
-  /// caller who owns them.
+  /// `queue_depth`, `draining`, and `response_cache` are the live gauges
+  /// sampled by the caller who owns them.
   std::string ToJson(const ResourceBudget* process_budget, int in_flight,
-                     bool draining, size_t queue_depth) const
+                     bool draining, size_t queue_depth,
+                     const ResponseCacheStats& response_cache) const
       FAIRRANK_EXCLUDES(mutex_);
 
  private:
@@ -61,6 +67,7 @@ class ServerStats {
   mutable std::mutex mutex_;
   uint64_t accepted_ FAIRRANK_GUARDED_BY(mutex_) = 0;
   uint64_t parse_errors_ FAIRRANK_GUARDED_BY(mutex_) = 0;
+  uint64_t keep_alive_reuses_ FAIRRANK_GUARDED_BY(mutex_) = 0;
   std::map<std::string, uint64_t> shed_ FAIRRANK_GUARDED_BY(mutex_);
   std::map<std::string, EndpointStats> endpoints_ FAIRRANK_GUARDED_BY(mutex_);
   EvalCacheStats cache_ FAIRRANK_GUARDED_BY(mutex_);

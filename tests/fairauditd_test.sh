@@ -88,10 +88,28 @@ fetch "/audit?function=f6&max-node=5" > "$WORKDIR/typo.out"
 grep -q "status 400" "$WORKDIR/typo.out" || fail "typo status"
 grep -q "unknown flag" "$WORKDIR/typo.out" || fail "typo message"
 
-# /stats shows the served endpoints and the budget rollup.
+# Keep-alive round trip: three fetches over ONE connection. "connects 1"
+# proves the daemon honored keep-alive; identical bodies prove the second
+# and third answers were replayed from the response cache bit-identically
+# (wall-clock fields included).
+"$FAIRAUDITD" --fetch "/audit?function=f6&algorithm=unbalanced&seed=3" \
+  --port "$PORT" --fetch-count 3 --fetch-timeout-ms 30000 \
+  > "$WORKDIR/ka.out" || fail "keep-alive fetch"
+[ "$(grep -c "status 200" "$WORKDIR/ka.out")" -eq 3 ] \
+  || fail "keep-alive statuses"
+grep -q "connects 1" "$WORKDIR/ka.out" || fail "keep-alive reused connection"
+[ "$(grep '"unfairness"' "$WORKDIR/ka.out" | sort -u | wc -l)" -eq 1 ] \
+  || fail "cached keep-alive bodies not identical"
+
+# /stats shows the served endpoints, the budget rollup, and the new
+# keep-alive + response-cache counters.
 fetch "/stats" > "$WORKDIR/stats.out"
 grep -q '"/audit"' "$WORKDIR/stats.out" || fail "stats endpoints"
 grep -q '"nodes_used"' "$WORKDIR/stats.out" || fail "stats budget"
+grep -q '"keep_alive_reuses"' "$WORKDIR/stats.out" || fail "stats keep-alive"
+grep -q '"response_cache"' "$WORKDIR/stats.out" || fail "stats cache block"
+grep -q '"response_cache":{"hits":0' "$WORKDIR/stats.out" \
+  && fail "response cache never hit" || true
 
 # SIGTERM: graceful drain, exit 0, final stats flushed.
 kill -TERM "$DPID"

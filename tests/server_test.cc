@@ -8,6 +8,12 @@
 // collide. std::thread is used directly here (sanctioned in tests/) to host
 // Serve() and to fire concurrent clients.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/stopwatch.h"
 #include "data/table.h"
 #include "fairness/auditor.h"
 #include "fairness/option_flags.h"
@@ -77,6 +84,10 @@ ServerOptions DefaultOptions() {
   options.port = 0;
   options.num_workers = 3;
   options.request_timeout_ceiling_ms = 30000;
+  // Off by default so repeated identical requests exercise the full pipeline
+  // (fault injection, admission) instead of replaying a cached body; the
+  // cache tests opt back in.
+  options.response_cache_mb = 0;
   return options;
 }
 
@@ -323,6 +334,306 @@ TEST(ServerTest, OverloadShedsWith429) {
   EXPECT_TRUE(shed_seen);
   EXPECT_EQ(Fetch(*running, "/healthz").status_code, 200);
   slow.join();
+}
+
+// ---------------------------------------------------------------------------
+// HTTP parsing hardening: pure string-level tests of the edge cases the
+// wire-level tests below exercise end to end.
+
+TEST(HttpParseTest, DuplicateContentLengthRejected) {
+  StatusOr<HttpRequest> r = ParseRequestHead(
+      "GET / HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\nContent-Length: 3");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("duplicate content-length"),
+            std::string::npos);
+}
+
+TEST(HttpParseTest, DuplicateTransferEncodingRejected) {
+  StatusOr<HttpRequest> r = ParseRequestHead(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: identity\r\n"
+      "Transfer-Encoding: chunked");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("duplicate transfer-encoding"),
+            std::string::npos);
+}
+
+TEST(HttpParseTest, OtherDuplicateHeadersMergeAsList) {
+  StatusOr<HttpRequest> r = ParseRequestHead(
+      "GET / HTTP/1.1\r\nAccept: a\r\nAccept: b");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->headers.at("accept"), "a, b");
+}
+
+TEST(HttpParseTest, HeaderCountLimitIsOutOfRange) {
+  HttpSizeLimits limits;
+  limits.max_header_count = 2;
+  StatusOr<HttpRequest> r = ParseRequestHead(
+      "GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3", limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(HttpParseTest, TransferEncodingIdentityListAccepted) {
+  StatusOr<HttpRequest> r = ParseRequestHead(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: identity , identity\r\n"
+      "Content-Length: 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  StatusOr<size_t> length = ContentLength(*r, HttpSizeLimits{});
+  ASSERT_TRUE(length.ok()) << length.status().ToString();
+  EXPECT_EQ(*length, 2u);
+}
+
+TEST(HttpParseTest, ChunkedTransferEncodingIsUnimplemented) {
+  StatusOr<HttpRequest> r =
+      ParseRequestHead("POST / HTTP/1.1\r\nTransfer-Encoding: chunked");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  StatusOr<size_t> length = ContentLength(*r, HttpSizeLimits{});
+  ASSERT_FALSE(length.ok());
+  EXPECT_EQ(length.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(HttpParseTest, KeepAliveDefaultsFollowHttpVersion) {
+  auto parse = [](const char* head) {
+    StatusOr<HttpRequest> r = ParseRequestHead(head);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  };
+  EXPECT_TRUE(RequestWantsKeepAlive(parse("GET / HTTP/1.1")));
+  EXPECT_FALSE(
+      RequestWantsKeepAlive(parse("GET / HTTP/1.1\r\nConnection: close")));
+  EXPECT_FALSE(RequestWantsKeepAlive(parse("GET / HTTP/1.0")));
+  EXPECT_TRUE(RequestWantsKeepAlive(
+      parse("GET / HTTP/1.0\r\nConnection: keep-alive")));
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level tests: raw sockets (sanctioned in tests/) for malformed input
+// the HttpClient cannot be convinced to send.
+
+/// Sends raw bytes on a fresh blocking connection and reads to EOF.
+std::string RawRoundTrip(int port, const std::string& wire) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+TEST(ServerTest, DuplicateContentLengthIsStructured400OnTheWire) {
+  auto running = StartServer(DefaultOptions());
+  std::string response = RawRoundTrip(
+      running->server->port(),
+      "GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n"
+      "Content-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400 "), std::string::npos) << response;
+  EXPECT_NE(response.find("duplicate content-length"), std::string::npos)
+      << response;
+  // The error tore the connection down (recv hit EOF above) and the server
+  // survived.
+  EXPECT_EQ(Fetch(*running, "/healthz").status_code, 200);
+}
+
+TEST(ServerTest, TooManyHeadersIs431OnTheWire) {
+  auto running = StartServer(DefaultOptions());
+  std::string wire = "GET /healthz HTTP/1.1\r\nHost: t\r\n";
+  for (int i = 0; i < 80; ++i) {
+    wire += "X-Padding-" + std::to_string(i) + ": v\r\n";
+  }
+  wire += "\r\n";
+  std::string response = RawRoundTrip(running->server->port(), wire);
+  EXPECT_NE(response.find("HTTP/1.1 431 "), std::string::npos) << response;
+  EXPECT_EQ(Fetch(*running, "/healthz").status_code, 200);
+}
+
+TEST(ServerTest, ChunkedBodyIs501OnTheWire) {
+  auto running = StartServer(DefaultOptions());
+  std::string response = RawRoundTrip(
+      running->server->port(),
+      "POST /audit HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n"
+      "\r\n0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 501 "), std::string::npos) << response;
+  EXPECT_NE(response.find("not supported"), std::string::npos) << response;
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive and the response cache.
+
+TEST(ServerTest, KeepAliveServesTwoRequestsOnOneConnection) {
+  auto running = StartServer(DefaultOptions());
+  const std::string target = "/audit?function=f6&algorithm=unbalanced&seed=3";
+
+  // Two fresh connections (the pre-keep-alive cost model)...
+  HttpFetchResult fresh1 = Fetch(*running, target);
+  HttpFetchResult fresh2 = Fetch(*running, target);
+  ASSERT_EQ(fresh1.status_code, 200);
+
+  // ...and two requests on ONE kept-alive connection.
+  HttpClient client("127.0.0.1", running->server->port());
+  StatusOr<HttpFetchResult> kept1 = client.Fetch("GET", target, "", 30000);
+  StatusOr<HttpFetchResult> kept2 = client.Fetch("GET", target, "", 30000);
+  ASSERT_TRUE(kept1.ok()) << kept1.status().ToString();
+  ASSERT_TRUE(kept2.ok()) << kept2.status().ToString();
+  EXPECT_EQ(client.connects(), 1u) << "second request reopened a connection";
+  ASSERT_EQ(kept1->status_code, 200);
+  ASSERT_EQ(kept2->status_code, 200);
+
+  // Bit-identical to the fresh-connection bodies modulo wall-clock fields
+  // (the cache is off here, so every response is computed independently).
+  EXPECT_EQ(StripVolatile(kept1->body), StripVolatile(fresh1.body));
+  EXPECT_EQ(StripVolatile(kept2->body), StripVolatile(fresh2.body));
+
+  // /stats counts the reuse.
+  HttpFetchResult stats = Fetch(*running, "/stats");
+  EXPECT_EQ(stats.body.find("\"keep_alive_reuses\":0"), std::string::npos)
+      << stats.body;
+}
+
+TEST(ServerTest, ResponseCacheHitIsByteIdentical) {
+  ServerOptions options = DefaultOptions();
+  options.response_cache_mb = 8;
+  auto running = StartServer(options);
+  const std::string target = "/audit?function=f6&algorithm=unbalanced&seed=3";
+
+  HttpFetchResult first = Fetch(*running, target);   // Miss: computes.
+  HttpFetchResult second = Fetch(*running, target);  // Hit: replays.
+  ASSERT_EQ(first.status_code, 200);
+  ASSERT_EQ(second.status_code, 200);
+  // Byte-identical INCLUDING the wall-clock fields — only a replay of the
+  // stored body can achieve that; an independent recomputation would differ
+  // in "seconds".
+  EXPECT_EQ(second.body, first.body);
+
+  // The canonicalized key ignores flag spelling: '_' vs '-' and query order
+  // hit the same entry.
+  HttpFetchResult spelled =
+      Fetch(*running, "/audit?algorithm=unbalanced&seed=3&function=f6");
+  EXPECT_EQ(spelled.body, first.body);
+
+  HttpFetchResult stats = Fetch(*running, "/stats");
+  EXPECT_NE(stats.body.find("\"response_cache\":{"), std::string::npos);
+  EXPECT_EQ(stats.body.find("\"hits\":0,"), std::string::npos) << stats.body;
+}
+
+TEST(ServerTest, ResponseCacheConcurrentIdenticalRequestsAreDeterministic) {
+  ServerOptions options = DefaultOptions();
+  options.response_cache_mb = 8;
+  auto running = StartServer(options);
+  const std::string target =
+      "/audit?function=alpha:0.5&algorithm=unbalanced&seed=5";
+
+  // A burst of identical requests races misses against the first insert;
+  // every response must be a complete 200 regardless of who won.
+  std::vector<HttpFetchResult> results(8);
+  std::vector<std::thread> clients;
+  clients.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    clients.emplace_back([&running, &results, &target, i] {
+      StatusOr<HttpFetchResult> r = HttpFetch(
+          "127.0.0.1", running->server->port(), "GET", target, "", 30000);
+      if (r.ok()) results[i] = std::move(r).value();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const HttpFetchResult& r : results) {
+    ASSERT_EQ(r.status_code, 200) << r.body;
+    EXPECT_EQ(StripVolatile(r.body), StripVolatile(results[0].body));
+  }
+
+  // Once the dust settles the cache serves one canonical body: two
+  // sequential fetches are byte-identical.
+  HttpFetchResult settled1 = Fetch(*running, target);
+  HttpFetchResult settled2 = Fetch(*running, target);
+  EXPECT_EQ(settled1.body, settled2.body);
+}
+
+TEST(ServerTest, ResponseCacheEvictsUnderByteCapAndChargesBudget) {
+  ServerOptions options = DefaultOptions();
+  options.response_cache_mb = 1;  // Small cap so distinct keys overflow it.
+  auto running = StartServer(options);
+
+  // Distinct seeds are distinct cache keys; enough of them must overflow
+  // the 1 MB cap (bodies run a few hundred bytes each) and trigger LRU
+  // eviction.
+  for (int seed = 1; seed <= 1800; ++seed) {
+    HttpFetchResult r = Fetch(
+        *running, "/audit?function=f6&algorithm=unbalanced&seed=" +
+                      std::to_string(seed));
+    ASSERT_EQ(r.status_code, 200) << r.body;
+  }
+
+  HttpFetchResult stats = Fetch(*running, "/stats");
+  ASSERT_EQ(stats.status_code, 200);
+  size_t pos = stats.body.find("\"response_cache\":{");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cache_json =
+      stats.body.substr(pos, stats.body.find('}', pos) - pos);
+  EXPECT_EQ(cache_json.find("\"evictions\":0"), std::string::npos)
+      << cache_json;
+  EXPECT_EQ(cache_json.find("\"insertions\":0"), std::string::npos)
+      << cache_json;
+
+  // Resident bytes respect the cap...
+  size_t bytes_pos = cache_json.find("\"bytes_used\":");
+  ASSERT_NE(bytes_pos, std::string::npos);
+  uint64_t bytes_used = std::stoull(cache_json.substr(bytes_pos + 13));
+  EXPECT_LE(bytes_used, uint64_t{1} << 20) << cache_json;
+  EXPECT_GT(bytes_used, 0u) << cache_json;
+
+  // ...and cache memory was charged to the process budget: the cumulative
+  // memory axis must have absorbed at least the currently-resident bytes.
+  size_t mem_pos = stats.body.find("\"memory_used_bytes\":");
+  ASSERT_NE(mem_pos, std::string::npos);
+  uint64_t memory_used = std::stoull(stats.body.substr(mem_pos + 20));
+  EXPECT_GE(memory_used, bytes_used) << stats.body;
+}
+
+TEST(ServerTest, DrainClosesIdleKeptAliveConnectionPromptly) {
+  ServerOptions options = DefaultOptions();
+  options.keep_alive_idle_ms = 30000;  // Idle expiry alone would take 30 s.
+  options.drain_grace_ms = 200;
+  auto running = StartServer(options);
+
+  // Park a kept-alive connection in the between-requests idle wait.
+  HttpClient client("127.0.0.1", running->server->port());
+  StatusOr<HttpFetchResult> first = client.Fetch("GET", "/healthz", "", 5000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status_code, 200);
+
+  // Drain must close that idle connection promptly — well before the 30 s
+  // idle deadline — or Serve() (and this Stop()) would hang on the worker
+  // parked in ReadRequest.
+  Stopwatch watch;
+  running->server->RequestShutdown();
+  running->serve_thread.join();
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+  EXPECT_TRUE(running->serve_status.ok())
+      << running->serve_status.ToString();
+
+  // The kept-alive socket is dead; a fresh request finds no listener.
+  StatusOr<HttpFetchResult> after = client.Fetch("GET", "/healthz", "", 500);
+  EXPECT_FALSE(after.ok());
 }
 
 TEST(ServerTest, DrainCancelsStragglersAndExitsCleanly) {

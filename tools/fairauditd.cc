@@ -6,6 +6,8 @@
 //              [--timeout-ceiling-ms 10000] [--default-timeout-ms 0]
 //              [--max-nodes 0] [--max-memory-mb 0] [--retry-after-ms 250]
 //              [--drain-ms 2000] [--io-timeout-ms 5000]
+//              [--no-keep-alive] [--keep-alive-idle-ms 5000]
+//              [--max-requests-per-conn 100] [--response-cache-mb 8]
 //              [--request-threads 1]
 //   fairauditd --workers 2000 [--seed 7] ...        (synthetic dataset)
 //
@@ -26,8 +28,12 @@
 // Client mode (smoke tests, no curl dependency):
 //   fairauditd --fetch "/audit?function=f6" --port 8080 [--host IP]
 //              [--method GET|POST] [--body "a=1&b=2"] [--fetch-timeout-ms N]
+//              [--fetch-count 1]
 // prints "status <code>" then the body, and exits 0 for any well-formed
 // HTTP response (the caller asserts on the printed status/body).
+// --fetch-count N > 1 issues the request N times over ONE kept-alive
+// connection (HttpClient), printing each response and finally
+// "connects <n>" — n stays 1 when the server honored keep-alive.
 
 #include <cstdio>
 #include <map>
@@ -58,9 +64,10 @@ const std::vector<std::string>& KnownFlags() {
       "input", "workers", "seed", "port", "host", "threads", "max-inflight",
       "queue-depth", "timeout-ceiling-ms", "default-timeout-ms", "max-nodes",
       "max-memory-mb", "retry-after-ms", "drain-ms", "io-timeout-ms",
-      "request-threads",
+      "no-keep-alive", "keep-alive-idle-ms", "max-requests-per-conn",
+      "response-cache-mb", "request-threads",
       // Client mode.
-      "fetch", "method", "body", "fetch-timeout-ms",
+      "fetch", "method", "body", "fetch-timeout-ms", "fetch-count",
   };
   return *names;
 }
@@ -88,13 +95,35 @@ int RunFetch(const FlagParser& flags) {
   if (!port.ok()) return Fail(port.status());
   auto timeout = flags.GetInt("fetch-timeout-ms", 30000);
   if (!timeout.ok()) return Fail(timeout.status());
+  auto count = flags.GetInt("fetch-count", 1);
+  if (!count.ok()) return Fail(count.status());
+  if (*count < 1) {
+    return Fail(Status::InvalidArgument("--fetch-count must be >= 1"));
+  }
+  std::string host = flags.GetString("host", "127.0.0.1");
   std::string method = flags.GetString("method", "GET");
-  StatusOr<HttpFetchResult> result = HttpFetch(
-      flags.GetString("host", "127.0.0.1"), static_cast<int>(*port), method,
-      flags.GetString("fetch", "/healthz"), flags.GetString("body", ""),
-      *timeout);
-  if (!result.ok()) return Fail(result.status());
-  std::printf("status %d\n%s\n", result->status_code, result->body.c_str());
+  std::string target = flags.GetString("fetch", "/healthz");
+  std::string body = flags.GetString("body", "");
+
+  if (*count == 1) {
+    StatusOr<HttpFetchResult> result = HttpFetch(
+        host, static_cast<int>(*port), method, target, body, *timeout);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("status %d\n%s\n", result->status_code, result->body.c_str());
+    return 0;
+  }
+
+  // Repeated fetches ride one kept-alive connection; the trailing
+  // "connects" line exposes how many TCP connects that actually took.
+  HttpClient client(host, static_cast<int>(*port));
+  for (int64_t i = 0; i < *count; ++i) {
+    StatusOr<HttpFetchResult> result =
+        client.Fetch(method, target, body, *timeout);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("status %d\n%s\n", result->status_code, result->body.c_str());
+  }
+  std::printf("connects %llu\n",
+              static_cast<unsigned long long>(client.connects()));
   return 0;
 }
 
@@ -164,6 +193,18 @@ StatusOr<ServerOptions> OptionsFromFlags(const FlagParser& flags) {
                             NonNegativeInt(flags, "drain-ms", 2000));
   FAIRRANK_ASSIGN_OR_RETURN(options.io_timeout_ms,
                             NonNegativeInt(flags, "io-timeout-ms", 5000));
+  FAIRRANK_ASSIGN_OR_RETURN(bool no_keep_alive,
+                            flags.GetBool("no-keep-alive", false));
+  options.keep_alive = !no_keep_alive;
+  FAIRRANK_ASSIGN_OR_RETURN(options.keep_alive_idle_ms,
+                            NonNegativeInt(flags, "keep-alive-idle-ms", 5000));
+  FAIRRANK_ASSIGN_OR_RETURN(
+      int64_t max_per_conn,
+      NonNegativeInt(flags, "max-requests-per-conn", 100));
+  options.max_requests_per_connection = static_cast<int>(max_per_conn);
+  FAIRRANK_ASSIGN_OR_RETURN(int64_t cache_mb,
+                            NonNegativeInt(flags, "response-cache-mb", 8));
+  options.response_cache_mb = static_cast<uint64_t>(cache_mb);
   FAIRRANK_ASSIGN_OR_RETURN(int64_t request_threads,
                             NonNegativeInt(flags, "request-threads", 1));
   options.max_request_threads = static_cast<int>(request_threads);

@@ -25,6 +25,12 @@ Enforced over the C++ tree (fast: pure-python regex pass, < 5s):
                    event-driven (poll timeouts, condition variables,
                    Deadline) so drain latency is bounded by real events,
                    never by a hard-coded nap that holds a worker hostage.
+  no-fault-in-bench
+                   bench/ binaries never include or call the test-only
+                   fault-injection hooks (common/fault_injection.h,
+                   fault::) — a benchmark that can be chaos-armed measures
+                   the fault plan, not the system, and a stray armed plan
+                   would silently poison checked-in BENCH_*.json baselines.
   include-guards   Headers use #ifndef FAIRRANK_<PATH>_H_ guards derived
                    from their path (never #pragma once), so a moved file
                    gets a stale-guard error instead of a silent collision.
@@ -165,6 +171,19 @@ def main(argv):
                 findings, path, code, "no-iostream",
                 r"\bstd\s*::\s*(?:cout|cerr)\b|(?<![\w:])(?:f|w)?printf\s*\(",
                 "'%s' — library code reports through Status/report strings")
+        if rel.startswith("bench/"):
+            # The include is matched on RAW text (string contents are blanked
+            # in `code`), the call sites on stripped code.
+            check_pattern_rule(
+                findings, path, raw, "no-fault-in-bench",
+                r"#\s*include\s*\"common/fault_injection\.h\"",
+                "'%s' — bench binaries must not link fault-injection hooks; "
+                "chaos belongs in tests/")
+            check_pattern_rule(
+                findings, path, code, "no-fault-in-bench",
+                r"\bfault\s*::",
+                "'%s' — bench binaries must not arm fault plans; an armed "
+                "plan poisons BENCH_*.json baselines")
         # Concurrency discipline covers everything but tests: tools, benches
         # and examples drive the suite scheduler and must inherit its
         # cancellation / exception capture rather than spawn naked threads.
