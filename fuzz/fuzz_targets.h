@@ -1,0 +1,84 @@
+#ifndef FAIRRANK_FUZZ_FUZZ_TARGETS_H_
+#define FAIRRANK_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+/// The five fuzz entry points behind fairauditd's untrusted-byte surfaces.
+///
+/// Each function consumes an arbitrary byte buffer and asserts *structured
+/// invariants* of the parser under test (determinism, canonicalization
+/// round-trips, error-code discipline, rank-error bounds) — not merely
+/// "does not crash". A violated invariant aborts with a message, which
+/// libFuzzer records as a crash and turns into a minimized reproducer.
+///
+/// The same sources compile in two modes:
+///   - Fuzzing (clang, -DFAIRRANK_FUZZ=ON): each <name>_fuzz.cc is built
+///     into its own libFuzzer binary. FAIRRANK_FUZZ_DRIVER enables the
+///     per-target LLVMFuzzerTestOneInput definition.
+///   - Regression (any compiler): tests/corpus_regression_test.cc links all
+///     five and replays the checked-in corpora under fuzz/corpus/<target>/,
+///     so every crash ever found stays a permanent tier-1 test with no
+///     libFuzzer dependency.
+
+namespace fairrank::fuzz {
+
+void FuzzHttpRequest(const uint8_t* data, size_t size);
+void FuzzFlagCanonicalize(const uint8_t* data, size_t size);
+void FuzzCsv(const uint8_t* data, size_t size);
+void FuzzResponseCacheKey(const uint8_t* data, size_t size);
+void FuzzQuantileSketch(const uint8_t* data, size_t size);
+
+/// Sequential consumer over the fuzz input: configuration bytes off the
+/// front, the remainder as payload. Reading past the end yields zeros so
+/// every input length is valid.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t TakeByte() {
+    if (pos_ >= size_) return 0;
+    return data_[pos_++];
+  }
+
+  /// Remaining bytes as a string payload (consumes everything).
+  std::string TakeRest() {
+    std::string out(reinterpret_cast<const char*>(data_) + pos_,
+                    size_ - pos_);
+    pos_ = size_;
+    return out;
+  }
+
+  /// Little-endian doubles, 8 bytes each, until the input runs out.
+  bool TakeDouble(double* out) {
+    if (pos_ + sizeof(double) > size_) return false;
+    std::memcpy(out, data_ + pos_, sizeof(double));
+    pos_ += sizeof(double);
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fairrank::fuzz
+
+/// Invariant assertion: active in every build mode (the whole point of the
+/// harness is the check, so NDEBUG must not strip it).
+#define FUZZ_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FUZZ invariant violated: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // FAIRRANK_FUZZ_FUZZ_TARGETS_H_

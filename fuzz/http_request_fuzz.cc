@@ -1,0 +1,130 @@
+// Fuzz target for src/server/http.cc — the bytes-off-the-wire parser.
+//
+// Input layout: [limits config: 3 bytes][request head bytes...]. Varying
+// the size limits from the input drives the 431 (header count), 413
+// (Content-Length ceiling) and duplicate-CL/TE rejection paths alongside
+// ordinary malformed syntax.
+//
+// Invariants:
+//   - Parsing is deterministic: two parses of the same head agree on
+//     success and on every parsed field (bit-determinism of the corpus
+//     replay rests on this).
+//   - Errors stay within the documented status vocabulary: InvalidArgument
+//     (syntax, smuggling hygiene), OutOfRange (header count -> 431),
+//     Unimplemented (method / transfer-coding -> 501).
+//   - On success: method is GET or POST, the path starts with '/' and
+//     prefixes the target, header names are lower-cased, non-empty and
+//     trimmed, and the header count respects the configured limit.
+//   - ContentLength never exceeds the configured body ceiling on success.
+//   - PercentDecode never grows its input; ParseQueryString pairs decode
+//     from non-empty segments.
+//   - FormatHttpResponse always frames: status line, CRLFCRLF terminator,
+//     and the body verbatim at the end.
+
+#include "fuzz/fuzz_targets.h"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/http.h"
+
+namespace fairrank::fuzz {
+
+namespace {
+
+bool SameRequest(const HttpRequest& a, const HttpRequest& b) {
+  return a.method == b.method && a.target == b.target && a.path == b.path &&
+         a.minor_version == b.minor_version && a.query == b.query &&
+         a.headers == b.headers;
+}
+
+bool IsParseErrorCode(StatusCode code) {
+  return code == StatusCode::kInvalidArgument ||
+         code == StatusCode::kOutOfRange || code == StatusCode::kUnimplemented;
+}
+
+}  // namespace
+
+void FuzzHttpRequest(const uint8_t* data, size_t size) {
+  FuzzInput in(data, size);
+  HttpSizeLimits limits;
+  limits.max_head_bytes = 64 + static_cast<size_t>(in.TakeByte() % 4) * 1024;
+  limits.max_body_bytes = static_cast<size_t>(in.TakeByte() % 4) * 256;
+  limits.max_header_count = 1 + static_cast<size_t>(in.TakeByte() % 8);
+  const std::string head = in.TakeRest();
+
+  StatusOr<HttpRequest> first = ParseRequestHead(head, limits);
+  StatusOr<HttpRequest> second = ParseRequestHead(head, limits);
+  FUZZ_CHECK(first.ok() == second.ok());
+
+  if (!first.ok()) {
+    FUZZ_CHECK(IsParseErrorCode(first.status().code()));
+    FUZZ_CHECK(first.status().code() == second.status().code());
+  } else {
+    const HttpRequest& request = first.value();
+    FUZZ_CHECK(SameRequest(request, second.value()));
+    // A head over the byte cap must never parse, no matter how it arrived:
+    // the server's streaming check can be skipped when the whole head lands
+    // in one burst, so the parser itself is the backstop (431 path).
+    FUZZ_CHECK(limits.max_head_bytes == 0 ||
+               head.size() <= limits.max_head_bytes);
+    FUZZ_CHECK(request.method == "GET" || request.method == "POST");
+    FUZZ_CHECK(!request.path.empty() && request.path[0] == '/');
+    FUZZ_CHECK(request.target.compare(0, request.path.size(), request.path) ==
+               0);
+    FUZZ_CHECK(request.minor_version == 0 || request.minor_version == 1);
+    FUZZ_CHECK(request.headers.size() <= limits.max_header_count);
+    for (const auto& [name, value] : request.headers) {
+      FUZZ_CHECK(!name.empty());
+      for (char c : name) {
+        FUZZ_CHECK(!(c >= 'A' && c <= 'Z'));
+        FUZZ_CHECK(c != ' ' && c != '\t' && c != '\r' && c != '\n');
+      }
+      FUZZ_CHECK(value.find('\n') == std::string::npos);
+    }
+
+    StatusOr<size_t> length_a = ContentLength(request, limits);
+    StatusOr<size_t> length_b = ContentLength(request, limits);
+    FUZZ_CHECK(length_a.ok() == length_b.ok());
+    if (length_a.ok()) {
+      FUZZ_CHECK(*length_a == *length_b);
+      FUZZ_CHECK(*length_a <= limits.max_body_bytes);
+    } else {
+      FUZZ_CHECK(length_a.status().code() == StatusCode::kInvalidArgument ||
+                 length_a.status().code() == StatusCode::kUnimplemented ||
+                 length_a.status().code() == StatusCode::kResourceExhausted);
+    }
+    FUZZ_CHECK(RequestWantsKeepAlive(request) ==
+               RequestWantsKeepAlive(second.value()));
+  }
+
+  // The decode helpers accept arbitrary bytes independently of the parse.
+  const std::string_view view(head);
+  const std::string decoded = PercentDecode(view);
+  FUZZ_CHECK(decoded.size() <= head.size());
+  for (const auto& [name, value] : ParseQueryString(view)) {
+    FUZZ_CHECK(name.size() + value.size() <= head.size());
+  }
+
+  // Error responses built from fuzzed fragments must still frame correctly.
+  const std::string fragment = head.substr(0, std::min<size_t>(64, head.size()));
+  HttpResponse response =
+      MakeErrorResponse(400, "InvalidArgument", "bad_request", fragment);
+  const std::string wire = FormatHttpResponse(response);
+  FUZZ_CHECK(wire.rfind("HTTP/1.1 400 ", 0) == 0);
+  FUZZ_CHECK(wire.find("\r\n\r\n") != std::string::npos);
+  FUZZ_CHECK(wire.size() >= response.body.size());
+  FUZZ_CHECK(wire.compare(wire.size() - response.body.size(),
+                          response.body.size(), response.body) == 0);
+}
+
+}  // namespace fairrank::fuzz
+
+#ifdef FAIRRANK_FUZZ_DRIVER
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  fairrank::fuzz::FuzzHttpRequest(data, size);
+  return 0;
+}
+#endif

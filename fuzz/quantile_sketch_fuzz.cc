@@ -1,0 +1,120 @@
+// Fuzz target for src/stats/quantile_sketch.cc — the Greenwald-Khanna
+// epsilon-approximate quantile sketch behind the streaming audit paths.
+//
+// Input layout: [epsilon selector: 1 byte][little-endian doubles...].
+// Non-finite doubles are skipped (the sketch's callers feed it scores and
+// latencies, which are finite by construction).
+//
+// Invariants, checked against an exact sorted reference of the same
+// stream:
+//   - Every Quantile(q) answer is a value that was actually inserted,
+//     bounded by the stream min/max.
+//   - Rank error <= epsilon*n + 1 (+1 absorbs the 1-based rank rounding at
+//     tiny n). This is the bound the fixed containment-based query
+//     restores; the old interval-overlap query violated it by up to ~3x.
+//   - Quantiles are monotone in q.
+//   - Quantile(0) is the exact minimum (the first tuple is never merged).
+//   - The sketch never stores more tuples than observations.
+//   - EmdFromSketches(a, a) == 0, and EMD is symmetric and non-negative.
+
+#include "fuzz/fuzz_targets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/quantile_sketch.h"
+
+namespace fairrank::fuzz {
+
+namespace {
+
+/// Exact rank error of answering `value` for quantile `q` over sorted
+/// `reference`: distance from the target 1-based rank to the nearest rank
+/// at which `value` sits.
+double RankError(const std::vector<double>& reference, double q,
+                 double value) {
+  const double n = static_cast<double>(reference.size());
+  const double target = q * (n - 1.0) + 1.0;
+  const auto lo = std::lower_bound(reference.begin(), reference.end(), value);
+  const auto hi = std::upper_bound(reference.begin(), reference.end(), value);
+  const double rank_lo = static_cast<double>(lo - reference.begin()) + 1.0;
+  const double rank_hi = static_cast<double>(hi - reference.begin());
+  if (target < rank_lo) return rank_lo - target;
+  if (target > rank_hi) return target - rank_hi;
+  return 0.0;
+}
+
+}  // namespace
+
+void FuzzQuantileSketch(const uint8_t* data, size_t size) {
+  FuzzInput in(data, size);
+  static constexpr double kEpsilons[] = {0.5, 0.1, 0.05, 0.01};
+  const double epsilon = kEpsilons[in.TakeByte() % 4];
+
+  GkSketch sketch(epsilon);
+  GkSketch reversed_sketch(epsilon);
+  std::vector<double> values;
+  double value = 0.0;
+  while (in.TakeDouble(&value)) {
+    if (!std::isfinite(value)) continue;
+    values.push_back(value);
+  }
+  for (double v : values) sketch.Insert(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    reversed_sketch.Insert(*it);
+  }
+
+  if (values.empty()) {
+    StatusOr<double> empty = sketch.Quantile(0.5);
+    FUZZ_CHECK(!empty.ok());
+    FUZZ_CHECK(empty.status().code() == StatusCode::kFailedPrecondition);
+    return;
+  }
+
+  FUZZ_CHECK(sketch.count() == values.size());
+  FUZZ_CHECK(sketch.tuples() >= 1 && sketch.tuples() <= values.size());
+
+  std::vector<double> reference = values;
+  std::sort(reference.begin(), reference.end());
+  const double n = static_cast<double>(reference.size());
+  const double tolerance = epsilon * n + 1.0;
+
+  StatusOr<double> out_of_range = sketch.Quantile(1.5);
+  FUZZ_CHECK(!out_of_range.ok());
+  FUZZ_CHECK(out_of_range.status().code() == StatusCode::kInvalidArgument);
+
+  static constexpr double kGrid[] = {0.0,  0.01, 0.1, 0.25, 0.5,
+                                     0.75, 0.9,  0.99, 1.0};
+  double previous = reference.front();
+  for (double q : kGrid) {
+    StatusOr<double> answer = sketch.Quantile(q);
+    FUZZ_CHECK(answer.ok());
+    FUZZ_CHECK(*answer >= reference.front() && *answer <= reference.back());
+    FUZZ_CHECK(std::binary_search(reference.begin(), reference.end(),
+                                  *answer));
+    FUZZ_CHECK(RankError(reference, q, *answer) <= tolerance);
+    FUZZ_CHECK(*answer >= previous);
+    previous = *answer;
+  }
+  StatusOr<double> minimum = sketch.Quantile(0.0);
+  FUZZ_CHECK(minimum.ok() && *minimum == reference.front());
+
+  StatusOr<double> self = EmdFromSketches(sketch, sketch, 64);
+  FUZZ_CHECK(self.ok() && *self == 0.0);
+  StatusOr<double> forward = EmdFromSketches(sketch, reversed_sketch, 64);
+  StatusOr<double> backward = EmdFromSketches(reversed_sketch, sketch, 64);
+  FUZZ_CHECK(forward.ok() && backward.ok());
+  FUZZ_CHECK(*forward >= 0.0);
+  FUZZ_CHECK(*forward == *backward);
+}
+
+}  // namespace fairrank::fuzz
+
+#ifdef FAIRRANK_FUZZ_DRIVER
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  fairrank::fuzz::FuzzQuantileSketch(data, size);
+  return 0;
+}
+#endif

@@ -1,0 +1,171 @@
+// Fuzz target for the response-cache key: CanonicalRequestKey in
+// src/server/handlers.cc plus a pass through the ResponseCache itself.
+//
+// The cache's correctness story is that equivalent requests — and ONLY
+// equivalent requests — share a key. The harness builds several spellings
+// of the same request from the fuzz input and checks both directions:
+//
+//   - '_' and '-' parameter spellings collide.
+//   - Parameter order does not matter (later duplicates win, so the check
+//     permutes only when the winning set is order-independent).
+//   - GET query string and POST form body collide.
+//   - Naming the default dataset explicitly collides with omitting it
+//     (the regression this PR fixed: the raw dataset flag used to leak
+//     into the key next to the resolved dataset name).
+//   - Mutating any winning flag value separates the key.
+//   - Keys behave in the cache: insert then find round-trips the response
+//     bit-identically under the canonical key.
+
+#include "fuzz/fuzz_targets.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "server/handlers.h"
+#include "server/http.h"
+#include "server/response_cache.h"
+
+namespace fairrank::fuzz {
+
+namespace {
+
+HttpRequest GetRequest(std::vector<std::pair<std::string, std::string>> query) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/audit";
+  request.target = "/audit";
+  request.query = std::move(query);
+  return request;
+}
+
+}  // namespace
+
+void FuzzResponseCacheKey(const uint8_t* data, size_t size) {
+  FuzzInput in(data, size);
+  const uint8_t selector = in.TakeByte();
+  const std::string raw_query = in.TakeRest();
+
+  ServerEnv env;
+  env.default_dataset = "synthetic";
+
+  const std::vector<std::pair<std::string, std::string>> query =
+      ParseQueryString(raw_query);
+  const HttpRequest request = GetRequest(query);
+
+  StatusOr<std::string> key = CanonicalRequestKey(env, request);
+  StatusOr<std::string> key_again = CanonicalRequestKey(env, request);
+  FUZZ_CHECK(key.ok() == key_again.ok());
+  if (!key.ok()) {
+    FUZZ_CHECK(key.status().code() == StatusCode::kInvalidArgument);
+    return;
+  }
+  FUZZ_CHECK(*key == *key_again);
+
+  // Underscore spellings are aliases for hyphen spellings.
+  {
+    std::vector<std::pair<std::string, std::string>> underscored = query;
+    for (auto& [name, value] : underscored) {
+      std::replace(name.begin(), name.end(), '-', '_');
+    }
+    StatusOr<std::string> alias_key =
+        CanonicalRequestKey(env, GetRequest(underscored));
+    FUZZ_CHECK(alias_key.ok());
+    FUZZ_CHECK(*alias_key == *key);
+  }
+
+  // The winning flag set: later duplicates win, names normalized.
+  std::map<std::string, std::string> winning;
+  for (const auto& [name, value] : query) {
+    std::string normalized = name;
+    std::replace(normalized.begin(), normalized.end(), '_', '-');
+    winning[normalized] = value;
+  }
+
+  // Parameter order is irrelevant when every name is unique.
+  if (winning.size() == query.size()) {
+    std::vector<std::pair<std::string, std::string>> reversed(query.rbegin(),
+                                                              query.rend());
+    StatusOr<std::string> reversed_key =
+        CanonicalRequestKey(env, GetRequest(reversed));
+    FUZZ_CHECK(reversed_key.ok());
+    FUZZ_CHECK(*reversed_key == *key);
+  }
+
+  // GET with a query string == POST with the same form body.
+  {
+    HttpRequest post;
+    post.method = "POST";
+    post.path = "/audit";
+    post.target = "/audit";
+    post.body = raw_query;
+    StatusOr<std::string> post_key = CanonicalRequestKey(env, post);
+    FUZZ_CHECK(post_key.ok());
+    FUZZ_CHECK(*post_key == *key);
+  }
+
+  // dataset=<default> spelled out == dataset omitted.
+  {
+    std::vector<std::pair<std::string, std::string>> base;
+    for (const auto& [name, value] : query) {
+      std::string normalized = name;
+      std::replace(normalized.begin(), normalized.end(), '_', '-');
+      if (normalized == "dataset") continue;
+      base.emplace_back(name, value);
+    }
+    StatusOr<std::string> implicit_key =
+        CanonicalRequestKey(env, GetRequest(base));
+    std::vector<std::pair<std::string, std::string>> explicit_pairs = base;
+    explicit_pairs.emplace_back("dataset", env.default_dataset);
+    StatusOr<std::string> explicit_key =
+        CanonicalRequestKey(env, GetRequest(explicit_pairs));
+    FUZZ_CHECK(implicit_key.ok() && explicit_key.ok());
+    FUZZ_CHECK(*implicit_key == *explicit_key);
+  }
+
+  // Distinct winning option sets must NOT collide: mutate one value.
+  if (!winning.empty()) {
+    std::vector<std::pair<std::string, std::string>> mutated(winning.begin(),
+                                                             winning.end());
+    mutated[selector % mutated.size()].second += "x";
+    StatusOr<std::string> mutated_key =
+        CanonicalRequestKey(env, GetRequest(mutated));
+    FUZZ_CHECK(mutated_key.ok());
+    FUZZ_CHECK(*mutated_key != *key);
+  }
+
+  // Adding a flag that was absent must separate the key too.
+  if (winning.find("zz-probe") == winning.end()) {
+    std::vector<std::pair<std::string, std::string>> extended = query;
+    extended.emplace_back("zz-probe", "1");
+    StatusOr<std::string> extended_key =
+        CanonicalRequestKey(env, GetRequest(extended));
+    FUZZ_CHECK(extended_key.ok());
+    FUZZ_CHECK(*extended_key != *key);
+  }
+
+  // The key behaves in the cache: a stored 200 comes back bit-identical.
+  ResponseCache cache(64 * 1024, nullptr);
+  HttpResponse response;
+  response.status = 200;
+  response.body = raw_query;
+  cache.Insert(*key, response);
+  HttpResponse found;
+  FUZZ_CHECK(cache.Find(*key, &found));
+  FUZZ_CHECK(found.status == 200 && found.body == response.body);
+  const ResponseCacheStats stats = cache.Snapshot();
+  FUZZ_CHECK(stats.hits >= 1 && stats.insertions >= 1);
+  FUZZ_CHECK(stats.entries >= 1);
+}
+
+}  // namespace fairrank::fuzz
+
+#ifdef FAIRRANK_FUZZ_DRIVER
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  fairrank::fuzz::FuzzResponseCacheKey(data, size);
+  return 0;
+}
+#endif

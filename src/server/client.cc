@@ -102,6 +102,18 @@ StatusOr<int> ConnectNonBlocking(const std::string& host, int port,
   return fd.release();
 }
 
+/// True when the kernel already buffered response bytes on `fd`. Used on
+/// send-side failures of a reused connection: if the server answered before
+/// resetting (early response, e.g. 431 + close), the request DID reach it
+/// and retrying could replay a non-idempotent POST. Preserves errno.
+bool ResponseBytesPending(int fd) {
+  int saved_errno = errno;
+  char probe;
+  ssize_t n = recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  errno = saved_errno;
+  return n > 0;
+}
+
 /// Case-insensitive single-header lookup in a raw response head. Returns
 /// false when absent.
 bool FindHeader(const std::string& head, const std::string& lower_name,
@@ -243,6 +255,11 @@ StatusOr<HttpFetchResult> HttpClient::FetchOnce(const std::string& method,
     ++connects_;
     carry_.clear();
   }
+  // Response bytes already sitting in the carry belong to this socket's
+  // stream: once any were received, a failure is never "stale idle close"
+  // and must not trigger a retry (a replayed POST would double its side
+  // effects).
+  const bool received_any = !carry_.empty();
 
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
@@ -262,8 +279,14 @@ StatusOr<HttpFetchResult> HttpClient::FetchOnce(const std::string& method,
                      MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
-      // EPIPE/ECONNRESET on a reused socket: the server already closed it.
-      *stale = reused && (errno == EPIPE || errno == ECONNRESET);
+      // EPIPE/ECONNRESET on a reused socket usually means the server closed
+      // the idle connection between our requests — safe to retry. But only
+      // when NO response bytes exist for it: neither carried over from the
+      // previous read nor already buffered by the kernel. Received bytes
+      // prove the server saw (part of) a request, and retrying could run a
+      // POST's side effects twice.
+      *stale = reused && (errno == EPIPE || errno == ECONNRESET) &&
+               !received_any && !ResponseBytesPending(fd_);
       return Status::IOError("send: " + std::string(std::strerror(errno)));
     }
     sent += static_cast<size_t>(n);

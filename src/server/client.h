@@ -44,8 +44,12 @@ class HttpClient {
 
   /// One request/response. Opens the connection on first use; retries once
   /// on a fresh connection when a reused socket turns out stale (the server
-  /// closed it between requests). `timeout_ms` bounds the whole attempt
-  /// including any reconnect; <= 0 means no timeout.
+  /// closed it between requests). The retry fires ONLY when zero response
+  /// bytes were received for the request — once any bytes arrived the
+  /// server demonstrably processed it, and replaying a POST could run its
+  /// side effects twice; such failures surface as errors instead.
+  /// `timeout_ms` bounds the whole attempt including any reconnect; <= 0
+  /// means no timeout.
   StatusOr<HttpFetchResult> Fetch(const std::string& method,
                                   const std::string& target,
                                   const std::string& body, int64_t timeout_ms);

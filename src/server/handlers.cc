@@ -208,6 +208,10 @@ StatusOr<std::string> CanonicalRequestKey(const ServerEnv& env,
   key += '\n';
   key += flags.GetString("dataset", env.default_dataset);
   for (const std::string& name : flags.FlagNames()) {
+    // The dataset is already folded into the key above, with the default
+    // resolved — repeating the raw flag here would split "dataset=<default>
+    // spelled out" and "dataset omitted" into two cache entries.
+    if (name == "dataset") continue;
     key += '\n';
     key += name;
     key += '=';

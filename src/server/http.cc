@@ -93,6 +93,15 @@ std::vector<std::pair<std::string, std::string>> ParseQueryString(
 
 StatusOr<HttpRequest> ParseRequestHead(std::string_view head,
                                        const HttpSizeLimits& limits) {
+  // The server's read loop aborts oversized heads while still WAITING for
+  // the terminator, but a head that arrives complete in one burst reaches
+  // this parser without ever tripping that check — enforce the cap here
+  // too so the limit holds regardless of packet arrival timing.
+  if (limits.max_head_bytes > 0 && head.size() > limits.max_head_bytes) {
+    return Status::OutOfRange("request head exceeds " +
+                              std::to_string(limits.max_head_bytes) +
+                              " bytes");
+  }
   std::vector<std::string_view> lines = SplitLines(head);
   if (lines.empty() || lines[0].empty()) {
     return Status::InvalidArgument("empty request");

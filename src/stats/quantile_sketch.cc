@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace fairrank {
 
@@ -70,21 +71,37 @@ StatusOr<double> GkSketch::Quantile(double q) const {
   const double n = static_cast<double>(count_);
   const double target = q * (n - 1.0) + 1.0;  // 1-based rank.
   const double tolerance = epsilon_ * n;
+  // GK query: answer with the first tuple whose whole rank interval
+  // [rmin, rmax] lies inside [target - tolerance, target + tolerance] —
+  // only containment bounds the error by epsilon*n. (Interval *overlap*
+  // admits tuples whose far edge is up to g+delta beyond the window,
+  // i.e. up to ~3*epsilon*n of rank error.) The compress invariant
+  // g + delta <= 2*epsilon*n guarantees such a tuple exists whenever
+  // tolerance >= 1; for tiny streams (tolerance < 1, compression never
+  // fired) fall back to the tuple whose interval is nearest the target,
+  // which is exact there because every tuple still has g = 1, delta = 0.
   int64_t rmin = 0;
+  double best_value = tuples_.back().value;
+  double best_distance = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < tuples_.size(); ++i) {
     rmin += tuples_[i].g;
-    int64_t rmax = rmin + tuples_[i].delta;
-    if (static_cast<double>(rmax) >= target - tolerance &&
-        static_cast<double>(rmin) <= target + tolerance) {
+    const int64_t rmax = rmin + tuples_[i].delta;
+    if (static_cast<double>(rmax) <= target + tolerance &&
+        static_cast<double>(rmin) >= target - tolerance) {
       return tuples_[i].value;
     }
+    double distance = 0.0;
     if (static_cast<double>(rmin) > target) {
-      // Passed the target without a band hit (possible at tiny n): the
-      // current tuple is the closest from above.
-      return tuples_[i].value;
+      distance = static_cast<double>(rmin) - target;
+    } else if (static_cast<double>(rmax) < target) {
+      distance = target - static_cast<double>(rmax);
+    }
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_value = tuples_[i].value;
     }
   }
-  return tuples_.back().value;
+  return best_value;
 }
 
 StatusOr<double> EmdFromSketches(const GkSketch& a, const GkSketch& b,

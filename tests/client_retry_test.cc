@@ -1,0 +1,220 @@
+// Wire-level tests for HttpClient's stale-connection retry policy
+// (src/server/client.cc): a reused connection the server closed while idle
+// is retried once on a fresh socket, but the moment any response bytes
+// were received for a request the retry is off — replaying it could run a
+// POST's side effects twice. Drives the real client against a scripted
+// raw-socket server, so the policy is pinned at the byte level.
+
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace fairrank {
+namespace {
+
+/// A listening socket on an ephemeral loopback port.
+class TestListener {
+ public:
+  TestListener() {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    int one = 1;
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(bind(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)),
+              0);
+    EXPECT_EQ(listen(fd_, 4), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                          &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~TestListener() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  int Accept() { return accept(fd_, nullptr, nullptr); }
+
+  /// Accept with a timeout; -1 when nothing connected in time.
+  int AcceptWithTimeout(int timeout_ms) {
+    struct timeval tv;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    fd_set fds;
+    FD_ZERO(&fds);
+    FD_SET(fd_, &fds);
+    if (select(fd_ + 1, &fds, nullptr, nullptr, &tv) <= 0) return -1;
+    return Accept();
+  }
+
+  int port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Reads from `fd` until the head terminator; returns everything read.
+std::string ReadRequestHead(int fd) {
+  std::string data;
+  char chunk[1024];
+  while (data.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    data.append(chunk, static_cast<size_t>(n));
+  }
+  return data;
+}
+
+void SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string OkResponse(const std::string& body) {
+  return "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: " +
+         std::to_string(body.size()) +
+         "\r\nConnection: keep-alive\r\n\r\n" + body;
+}
+
+TEST(HttpClientRetryTest, RetriesOnceWhenServerClosedIdleConnection) {
+  TestListener listener;
+  std::atomic<int> accepted{0};
+
+  std::thread server([&] {
+    // Connection 1: answer one request, then close while idle.
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ++accepted;
+    ASSERT_NE(ReadRequestHead(conn).find("GET /one"), std::string::npos);
+    SendAll(conn, OkResponse("first"));
+    close(conn);
+    // Connection 2: the retry of request two lands here.
+    conn = listener.AcceptWithTimeout(5000);
+    ASSERT_GE(conn, 0);
+    ++accepted;
+    ASSERT_NE(ReadRequestHead(conn).find("GET /two"), std::string::npos);
+    SendAll(conn, OkResponse("second"));
+    close(conn);
+  });
+
+  HttpClient client("127.0.0.1", listener.port());
+  StatusOr<HttpFetchResult> first = client.Fetch("GET", "/one", "", 5000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status_code, 200);
+  EXPECT_EQ(first->body, "first");
+
+  // The server closed the kept-alive socket between requests: the client
+  // must notice the stale connection and transparently retry once.
+  StatusOr<HttpFetchResult> second = client.Fetch("GET", "/two", "", 5000);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->body, "second");
+  EXPECT_EQ(client.connects(), 2u);
+
+  server.join();
+  EXPECT_EQ(accepted.load(), 2);
+}
+
+TEST(HttpClientRetryTest, NoRetryOncePartialResponseBytesArrived) {
+  TestListener listener;
+  std::atomic<int> extra_connections{0};
+
+  std::thread server([&] {
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_NE(ReadRequestHead(conn).find("POST /pay"), std::string::npos);
+    SendAll(conn, OkResponse("charged-once"));
+    // Second request on the same connection: receive it, leak HALF a
+    // status line, then die. The server demonstrably processed the
+    // request, so the client must surface an error — a retry here could
+    // charge the customer twice.
+    ASSERT_FALSE(ReadRequestHead(conn).empty());
+    SendAll(conn, "HTTP/1.1 2");
+    close(conn);
+    // A retry would show up as a fresh connection; give it a moment.
+    if (listener.AcceptWithTimeout(300) >= 0) ++extra_connections;
+  });
+
+  HttpClient client("127.0.0.1", listener.port());
+  StatusOr<HttpFetchResult> first =
+      client.Fetch("POST", "/pay", "amount=5", 5000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->body, "charged-once");
+
+  StatusOr<HttpFetchResult> second =
+      client.Fetch("POST", "/pay", "amount=5", 5000);
+  ASSERT_FALSE(second.ok())
+      << "a request with received response bytes must fail, not retry";
+  EXPECT_EQ(client.connects(), 1u) << "client must not have reconnected";
+
+  server.join();
+  EXPECT_EQ(extra_connections.load(), 0)
+      << "client retried a request the server had already answered in part";
+}
+
+TEST(HttpClientRetryTest, PipelinedExtraBytesSuppressRetryAfterAbort) {
+  TestListener listener;
+  std::atomic<int> extra_connections{0};
+
+  std::thread server([&] {
+    int conn = listener.Accept();
+    ASSERT_GE(conn, 0);
+    ASSERT_FALSE(ReadRequestHead(conn).empty());
+    // Respond, then leak one pipelined byte past the Content-Length (a
+    // desynchronized or malicious server) and abort with an RST
+    // (SO_LINGER 0). The stray byte lands in the client's carry buffer:
+    // response bytes were received on this socket, so the next request
+    // must NOT be retried whichever syscall surfaces the reset.
+    SendAll(conn, OkResponse("ok") + "X");
+    struct linger hard_close;
+    hard_close.l_onoff = 1;
+    hard_close.l_linger = 0;
+    setsockopt(conn, SOL_SOCKET, SO_LINGER, &hard_close, sizeof(hard_close));
+    close(conn);
+    if (listener.AcceptWithTimeout(300) >= 0) ++extra_connections;
+  });
+
+  HttpClient client("127.0.0.1", listener.port());
+  StatusOr<HttpFetchResult> first = client.Fetch("POST", "/pay", "a=1", 5000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->body, "ok");
+
+  // Let the RST land so the second attempt fails on a reused-but-dead
+  // socket rather than racing the close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  StatusOr<HttpFetchResult> second =
+      client.Fetch("POST", "/pay", "a=1", 5000);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(client.connects(), 1u);
+
+  server.join();
+  EXPECT_EQ(extra_connections.load(), 0)
+      << "carried response bytes must veto the stale retry";
+}
+
+}  // namespace
+}  // namespace fairrank

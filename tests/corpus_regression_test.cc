@@ -1,0 +1,105 @@
+// Replays every checked-in fuzz corpus file through its harness in a
+// normal (non-libFuzzer) build. Each fuzz entry point asserts its own
+// structured invariants and aborts on violation, so a corpus input that
+// once crashed a parser stays a permanent tier-1 regression case — under
+// Release, ASan and TSan alike, with no clang/libFuzzer dependency.
+//
+// Every file is replayed twice back to back: the harnesses compare parse
+// results across calls internally, so a pass here certifies the replay is
+// bit-deterministic, which is what lets the response cache and the suite
+// goldens trust these parsers.
+//
+// FAIRRANK_CORPUS_DIR is injected by tests/CMakeLists.txt and points at
+// <repo>/fuzz/corpus.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz_targets.h"
+
+namespace fairrank {
+namespace {
+
+namespace fs = std::filesystem;
+
+using FuzzEntryPoint = void (*)(const uint8_t*, size_t);
+
+struct CorpusTarget {
+  const char* name;
+  FuzzEntryPoint entry;
+};
+
+constexpr CorpusTarget kTargets[] = {
+    {"http_request", fuzz::FuzzHttpRequest},
+    {"flag_canonicalize", fuzz::FuzzFlagCanonicalize},
+    {"csv", fuzz::FuzzCsv},
+    {"response_cache_key", fuzz::FuzzResponseCacheKey},
+    {"quantile_sketch", fuzz::FuzzQuantileSketch},
+};
+
+std::vector<uint8_t> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+/// Sorted file list so the replay order (and any failure) is stable.
+std::vector<fs::path> CorpusFiles(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class CorpusRegressionTest : public ::testing::TestWithParam<CorpusTarget> {};
+
+TEST_P(CorpusRegressionTest, ReplaysSeedCorpusDeterministically) {
+  const CorpusTarget target = GetParam();
+  const fs::path dir = fs::path(FAIRRANK_CORPUS_DIR) / target.name;
+  ASSERT_TRUE(fs::is_directory(dir))
+      << "missing corpus directory " << dir
+      << " — every fuzz target ships a seed corpus";
+  const std::vector<fs::path> files = CorpusFiles(dir);
+  ASSERT_FALSE(files.empty()) << "empty corpus for " << target.name;
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.string());
+    const std::vector<uint8_t> bytes = ReadFile(file);
+    // Two replays: the harness cross-checks parse results internally, so
+    // surviving both certifies determinism, not just absence of crashes.
+    target.entry(bytes.data(), bytes.size());
+    target.entry(bytes.data(), bytes.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, CorpusRegressionTest, ::testing::ValuesIn(kTargets),
+    [](const ::testing::TestParamInfo<CorpusTarget>& info) {
+      return std::string(info.param.name);
+    });
+
+// A corpus directory nobody replays is worse than none — it looks like
+// coverage. Fail if fuzz/corpus/ grows a directory with no registered
+// harness.
+TEST(CorpusLayoutTest, EveryCorpusDirectoryHasAHarness) {
+  for (const auto& entry : fs::directory_iterator(FAIRRANK_CORPUS_DIR)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    bool known = false;
+    for (const CorpusTarget& target : kTargets) {
+      known = known || name == target.name;
+    }
+    EXPECT_TRUE(known) << "corpus directory '" << name
+                       << "' has no registered fuzz target";
+  }
+}
+
+}  // namespace
+}  // namespace fairrank

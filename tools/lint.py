@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
 """Project-specific lint rules the generic tools can't express.
 
-Enforced over the C++ tree (fast: pure-python regex pass, < 5s):
+The linter is a table of rules (RULES, bottom of this file) over a parsed
+tree snapshot. Every rule carries self-test cases — tiny in-memory file
+trees with a known finding count — run with `--selftest`, so a rule that
+silently stops matching fails CI instead of rotting.
+
+File rules (fast pure-regex pass over stripped code, < 5s):
 
   rng-discipline   No rand()/std::rand/srand/random_device outside
                    src/common/rng.* — all randomness flows through the
@@ -15,45 +20,66 @@ Enforced over the C++ tree (fast: pure-python regex pass, < 5s):
                    the suite scheduler, the src/server/ request executor,
                    tools/, bench/, examples/) goes through ParallelFor /
                    ParallelForEach so cancellation, deadlines and exception
-                   capture stay in one audited place. fairauditd's
-                   listener+worker pool is ParallelForEach(workers+1, ...)
-                   for exactly this reason. Only tests may spawn threads
-                   (stress tests race the cache on purpose).
+                   capture stay in one audited place. Only tests may spawn
+                   threads (stress tests race the cache on purpose).
   no-sleep-in-server
                    No sleep_for / sleep_until / usleep / nanosleep / sleep()
                    inside src/server/ — the serving layer must be
                    event-driven (poll timeouts, condition variables,
-                   Deadline) so drain latency is bounded by real events,
-                   never by a hard-coded nap that holds a worker hostage.
+                   Deadline) so drain latency is bounded by real events.
+  no-raw-parse-in-server
+                   No memcpy/memmove/str*cpy/sscanf/atoi/strto* parsing in
+                   src/server/ outside http.cc. Wire bytes are parsed in
+                   exactly one fuzzed, corpus-covered file; everything else
+                   consumes parsed structs. (std::memset on a sockaddr is
+                   socket API, not parsing, and stays allowed.)
   no-fault-in-bench
                    bench/ binaries never include or call the test-only
-                   fault-injection hooks (common/fault_injection.h,
-                   fault::) — a benchmark that can be chaos-armed measures
-                   the fault plan, not the system, and a stray armed plan
-                   would silently poison checked-in BENCH_*.json baselines.
+                   fault-injection hooks — a benchmark that can be
+                   chaos-armed measures the fault plan, not the system.
   include-guards   Headers use #ifndef FAIRRANK_<PATH>_H_ guards derived
-                   from their path (never #pragma once), so a moved file
-                   gets a stale-guard error instead of a silent collision.
+                   from their path (never #pragma once).
   no-suppressions  No blanket NOLINT without a specific rule name, and no
-                   FAIRRANK_NO_THREAD_SAFETY_ANALYSIS without a comment on
-                   the preceding or same line explaining why.
+                   FAIRRANK_NO_THREAD_SAFETY_ANALYSIS without an
+                   explanatory comment on the preceding or same line.
 
-Usage: python3 tools/lint.py [root]   (root defaults to the repo root)
-Exit status: 0 clean, 1 findings, 2 usage/internal error.
+Tree rules (cross-file consistency):
+
+  flag-sync        Every `--flag` mentioned in a tools/*.cc string literal
+                   must be declared in a known-flags list (fairauditd's
+                   KnownFlags, fairaudit's add({...}) lists, or
+                   AuditOptionFlagNames), and every declared flag must be
+                   documented in README.md — the CLI/HTTP surface stays
+                   fully validated and fully documented.
+  bench-json-schema
+                   Checked-in BENCH_*.json baselines parse as strict JSON
+                   (no NaN/Infinity), carry a "bench" name, and known
+                   bench kinds keep their required keys — a malformed
+                   baseline must fail lint, not a downstream diff script.
+
+Usage:
+  python3 tools/lint.py [root]     lint the tree (root defaults to repo root)
+  python3 tools/lint.py --selftest run every rule's self-test cases
+Exit status: 0 clean, 1 findings/self-test failure, 2 usage/internal error.
 """
 
+import json
 import os
 import re
 import sys
 
 LIBRARY_DIRS = ("src",)
-ALL_CPP_DIRS = ("src", "tests", "tools", "bench", "examples")
+ALL_CPP_DIRS = ("src", "tests", "tools", "bench", "examples", "fuzz")
 CPP_EXTENSIONS = (".h", ".cc")
+AUX_FILES = ("README.md",)
+STRING_LITERAL = r'"((?:[^"\\\n]|\\.)*)"'
+FLAG_WORD = r"--([a-z][a-z0-9]*(?:-[a-z0-9]+)*)"
 
 
-def strip_comments_and_strings(text):
-    """Replaces comment and string-literal contents with spaces (same length,
-    so reported line numbers stay correct)."""
+def strip_comments(text, strip_strings):
+    """Replaces comment contents (and string-literal contents when
+    `strip_strings`) with spaces of the same length, so reported line
+    numbers stay correct."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -73,7 +99,10 @@ def strip_comments_and_strings(text):
             while j < n and text[j] != c:
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            if strip_strings:
+                out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            else:
+                out.append(text[i:j])
             i = j
         else:
             out.append(c)
@@ -81,125 +110,445 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
-def iter_files(root, dirs):
-    for d in dirs:
-        base = os.path.join(root, d)
-        for dirpath, _, filenames in os.walk(base):
-            for name in sorted(filenames):
-                if name.endswith(CPP_EXTENSIONS):
-                    yield os.path.relpath(os.path.join(dirpath, name), root)
+class FileCtx(object):
+    """One C++ file in three views: raw, comments stripped (string literals
+    kept — for rules that inspect what binaries print), and fully stripped
+    (for rules that inspect code)."""
+
+    def __init__(self, path, raw):
+        self.path = path.replace(os.sep, "/")
+        self.raw = raw
+        self.text = strip_comments(raw, strip_strings=False)
+        self.code = strip_comments(raw, strip_strings=True)
 
 
-def finding(findings, path, lineno, rule, message):
-    findings.append("%s:%d: [%s] %s" % (path, lineno, rule, message))
+class Tree(object):
+    """The lint subject: C++ file contexts plus auxiliary raw files
+    (README, BENCH baselines). Built from disk for real runs and from
+    dicts for rule self-tests."""
+
+    def __init__(self, files, aux):
+        self.files = files  # path -> FileCtx
+        self.aux = aux      # path -> raw text
+
+    @classmethod
+    def from_disk(cls, root):
+        files = {}
+        for d in ALL_CPP_DIRS:
+            base = os.path.join(root, d)
+            for dirpath, _, filenames in os.walk(base):
+                for name in sorted(filenames):
+                    if not name.endswith(CPP_EXTENSIONS):
+                        continue
+                    path = os.path.relpath(os.path.join(dirpath, name), root)
+                    with open(os.path.join(root, path),
+                              encoding="utf-8") as f:
+                        files[path.replace(os.sep, "/")] = FileCtx(path,
+                                                                   f.read())
+        aux = {}
+        for name in sorted(os.listdir(root)):
+            if name in AUX_FILES or (name.startswith("BENCH_") and
+                                     name.endswith(".json")):
+                with open(os.path.join(root, name), encoding="utf-8") as f:
+                    aux[name] = f.read()
+        return cls(files, aux)
+
+    @classmethod
+    def from_dict(cls, contents):
+        files = {}
+        aux = {}
+        for path, raw in contents.items():
+            if path.endswith(CPP_EXTENSIONS):
+                files[path] = FileCtx(path, raw)
+            else:
+                aux[path] = raw
+        return cls(files, aux)
 
 
-def check_pattern_rule(findings, path, code_text, rule, pattern, message,
-                       exempt=()):
-    if path.replace(os.sep, "/") in exempt:
-        return
-    for m in re.finditer(pattern, code_text):
-        lineno = code_text.count("\n", 0, m.start()) + 1
-        finding(findings, path, lineno, rule, message % m.group(0))
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
 
 
-def check_include_guard(findings, path, raw_text):
-    rel = path.replace(os.sep, "/")
-    if not rel.startswith("src/") or not rel.endswith(".h"):
-        return
-    if re.search(r"^\s*#\s*pragma\s+once", raw_text, re.M):
-        finding(findings, path, 1, "include-guards",
-                "use an #ifndef guard, not #pragma once")
-    expected = "FAIRRANK_" + re.sub(r"[/.]", "_", rel[len("src/"):]).upper() + "_"
-    m = re.search(r"^\s*#\s*ifndef\s+(\S+)\s*\n\s*#\s*define\s+(\S+)", raw_text,
-                  re.M)
-    if m is None:
-        finding(findings, path, 1, "include-guards",
-                "missing #ifndef/#define include guard (expected %s)" % expected)
-    elif m.group(1) != expected or m.group(2) != expected:
-        lineno = raw_text.count("\n", 0, m.start()) + 1
-        finding(findings, path, lineno, "include-guards",
-                "guard %s does not match path (expected %s)"
-                % (m.group(1), expected))
+class Rule(object):
+    """Base rule: a name, a check over the tree yielding findings as
+    (path, line, message), and self-test cases as (files_dict,
+    expected_finding_count)."""
+
+    name = None
+    selftests = ()
+
+    def check(self, tree):
+        raise NotImplementedError
 
 
-def check_suppressions(findings, path, raw_text):
-    lines = raw_text.split("\n")
-    for i, line in enumerate(lines, 1):
-        m = re.search(r"NOLINT(?!NEXTLINE)(\(([^)]*)\))?", line)
-        if m and not m.group(2):
-            finding(findings, path, i, "no-suppressions",
-                    "NOLINT must name the suppressed check, e.g. "
-                    "NOLINT(bugprone-foo)")
-        if "FAIRRANK_NO_THREAD_SAFETY_ANALYSIS" in line and \
-                not path.endswith("thread_annotations.h"):
-            prev = lines[i - 2] if i >= 2 else ""
-            if "//" not in line and "//" not in prev:
-                finding(findings, path, i, "no-suppressions",
-                        "FAIRRANK_NO_THREAD_SAFETY_ANALYSIS needs a comment "
-                        "explaining why the analysis cannot see the invariant")
+class PatternRule(Rule):
+    """Regex rule over one view of each in-scope file."""
+
+    def __init__(self, name, pattern, message, scope, exempt=(), view="code",
+                 selftests=()):
+        self.name = name
+        self.pattern = re.compile(pattern)
+        self.message = message
+        self.scope = scope  # predicate over the posix-relative path
+        self.exempt = frozenset(exempt)
+        self.view = view    # "code", "text", or "raw"
+        self.selftests = selftests
+
+    def check(self, tree):
+        for path, ctx in sorted(tree.files.items()):
+            if not self.scope(path) or path in self.exempt:
+                continue
+            text = getattr(ctx, self.view)
+            for m in self.pattern.finditer(text):
+                yield (path, line_of(text, m.start()),
+                       self.message % m.group(0))
+
+
+def in_library(path):
+    return path.startswith("src/")
+
+
+def in_server(path):
+    return path.startswith("src/server/")
+
+
+class IncludeGuardRule(Rule):
+    name = "include-guards"
+
+    def check(self, tree):
+        for path, ctx in sorted(tree.files.items()):
+            if not path.startswith("src/") or not path.endswith(".h"):
+                continue
+            if re.search(r"^\s*#\s*pragma\s+once", ctx.raw, re.M):
+                yield (path, 1, "use an #ifndef guard, not #pragma once")
+            expected = ("FAIRRANK_" +
+                        re.sub(r"[/.]", "_", path[len("src/"):]).upper() +
+                        "_")
+            m = re.search(r"^\s*#\s*ifndef\s+(\S+)\s*\n\s*#\s*define\s+(\S+)",
+                          ctx.raw, re.M)
+            if m is None:
+                yield (path, 1,
+                       "missing #ifndef/#define include guard (expected %s)"
+                       % expected)
+            elif m.group(1) != expected or m.group(2) != expected:
+                yield (path, line_of(ctx.raw, m.start()),
+                       "guard %s does not match path (expected %s)"
+                       % (m.group(1), expected))
+
+    selftests = (
+        ({"src/common/good.h":
+          "#ifndef FAIRRANK_COMMON_GOOD_H_\n"
+          "#define FAIRRANK_COMMON_GOOD_H_\n#endif\n"}, 0),
+        ({"src/common/bad.h": "#pragma once\nint x;\n"}, 2),
+        ({"src/common/moved.h":
+          "#ifndef FAIRRANK_OLD_PATH_H_\n#define FAIRRANK_OLD_PATH_H_\n"
+          "#endif\n"}, 1),
+        ({"tests/anything.h": "#pragma once\n"}, 0),
+    )
+
+
+class SuppressionRule(Rule):
+    name = "no-suppressions"
+
+    def check(self, tree):
+        for path, ctx in sorted(tree.files.items()):
+            lines = ctx.raw.split("\n")
+            for i, line in enumerate(lines, 1):
+                m = re.search(r"NOLINT(?!NEXTLINE)(\(([^)]*)\))?", line)
+                if m and not m.group(2):
+                    yield (path, i,
+                           "NOLINT must name the suppressed check, e.g. "
+                           "NOLINT(bugprone-foo)")
+                if ("FAIRRANK_NO_THREAD_SAFETY_ANALYSIS" in line and
+                        not path.endswith("thread_annotations.h")):
+                    prev = lines[i - 2] if i >= 2 else ""
+                    if "//" not in line and "//" not in prev:
+                        yield (path, i,
+                               "FAIRRANK_NO_THREAD_SAFETY_ANALYSIS needs a "
+                               "comment explaining why the analysis cannot "
+                               "see the invariant")
+
+    selftests = (
+        ({"src/a.cc": "int x;  // NOLINT\n"}, 1),
+        ({"src/a.cc": "int x;  // NOLINT(bugprone-foo)\n"}, 0),
+        ({"src/a.cc": "void f() FAIRRANK_NO_THREAD_SAFETY_ANALYSIS;\n"}, 1),
+        ({"src/a.cc": "// lock held by caller\n"
+                      "void f() FAIRRANK_NO_THREAD_SAFETY_ANALYSIS;\n"}, 0),
+    )
+
+
+class FlagSyncRule(Rule):
+    """Cross-checks the three flag surfaces: strings mentioning `--x` in
+    tools/*.cc, the known-flags declarations, and README.md."""
+
+    name = "flag-sync"
+
+    # Brace initializer lists that declare accepted flags: fairaudit's
+    # add({...}) lambda calls and the static vector literals behind
+    # fairauditd's KnownFlags() / AuditOptionFlagNames().
+    DECLARATION = re.compile(
+        r"(?:add\(\{|new std::vector<std::string>\{)(.*?)\}", re.S)
+    DECLARATION_FILES = ("tools/", "src/fairness/option_flags.cc")
+
+    def declared_flags(self, tree):
+        declared = {}
+        for path, ctx in sorted(tree.files.items()):
+            if not path.startswith(self.DECLARATION_FILES):
+                continue
+            for block in self.DECLARATION.finditer(ctx.text):
+                for lit in re.finditer(STRING_LITERAL, block.group(1)):
+                    name = lit.group(1)
+                    if re.fullmatch(r"[a-z][a-z0-9-]*", name):
+                        declared.setdefault(
+                            name,
+                            (path, line_of(ctx.text,
+                                           block.start() + lit.start())))
+        return declared
+
+    def check(self, tree):
+        declared = self.declared_flags(tree)
+        readme = tree.aux.get("README.md", "")
+        documented = set(m.group(1)
+                         for m in re.finditer(FLAG_WORD, readme))
+        # Direction 1: a flag *mentioned* by a tool (usage text, error
+        # message) must be a declared flag somewhere — mentions of flags
+        # that no parser accepts are stale docs.
+        for path, ctx in sorted(tree.files.items()):
+            if not (path.startswith("tools/") and path.endswith(".cc")):
+                continue
+            for lit in re.finditer(STRING_LITERAL, ctx.text):
+                for m in re.finditer(FLAG_WORD, lit.group(1)):
+                    name = m.group(1)
+                    if name not in declared:
+                        yield (path, line_of(ctx.text, lit.start()),
+                               "--%s is mentioned here but declared in no "
+                               "known-flags list (KnownFlags / add({...}) / "
+                               "AuditOptionFlagNames)" % name)
+        # Direction 2: every declared flag is documented in README.md.
+        if "README.md" in tree.aux:
+            for name, (path, line) in sorted(declared.items()):
+                if name not in documented:
+                    yield (path, line,
+                           "--%s is accepted but undocumented: add it to "
+                           "README.md" % name)
+
+    _DECL = ('const std::vector<std::string>* v = '
+             'new std::vector<std::string>{"input", "seed"};\n')
+    selftests = (
+        # Mention of an undeclared flag.
+        ({"tools/a.cc": _DECL + 'const char* e = "pass --workers too";\n',
+          "README.md": "--input --seed\n"}, 1),
+        # Declared + mentioned + documented: clean.
+        ({"tools/a.cc": _DECL + 'const char* e = "--input missing";\n',
+          "README.md": "--input and --seed\n"}, 0),
+        # Declared but missing from README.
+        ({"tools/a.cc": _DECL, "README.md": "--input only\n"}, 1),
+        # add({...}) declarations count; comments never count as mentions.
+        ({"tools/b.cc": 'void f() { add({"top", "out"}); }\n'
+                        "// usage: --nonexistent\n",
+          "README.md": "--top --out\n"}, 0),
+        # Without a README nothing can be documented; only direction 1 runs.
+        ({"tools/a.cc": _DECL}, 0),
+    )
+
+
+class BenchJsonSchemaRule(Rule):
+    """BENCH_*.json baselines: strict JSON, a bench name, required keys."""
+
+    name = "bench-json-schema"
+
+    REQUIRED_KEYS = {
+        "server_load": ("clients", "duration_ms", "phases"),
+    }
+
+    def check(self, tree):
+        for path in sorted(tree.aux):
+            base = os.path.basename(path)
+            if not (base.startswith("BENCH_") and base.endswith(".json")):
+                continue
+
+            def reject_constant(token):
+                raise ValueError("non-finite number %s" % token)
+
+            try:
+                data = json.loads(tree.aux[path],
+                                  parse_constant=reject_constant)
+            except ValueError as error:
+                yield (path, 1, "not strict JSON: %s" % error)
+                continue
+            if not isinstance(data, dict):
+                yield (path, 1, "top level must be a JSON object")
+                continue
+            bench = data.get("bench")
+            if not isinstance(bench, str) or not bench:
+                yield (path, 1,
+                       'missing "bench": the baseline must name its '
+                       "benchmark")
+                continue
+            for key in self.REQUIRED_KEYS.get(bench, ()):
+                if key not in data:
+                    yield (path, 1,
+                           'bench "%s" baseline lost required key "%s"'
+                           % (bench, key))
+
+    selftests = (
+        ({"BENCH_x.json":
+          '{"bench": "server_load", "clients": 1, "duration_ms": 5, '
+          '"phases": {}}'}, 0),
+        ({"BENCH_x.json": '{"clients": 1}'}, 1),
+        ({"BENCH_x.json": '{"bench": "server_load", "clients": 1}'}, 2),
+        ({"BENCH_x.json": '{"bench": "other", "whatever": 1}'}, 0),
+        ({"BENCH_x.json": '{"bench": "x", "v": NaN}'}, 1),
+        ({"BENCH_x.json": "not json"}, 1),
+        ({"OTHER_x.json": "not json"}, 0),
+    )
+
+
+RULES = (
+    PatternRule(
+        "rng-discipline",
+        r"\b(?:std\s*::\s*)?s?rand\s*\(|\bstd\s*::\s*random_device\b",
+        "'%s' — use common/rng (seeded, reproducible) instead",
+        scope=in_library,
+        exempt=("src/common/rng.h", "src/common/rng.cc"),
+        selftests=(
+            ({"src/a.cc": "int x = rand();\n"}, 1),
+            ({"src/a.cc": "int x = std::rand();\nsrand(1);\n"}, 2),
+            ({"src/common/rng.cc": "int x = rand();\n"}, 0),
+            ({"tools/a.cc": "int x = rand();\n"}, 0),
+            ({"src/a.cc": "int grand(int);\nint x = grand(2);\n"}, 0),
+        )),
+    PatternRule(
+        "no-iostream",
+        r"\bstd\s*::\s*(?:cout|cerr)\b|(?<![\w:])(?:f|w)?printf\s*\(",
+        "'%s' — library code reports through Status/report strings",
+        scope=in_library,
+        selftests=(
+            ({"src/a.cc": 'void f() { std::cout << 1; printf("x"); }\n'}, 2),
+            ({"src/a.cc": "char b[8];\nint n = snprintf(b, 8, \"x\");\n"}, 0),
+            ({"tools/a.cc": 'void f() { printf("ok"); }\n'}, 0),
+        )),
+    PatternRule(
+        "no-naked-thread",
+        r"\bstd\s*::\s*(?:thread|j?thread|async)\b|\bpthread_create\b",
+        "'%s' — use common/parallel (ParallelFor/ParallelForEach) for "
+        "concurrency",
+        scope=lambda path: not path.startswith("tests/"),
+        exempt=("src/common/parallel.cc",),
+        selftests=(
+            ({"src/a.cc": "std::thread t(f);\n"}, 1),
+            ({"tools/a.cc": "auto r = std::async(f);\n"}, 1),
+            ({"tests/a_test.cc": "std::thread t(f);\n"}, 0),
+            ({"src/common/parallel.cc": "std::thread t(f);\n"}, 0),
+        )),
+    PatternRule(
+        "no-sleep-in-server",
+        r"\bsleep_(?:for|until)\b|\b(?:u|nano)?sleep\s*\(",
+        "'%s' — the serving layer is event-driven; wait on poll timeouts, "
+        "condition variables or Deadline instead",
+        scope=in_server,
+        selftests=(
+            ({"src/server/a.cc":
+              "std::this_thread::sleep_for(std::chrono::seconds(1));\n"}, 1),
+            ({"src/server/a.cc": "usleep(100);\n"}, 1),
+            ({"src/stats/a.cc": "usleep(100);\n"}, 0),
+        )),
+    PatternRule(
+        "no-raw-parse-in-server",
+        r"\b(?:std\s*::\s*)?(?:memcpy|memmove|strcpy|strncpy|strcat|sscanf|"
+        r"atoi|atol|atof|strto(?:l|ul|ll|ull|d|f))\s*\(",
+        "'%s' — raw byte/string parsing in the serving layer belongs in "
+        "src/server/http.cc (fuzzed, corpus-covered); handlers consume "
+        "parsed structs",
+        scope=lambda path: in_server(path) and
+        not path.endswith("/http.cc"),
+        selftests=(
+            ({"src/server/a.cc":
+              "void f(char* d, const char* s, size_t n) "
+              "{ std::memcpy(d, s, n); }\n"}, 1),
+            ({"src/server/a.cc": 'int v = atoi(buf);\n'}, 1),
+            ({"src/server/http.cc": "std::memcpy(d, s, n);\n"}, 0),
+            # memset (sockaddr zeroing) is socket API, not parsing.
+            ({"src/server/a.cc": "std::memset(&addr, 0, sizeof(addr));\n"},
+             0),
+            ({"src/data/a.cc": "std::memcpy(d, s, n);\n"}, 0),
+        )),
+    PatternRule(
+        "no-fault-in-bench",
+        r"#\s*include\s*\"common/fault_injection\.h\"",
+        "'%s' — bench binaries must not link fault-injection hooks; chaos "
+        "belongs in tests/",
+        scope=lambda path: path.startswith("bench/"),
+        view="raw",
+        selftests=(
+            ({"bench/a.cc": '#include "common/fault_injection.h"\n'}, 1),
+            ({"tests/a.cc": '#include "common/fault_injection.h"\n'}, 0),
+        )),
+    PatternRule(
+        "no-fault-in-bench",
+        r"\bfault\s*::",
+        "'%s' — bench binaries must not arm fault plans; an armed plan "
+        "poisons BENCH_*.json baselines",
+        scope=lambda path: path.startswith("bench/"),
+        selftests=(
+            ({"bench/a.cc": "fault::Arm(plan);\n"}, 1),
+            ({"bench/a.cc": "// fault:: in a comment\n"}, 0),
+        )),
+    IncludeGuardRule(),
+    SuppressionRule(),
+    FlagSyncRule(),
+    BenchJsonSchemaRule(),
+)
+
+
+def run_rules(tree):
+    findings = []
+    for rule in RULES:
+        for path, line, message in rule.check(tree):
+            findings.append((path, line, rule.name, message))
+    return sorted(findings)
+
+
+def selftest():
+    failures = 0
+    for rule in RULES:
+        if not rule.selftests:
+            print("selftest: rule %s has no self-tests" % rule.name,
+                  file=sys.stderr)
+            failures += 1
+            continue
+        for case_index, (contents, expected) in enumerate(rule.selftests):
+            tree = Tree.from_dict(contents)
+            got = list(rule.check(tree))
+            if len(got) != expected:
+                print("selftest: %s case %d: expected %d finding(s), got %d:"
+                      % (rule.name, case_index, expected, len(got)),
+                      file=sys.stderr)
+                for path, line, message in got:
+                    print("  %s:%d: %s" % (path, line, message),
+                          file=sys.stderr)
+                failures += 1
+    names = sorted(set(rule.name for rule in RULES))
+    if failures == 0:
+        print("lint.py selftest: %d rule(s) OK (%s)"
+              % (len(names), ", ".join(names)))
+        return 0
+    print("lint.py selftest: %d failure(s)" % failures, file=sys.stderr)
+    return 1
 
 
 def main(argv):
+    if "--selftest" in argv:
+        return selftest()
     root = argv[1] if len(argv) > 1 else \
         os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     if not os.path.isdir(os.path.join(root, "src")):
         print("lint.py: no src/ under %s" % root, file=sys.stderr)
         return 2
 
-    findings = []
-    for path in iter_files(root, ALL_CPP_DIRS):
-        with open(os.path.join(root, path), encoding="utf-8") as f:
-            raw = f.read()
-        code = strip_comments_and_strings(raw)
-        rel = path.replace(os.sep, "/")
-        in_library = rel.startswith("src/")
-
-        if rel.startswith("src/server/"):
-            check_pattern_rule(
-                findings, path, code, "no-sleep-in-server",
-                r"\bsleep_(?:for|until)\b|\b(?:u|nano)?sleep\s*\(",
-                "'%s' — the serving layer is event-driven; wait on poll "
-                "timeouts, condition variables or Deadline instead")
-        if in_library:
-            check_pattern_rule(
-                findings, path, code, "rng-discipline",
-                r"\b(?:std\s*::\s*)?s?rand\s*\(|\bstd\s*::\s*random_device\b",
-                "'%s' — use common/rng (seeded, reproducible) instead",
-                exempt=("src/common/rng.h", "src/common/rng.cc"))
-            check_pattern_rule(
-                findings, path, code, "no-iostream",
-                r"\bstd\s*::\s*(?:cout|cerr)\b|(?<![\w:])(?:f|w)?printf\s*\(",
-                "'%s' — library code reports through Status/report strings")
-        if rel.startswith("bench/"):
-            # The include is matched on RAW text (string contents are blanked
-            # in `code`), the call sites on stripped code.
-            check_pattern_rule(
-                findings, path, raw, "no-fault-in-bench",
-                r"#\s*include\s*\"common/fault_injection\.h\"",
-                "'%s' — bench binaries must not link fault-injection hooks; "
-                "chaos belongs in tests/")
-            check_pattern_rule(
-                findings, path, code, "no-fault-in-bench",
-                r"\bfault\s*::",
-                "'%s' — bench binaries must not arm fault plans; an armed "
-                "plan poisons BENCH_*.json baselines")
-        # Concurrency discipline covers everything but tests: tools, benches
-        # and examples drive the suite scheduler and must inherit its
-        # cancellation / exception capture rather than spawn naked threads.
-        if not rel.startswith("tests/"):
-            check_pattern_rule(
-                findings, path, code, "no-naked-thread",
-                r"\bstd\s*::\s*(?:thread|j?thread|async)\b|\bpthread_create\b",
-                "'%s' — use common/parallel (ParallelFor/ParallelForEach) "
-                "for concurrency",
-                exempt=("src/common/parallel.cc",))
-
-        check_include_guard(findings, path, raw)
-        check_suppressions(findings, path, raw)
-
-    for f in findings:
-        print(f)
+    findings = run_rules(Tree.from_disk(root))
+    for path, line, rule, message in findings:
+        print("%s:%d: [%s] %s" % (path, line, rule, message))
     if findings:
         print("lint.py: %d finding(s)" % len(findings), file=sys.stderr)
         return 1
