@@ -16,6 +16,13 @@
 // prints a human-readable table, and writes machine-readable
 // BENCH_server_load.json for the perf trajectory.
 //
+// Before the daemon drains, the harness scrapes GET /metrics once and
+// reports the *server-side* p50/p99 per endpoint (the daemon's own
+// GK-sketch quantiles, cumulative over warmup + both phases) next to the
+// client-side numbers — the gap between the two is queueing plus the
+// network/loopback round trip, client-observable but invisible to the
+// server's own histogram.
+//
 // Self-contained by default: boots an in-process FairAuditServer on an
 // ephemeral port over a synthetic dataset (--workers). Point it at an
 // external daemon with --host/--port (the CI smoke job does).
@@ -226,6 +233,47 @@ ClientLog RunClient(const std::string& host, int port, bool keep_alive,
   return log;
 }
 
+/// Server-side latency quantiles parsed out of a /metrics scrape.
+struct ServerSideLatency {
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+/// Pulls fairrank_http_request_duration_seconds{endpoint=...,quantile=...}
+/// samples out of Prometheus exposition text. Tolerant of families the
+/// scrape also carries; unknown lines are skipped.
+std::map<std::string, ServerSideLatency> ParseServerQuantiles(
+    const std::string& metrics) {
+  std::map<std::string, ServerSideLatency> out;
+  const std::string family = "fairrank_http_request_duration_seconds{";
+  for (const std::string& line : Split(metrics, '\n')) {
+    if (line.rfind(family, 0) != 0) continue;
+    size_t close = line.find('}');
+    size_t space = line.find(' ', close);
+    if (close == std::string::npos || space == std::string::npos) continue;
+    std::string labels = line.substr(family.size(), close - family.size());
+    double value = 0;
+    if (!ParseDouble(Trim(line.substr(space + 1)), &value)) continue;
+    auto label_value = [&labels](const std::string& name) -> std::string {
+      std::string needle = name + "=\"";
+      size_t start = labels.find(needle);
+      if (start == std::string::npos) return "";
+      start += needle.size();
+      size_t end = labels.find('"', start);
+      return end == std::string::npos ? "" : labels.substr(start, end - start);
+    };
+    std::string endpoint = label_value("endpoint");
+    std::string quantile = label_value("quantile");
+    if (endpoint.empty()) continue;
+    if (quantile == "0.5") {
+      out[endpoint].p50_ms = value * 1000.0;
+    } else if (quantile == "0.99") {
+      out[endpoint].p99_ms = value * 1000.0;
+    }
+  }
+  return out;
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "server_load: %s\n", status.ToString().c_str());
   return 1;
@@ -290,6 +338,7 @@ int Main(int argc, char** argv) {
   std::vector<ClientLog> keep_logs(n_clients);
   double close_seconds = 0;
   double keep_seconds = 0;
+  std::string metrics_text;  // Written once, by the last client to finish.
   std::atomic<size_t> clients_done{0};
 
   // One pool hosts everything: with an in-process daemon, task 0 runs
@@ -333,8 +382,15 @@ int Main(int argc, char** argv) {
         keep_logs[c] = RunClient(host, port, /*keep_alive=*/true,
                                  keep_deadline, *timeout_ms, offset);
         if (c == 0) keep_seconds = phase_watch.ElapsedSeconds();
-        if (clients_done.fetch_add(1) + 1 == n_clients && in_process) {
-          server->RequestShutdown();
+        if (clients_done.fetch_add(1) + 1 == n_clients) {
+          // Last client out scrapes the server's own latency histograms —
+          // before the in-process drain tears the listener down.
+          StatusOr<HttpFetchResult> scrape =
+              HttpFetch(host, port, "GET", "/metrics", "", *timeout_ms);
+          if (scrape.ok() && scrape->status_code == 200) {
+            metrics_text = std::move(scrape->body);
+          }
+          if (in_process) server->RequestShutdown();
         }
       });
   if (in_process && !serve_status.ok()) return Fail(serve_status);
@@ -349,6 +405,18 @@ int Main(int argc, char** argv) {
                        : 0;
   std::printf("keep-alive throughput speedup: %.2fx\n", speedup);
 
+  std::map<std::string, ServerSideLatency> server_side =
+      ParseServerQuantiles(metrics_text);
+  if (!server_side.empty()) {
+    std::printf("server-side (from /metrics, cumulative):\n");
+    for (const auto& [endpoint, lat] : server_side) {
+      std::printf("  %-8s  p50 %8.3f ms  p99 %8.3f ms\n", endpoint.c_str(),
+                  lat.p50_ms, lat.p99_ms);
+    }
+  } else {
+    std::printf("server-side: /metrics scrape unavailable\n");
+  }
+
   std::string json = "{";
   json += "\"bench\":\"server_load\",";
   json += "\"clients\":" + std::to_string(n_clients) + ",";
@@ -360,6 +428,17 @@ int Main(int argc, char** argv) {
   json += "\"phases\":{";
   json += "\"close\":" + JsonPhase(close_report) + ",";
   json += "\"keep_alive\":" + JsonPhase(keep_report);
+  json += "},";
+  json += "\"server_side\":{";
+  bool first_ep = true;
+  for (const auto& [endpoint, lat] : server_side) {
+    if (!first_ep) json += ",";
+    first_ep = false;
+    json += "\"" + endpoint + "\":{";
+    json += "\"p50_ms\":" + FormatDouble(lat.p50_ms, 3) + ",";
+    json += "\"p99_ms\":" + FormatDouble(lat.p99_ms, 3);
+    json += "}";
+  }
   json += "},";
   json += "\"keep_alive_speedup\":" + FormatDouble(speedup, 2);
   json += "}";

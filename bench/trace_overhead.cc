@@ -1,0 +1,131 @@
+// trace_overhead — the tracing subsystem's cost contract, measured.
+//
+// Replays the Table-2 workload shape (the paper's random functions f1..f5
+// over the synthetic worker population) through the auditor three ways:
+//
+//   baseline:          ExecutionLimits::trace = nullptr — the production
+//                      default; every instrumentation site is one
+//                      null-pointer check.
+//   untraced_attached: a TraceContext constructed with sampled=false is
+//                      attached — spans are requested but dropped at the
+//                      sampling gate. This is "tracing compiled in,
+//                      sampling off", the mode the <= 2% contract covers.
+//   traced:            a live TraceContext records every span
+//                      (informational; slow-request dumps pay this).
+//
+// Modes are interleaved within each repetition so clock drift and cache
+// warmup hit all three equally. The always-on metrics registry (relaxed
+// counter bumps) is active in every mode, exactly as in production.
+//
+// Prints a table and writes BENCH_trace_overhead.json;
+// `overhead_percent` (untraced_attached vs baseline) is the number the
+// bench-json-schema lint and CI track against the <= 2% budget.
+//
+// Override the population size with FAIRRANK_WORKERS=<n> and the
+// repetition count with FAIRRANK_REPS=<n>.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
+namespace fairrank {
+namespace {
+
+using bench::kDataSeed;
+using bench::MakeWorkers;
+using bench::SizeFromEnv;
+
+/// One full pass of the workload: every paper function audited with the
+/// given trace attachment. Returns wall seconds; dies on audit failure
+/// (a broken workload must not masquerade as a fast one).
+double RunWorkload(const Table& workers,
+                   const std::vector<std::unique_ptr<ScoringFunction>>& fns,
+                   TraceContext* trace) {
+  Stopwatch watch;
+  for (const auto& fn : fns) {
+    AuditOptions options;
+    options.algorithm = "unbalanced";
+    options.seed = 2;
+    options.limits.trace = trace;
+    FairnessAuditor auditor(&workers);
+    StatusOr<AuditResult> result = auditor.Audit(*fn, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "trace_overhead: audit failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace fairrank
+
+int main() {
+  using namespace fairrank;
+
+  const size_t n = SizeFromEnv("FAIRRANK_WORKERS", 7300);
+  const size_t reps = SizeFromEnv("FAIRRANK_REPS", 5);
+  std::printf("workers=%zu reps=%zu seed=%llu\n", n, reps,
+              static_cast<unsigned long long>(kDataSeed));
+  Table workers = MakeWorkers(n);
+  auto functions = MakePaperRandomFunctions();
+
+  // One untimed warmup pass fills the table's lazy column caches so the
+  // first timed mode is not charged for them.
+  (void)RunWorkload(workers, functions, nullptr);
+
+  double baseline = 0;
+  double untraced_attached = 0;
+  double traced = 0;
+  uint64_t spans_recorded = 0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    baseline += RunWorkload(workers, functions, nullptr);
+    TraceContext off(/*sampled=*/false);
+    untraced_attached += RunWorkload(workers, functions, &off);
+    TraceContext on;
+    traced += RunWorkload(workers, functions, &on);
+    spans_recorded += on.span_count();
+  }
+
+  const double overhead =
+      baseline > 0 ? (untraced_attached - baseline) / baseline * 100.0 : 0;
+  const double enabled_overhead =
+      baseline > 0 ? (traced - baseline) / baseline * 100.0 : 0;
+  std::printf("baseline           %.4f s\n", baseline);
+  std::printf("untraced_attached  %.4f s  (%+.2f%%)\n", untraced_attached,
+              overhead);
+  std::printf("traced             %.4f s  (%+.2f%%, %llu spans)\n", traced,
+              enabled_overhead,
+              static_cast<unsigned long long>(spans_recorded));
+
+  std::string json = "{";
+  json += "\"bench\":\"trace_overhead\",";
+  json += "\"workers\":" + std::to_string(n) + ",";
+  json += "\"repetitions\":" + std::to_string(reps) + ",";
+  json += "\"baseline_seconds\":" + FormatDouble(baseline, 4) + ",";
+  json += "\"untraced_attached_seconds\":" +
+          FormatDouble(untraced_attached, 4) + ",";
+  json += "\"traced_seconds\":" + FormatDouble(traced, 4) + ",";
+  json += "\"overhead_percent\":" + FormatDouble(overhead, 2) + ",";
+  json += "\"enabled_overhead_percent\":" + FormatDouble(enabled_overhead, 2) +
+          ",";
+  json += "\"spans_recorded\":" + std::to_string(spans_recorded);
+  json += "}";
+
+  const char* out_path = "BENCH_trace_overhead.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "trace_overhead: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "%s\n", json.c_str());
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

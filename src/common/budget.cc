@@ -111,7 +111,8 @@ Deadline ExecutionLimits::EffectiveDeadline() const {
 }
 
 ExecutionContext ExecutionLimits::MakeContext(ResourceBudget* budget) const {
-  return ExecutionContext(EffectiveDeadline(), cancel, budget);
+  ExecutionContext context(EffectiveDeadline(), cancel, budget);
+  return trace != nullptr ? context.WithTrace(trace, -1) : context;
 }
 
 Status ExhaustionStatus(ExhaustionReason reason) {

@@ -9,6 +9,8 @@
 
 namespace fairrank {
 
+class TraceContext;
+
 /// Why a bounded search stopped early. `kNone` means it ran to completion.
 enum class ExhaustionReason {
   kNone = 0,
@@ -128,14 +130,35 @@ class ExecutionContext {
   /// Same deadline and cancellation, no resource budget. Used for fallback
   /// work (e.g. exhaustive falling back to beam once its node budget trips)
   /// that must stay deadline-bounded but needs room to produce an answer.
+  /// The trace (if any) rides along: fallback spans belong to the same
+  /// request.
   ExecutionContext WithoutBudget() const {
-    return ExecutionContext(deadline_, cancel_, nullptr);
+    ExecutionContext context(deadline_, cancel_, nullptr);
+    context.trace_ = trace_;
+    context.trace_parent_ = trace_parent_;
+    return context;
+  }
+
+  /// Borrowed per-request trace, threaded like the deadline and the budget;
+  /// null = tracing off (see common/trace.h). `trace_parent()` is the span
+  /// id new spans should parent under (-1 = root).
+  TraceContext* trace() const { return trace_; }
+  int64_t trace_parent() const { return trace_parent_; }
+
+  /// Copy of this context recording spans under `parent` on `trace`.
+  ExecutionContext WithTrace(TraceContext* trace, int64_t parent) const {
+    ExecutionContext context = *this;
+    context.trace_ = trace;
+    context.trace_parent_ = parent;
+    return context;
   }
 
  private:
   Deadline deadline_;
   CancellationToken cancel_;
   ResourceBudget* budget_ = nullptr;
+  TraceContext* trace_ = nullptr;  ///< Borrowed; must outlive the context.
+  int64_t trace_parent_ = -1;
 };
 
 /// User-facing execution limits, the shape the CLI flags take. Inert by
@@ -155,6 +178,11 @@ struct ExecutionLimits {
   /// child too. Borrowed — the owner (e.g. a suite holding one budget for
   /// the whole grid) must outlive every context made from these limits.
   ResourceBudget* parent_budget = nullptr;
+  /// Borrowed per-request trace attached to contexts made from these limits
+  /// (MakeContext). Null = tracing off; not a limit, so `unlimited()`
+  /// ignores it. The owner (CLI run, server request) must outlive every
+  /// context.
+  TraceContext* trace = nullptr;
 
   /// True when every limit is inert (no deadline, no budgets, null token,
   /// no parent).

@@ -1,0 +1,158 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace fairrank {
+
+namespace {
+
+/// Prometheus floats: 6 significant decimals is enough for millisecond
+/// latencies in seconds and keeps /stats (milliseconds, 3 decimals) and
+/// /metrics (seconds, 6 decimals) renderings of one quantile digit-for-digit
+/// comparable.
+std::string Num(double v) { return FormatDouble(v, 6); }
+
+void AppendHeader(std::string* out, const std::string& name,
+                  const std::string& help, const char* type) {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+}  // namespace
+
+LatencySketch::LatencySketch(double epsilon) : sketch_(epsilon) {}
+
+void LatencySketch::Observe(double seconds) {
+  sketch_.Insert(seconds);
+  ++count_;
+  sum_seconds_ += seconds;
+  max_seconds_ = std::max(max_seconds_, seconds);
+}
+
+StatusOr<double> LatencySketch::QuantileSeconds(double q) const {
+  return sketch_.Quantile(q);
+}
+
+MetricHistogram::MetricHistogram(double epsilon) : sketch_(epsilon) {}
+
+void MetricHistogram::Observe(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sketch_.Observe(seconds);
+}
+
+MetricHistogram::Snapshot MetricHistogram::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snapshot;
+  snapshot.count = sketch_.count();
+  snapshot.sum_seconds = sketch_.sum_seconds();
+  snapshot.max_seconds = sketch_.max_seconds();
+  if (sketch_.count() > 0) {
+    snapshot.p50_seconds = sketch_.QuantileSeconds(0.5).value_or(0.0);
+    snapshot.p90_seconds = sketch_.QuantileSeconds(0.9).value_or(0.0);
+    snapshot.p99_seconds = sketch_.QuantileSeconds(0.99).value_or(0.0);
+  }
+  return snapshot;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+template <typename T>
+T* MetricsRegistry::GetOrCreate(
+    std::map<std::string, std::unique_ptr<T>>* metrics,
+    const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics->find(name);
+  if (it == metrics->end()) {
+    it = metrics->emplace(name, std::make_unique<T>()).first;
+    help_.emplace(name, help);
+  }
+  return it->second.get();
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
+                                           const std::string& help) {
+  return GetOrCreate(&counters_, name, help);
+}
+
+MetricGauge* MetricsRegistry::GetGauge(const std::string& name,
+                                       const std::string& help) {
+  return GetOrCreate(&gauges_, name, help);
+}
+
+MetricHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const std::string& help) {
+  return GetOrCreate(&histograms_, name, help);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  // Snapshot the (name -> metric) views under the lock, then render without
+  // it — histogram snapshots take their own per-histogram lock.
+  std::map<std::string, const MetricCounter*> counters;
+  std::map<std::string, const MetricGauge*> gauges;
+  std::map<std::string, const MetricHistogram*> histograms;
+  std::map<std::string, std::string> help;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& entry : counters_) {
+      counters.emplace(entry.first, entry.second.get());
+    }
+    for (const auto& entry : gauges_) {
+      gauges.emplace(entry.first, entry.second.get());
+    }
+    for (const auto& entry : histograms_) {
+      histograms.emplace(entry.first, entry.second.get());
+    }
+    help = help_;
+  }
+  std::string out;
+  for (const auto& [name, counter] : counters) {
+    AppendHeader(&out, name, help[name], "counter");
+    out += name + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges) {
+    AppendHeader(&out, name, help[name], "gauge");
+    out += name + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms) {
+    const MetricHistogram::Snapshot s = histogram->TakeSnapshot();
+    AppendHeader(&out, name, help[name], "summary");
+    if (s.count > 0) {
+      out += name + "{quantile=\"0.5\"} " + Num(s.p50_seconds) + "\n";
+      out += name + "{quantile=\"0.9\"} " + Num(s.p90_seconds) + "\n";
+      out += name + "{quantile=\"0.99\"} " + Num(s.p99_seconds) + "\n";
+    }
+    out += name + "_sum " + Num(s.sum_seconds) + "\n";
+    out += name + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+bool MetricsRegistry::IsValidMetricName(const std::string& name) {
+  static const char* kSuffixes[] = {"_total", "_seconds", "_bytes",
+                                    "_count", "_ratio",   "_info"};
+  const std::string prefix = "fairrank_";
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix)) {
+    return false;
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  if (name.find("__") != std::string::npos) return false;
+  for (const char* suffix : kSuffixes) {
+    const std::string s(suffix);
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fairrank

@@ -1,0 +1,154 @@
+#ifndef FAIRRANK_COMMON_TELEMETRY_H_
+#define FAIRRANK_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "stats/quantile_sketch.h"
+
+namespace fairrank {
+
+/// Unsynchronized latency accumulator: a GK quantile sketch plus
+/// count/sum/max. This is THE latency implementation — the per-endpoint
+/// latencies in `/stats`, the summaries in `/metrics`, and the registry
+/// histograms all read quantiles off this one type, so p50/p99 come from a
+/// single code path (the same GK sketch that backs EMD elsewhere).
+///
+/// Synchronization is the owner's job: ServerStats embeds it under its own
+/// mutex; MetricHistogram wraps it with one.
+class LatencySketch {
+ public:
+  /// `epsilon` is the GK rank-error bound; 0.005 keeps p99 of 10k samples
+  /// within ±50 ranks.
+  explicit LatencySketch(double epsilon = 0.005);
+
+  void Observe(double seconds);
+
+  uint64_t count() const { return count_; }
+  double sum_seconds() const { return sum_seconds_; }
+  double max_seconds() const { return max_seconds_; }
+
+  /// Approximate q-quantile in seconds; fails on an empty sketch.
+  StatusOr<double> QuantileSeconds(double q) const;
+
+ private:
+  GkSketch sketch_;
+  uint64_t count_ = 0;
+  double sum_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+};
+
+/// Monotonic counter; relaxed atomics (each sample is independent, only the
+/// eventual total matters), so concurrent Increment is TSan-clean and
+/// wait-free.
+class MetricCounter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value (queue depths, resident bytes).
+class MetricGauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Thread-safe LatencySketch for registry use (rendered as a Prometheus
+/// summary). Observations are expected at per-request granularity, not
+/// per-EMD — keep hot loops on counters.
+class MetricHistogram {
+ public:
+  explicit MetricHistogram(double epsilon = 0.005);
+
+  void Observe(double seconds) FAIRRANK_EXCLUDES(mutex_);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_seconds = 0.0;
+    double max_seconds = 0.0;
+    double p50_seconds = 0.0;  ///< 0 when empty.
+    double p90_seconds = 0.0;
+    double p99_seconds = 0.0;
+  };
+  Snapshot TakeSnapshot() const FAIRRANK_EXCLUDES(mutex_);
+
+ private:
+  mutable std::mutex mutex_;
+  LatencySketch sketch_ FAIRRANK_GUARDED_BY(mutex_);
+};
+
+/// Process-wide metrics registry. Get* registers on first use and returns a
+/// stable pointer, so call sites hold a function-local static and updates
+/// are lock-free counter/gauge bumps ("static registration"):
+///
+///   static MetricCounter* audits = MetricsRegistry::Global().GetCounter(
+///       "fairrank_audits_total", "Completed audits");
+///   audits->Increment();
+///
+/// Names must pass IsValidMetricName (snake_case, `fairrank_` prefix, a
+/// recognized unit/kind suffix) — enforced by the metrics-naming lint rule
+/// at review time and checked here in debug via the returned pointer being
+/// shared per name. RenderPrometheus emits the text exposition format
+/// (sorted by name, summaries for histograms).
+class MetricsRegistry {
+ public:
+  /// The process registry (what `/metrics` serves). Separate instances are
+  /// constructible for tests.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  MetricCounter* GetCounter(const std::string& name, const std::string& help)
+      FAIRRANK_EXCLUDES(mutex_);
+  MetricGauge* GetGauge(const std::string& name, const std::string& help)
+      FAIRRANK_EXCLUDES(mutex_);
+  MetricHistogram* GetHistogram(const std::string& name,
+                                const std::string& help)
+      FAIRRANK_EXCLUDES(mutex_);
+
+  /// Prometheus text exposition of every registered metric, deterministic
+  /// (sorted by name). Histograms render as summaries with quantile 0.5 /
+  /// 0.9 / 0.99 plus _sum / _count.
+  std::string RenderPrometheus() const FAIRRANK_EXCLUDES(mutex_);
+
+  /// True for `fairrank_`-prefixed snake_case names carrying a recognized
+  /// unit/kind suffix (_total, _seconds, _bytes, _count, _ratio, _info).
+  static bool IsValidMetricName(const std::string& name);
+
+ private:
+  template <typename T>
+  T* GetOrCreate(std::map<std::string, std::unique_ptr<T>>* metrics,
+                 const std::string& name, const std::string& help)
+      FAIRRANK_EXCLUDES(mutex_);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_
+      FAIRRANK_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_
+      FAIRRANK_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_
+      FAIRRANK_GUARDED_BY(mutex_);
+  std::map<std::string, std::string> help_ FAIRRANK_GUARDED_BY(mutex_);
+};
+
+}  // namespace fairrank
+
+#endif  // FAIRRANK_COMMON_TELEMETRY_H_

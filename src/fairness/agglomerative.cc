@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/trace.h"
 #include "fairness/splitter.h"
 
 namespace fairrank {
@@ -22,14 +23,18 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
     // Start from the full partitioning. Each split level is one node; a trip
     // here degrades to the partial split reached so far (still valid).
     Partitioning current{MakeRootPartition(eval.table().num_rows())};
-    for (size_t attr : attrs) {
-      ExhaustionReason why = context.CheckNodes(1);
-      if (why != ExhaustionReason::kNone) {
-        result.partitioning = std::move(current);
-        return TruncatedResult(std::move(result), why);
+    {
+      ScopedSpan expand_span(context.trace(), "expand",
+                             context.trace_parent());
+      for (size_t attr : attrs) {
+        ExhaustionReason why = context.CheckNodes(1);
+        if (why != ExhaustionReason::kNone) {
+          result.partitioning = std::move(current);
+          return TruncatedResult(std::move(result), why);
+        }
+        ++result.nodes_visited;
+        current = SplitAll(eval.table(), current, attr);
       }
-      ++result.nodes_visited;
-      current = SplitAll(eval.table(), current, attr);
     }
     const size_t k = current.size();
     if (k < 3) {  // Nothing to merge (k=2 merging gives k=1).
@@ -50,6 +55,8 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
     // Histograms and the pairwise distance matrix. `alive[i]` marks live
     // clusters; merged clusters are tombstoned instead of erased so the
     // matrix stays index-stable.
+    ScopedSpan evaluate_span(context.trace(), "evaluate",
+                             context.trace_parent());
     std::vector<Histogram> hists;
     hists.reserve(k);
     for (const Partition& p : current) hists.push_back(eval.BuildHistogram(p));
@@ -66,7 +73,7 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
       }
       result.nodes_visited += k - i - 1;
       for (size_t j = i + 1; j < k; ++j) {
-        StatusOr<double> d = eval.divergence().Distance(hists[i], hists[j]);
+        StatusOr<double> d = TracedDistance(eval, context, hists[i], hists[j]);
         if (!d.ok()) {
           result.partitioning = std::move(current);
           return DegradeOnExhaustion(std::move(result), d.status());
@@ -122,7 +129,7 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
       double new_sum = sum - best_d;
       for (size_t m = 0; m < k; ++m) {
         if (!alive[m] || m == best_i || m == best_j) continue;
-        StatusOr<double> d = eval.divergence().Distance(combined, hists[m]);
+        StatusOr<double> d = TracedDistance(eval, context, combined, hists[m]);
         if (!d.ok()) {
           result.partitioning = std::move(best);
           return DegradeOnExhaustion(std::move(result), d.status());
@@ -166,6 +173,21 @@ class AgglomerativeAlgorithm : public PartitioningAlgorithm {
   }
 
  private:
+  /// The merge loops call the divergence directly (their histograms are
+  /// synthetic merged cells, never cacheable by row-set fingerprint), so
+  /// "emd" events are recorded here instead of in the evaluator cache path.
+  static StatusOr<double> TracedDistance(const UnfairnessEvaluator& eval,
+                                         const ExecutionContext& context,
+                                         const Histogram& a,
+                                         const Histogram& b) {
+    if (context.trace() == nullptr) return eval.divergence().Distance(a, b);
+    const uint64_t start_ns = TraceNowNanos();
+    StatusOr<double> d = eval.divergence().Distance(a, b);
+    context.trace()->AddEvent("emd", context.trace_parent(),
+                              TraceNowNanos() - start_ns);
+    return d;
+  }
+
   static double PairCount(size_t live) {
     return static_cast<double>(live) * static_cast<double>(live - 1) / 2.0;
   }

@@ -3,8 +3,43 @@
 #include <algorithm>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace fairrank {
+
+namespace {
+
+/// Always-on audit-level metrics: one bump per audit, so the cost is
+/// invisible next to the search itself.
+struct AuditMetrics {
+  MetricCounter* audits;
+  MetricCounter* truncated;
+  MetricCounter* nodes;
+  MetricHistogram* search_seconds;
+
+  static const AuditMetrics& Get() {
+    static const AuditMetrics* metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      auto* m = new AuditMetrics();
+      m->audits = registry.GetCounter("fairrank_audits_total",
+                                      "Completed audits (search + report)");
+      m->truncated = registry.GetCounter(
+          "fairrank_audits_truncated_total",
+          "Audits whose search stopped early (deadline / cancel / budget)");
+      m->nodes = registry.GetCounter(
+          "fairrank_audit_nodes_total",
+          "Search nodes visited across all audits");
+      m->search_seconds = registry.GetHistogram(
+          "fairrank_audit_search_seconds",
+          "Wall-clock seconds of the partition search phase");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 StatusOr<std::vector<size_t>> FairnessAuditor::ResolveProtectedAttributes(
     const AuditOptions& options) const {
@@ -48,9 +83,30 @@ StatusOr<AuditResult> FairnessAuditor::AuditScores(
   // because the deadline has since expired.
   ResourceBudget budget = options.limits.MakeBudget();
   ExecutionContext context = options.limits.MakeContext(&budget);
+
+  // Per-request trace: an "audit" root span with "search" / "report"
+  // children; the search span is the parent of every algorithm and
+  // evaluator span below it. Null trace = tracing off, zero-cost checks.
+  // Head-based sampling decides here, once: an attached-but-unsampled
+  // context degrades the whole pipeline to the identical null fast path,
+  // so "tracing compiled in, sampling off" costs one boolean per audit —
+  // not a timestamp per EMD (the <= 2% contract bench/trace_overhead.cc
+  // enforces).
+  TraceContext* trace = options.limits.trace;
+  if (trace != nullptr && !trace->sampled()) trace = nullptr;
+  ScopedSpan audit_span(trace, "audit");
+  const int64_t search_span =
+      trace != nullptr ? trace->StartSpan("search", audit_span.id()) : -1;
+  context = context.WithTrace(trace, search_span);
+
   EvaluatorOptions search_evaluator_options = options.evaluator;
   search_evaluator_options.deadline = context.deadline();
   search_evaluator_options.cancel = context.cancel();
+  search_evaluator_options.trace = trace;
+  search_evaluator_options.trace_parent = search_span;
+  EvaluatorOptions report_evaluator_options = options.evaluator;
+  report_evaluator_options.trace = trace;
+  report_evaluator_options.trace_parent = audit_span.id();
   std::vector<double> scores_copy = scores;
   FAIRRANK_ASSIGN_OR_RETURN(
       UnfairnessEvaluator search_eval,
@@ -58,7 +114,8 @@ StatusOr<AuditResult> FairnessAuditor::AuditScores(
                                 search_evaluator_options));
   FAIRRANK_ASSIGN_OR_RETURN(
       UnfairnessEvaluator eval,
-      UnfairnessEvaluator::Make(table_, std::move(scores), options.evaluator));
+      UnfairnessEvaluator::Make(table_, std::move(scores),
+                                report_evaluator_options));
   // Cache growth of the search evaluator is charged against the search's
   // resource budget; the reporting evaluator stays unbounded like its
   // deadline. A shared (suite-owned) cache already carries the suite's
@@ -81,9 +138,17 @@ StatusOr<AuditResult> FairnessAuditor::AuditScores(
                             algorithm->Run(search_eval, std::move(attrs),
                                            context));
   double seconds = stopwatch.ElapsedSeconds();
+  if (trace != nullptr) trace->EndSpan(search_span);
   search.cache = search_eval.cache_stats();
   Partitioning partitioning = std::move(search.partitioning);
 
+  const AuditMetrics& metrics = AuditMetrics::Get();
+  metrics.audits->Increment();
+  if (search.truncated) metrics.truncated->Increment();
+  metrics.nodes->Increment(search.nodes_visited);
+  metrics.search_seconds->Observe(seconds);
+
+  ScopedSpan report_span(trace, "report", audit_span.id());
   AuditResult result;
   result.algorithm = algorithm->Name();
   result.scoring_function = score_name;

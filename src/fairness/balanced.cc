@@ -1,5 +1,6 @@
 #include "fairness/balanced.h"
 
+#include "common/trace.h"
 #include "fairness/splitter.h"
 
 namespace fairrank {
@@ -38,12 +39,20 @@ class BalancedAlgorithm : public PartitioningAlgorithm {
       }
       result.nodes_visited += attrs.size();
 
+      int64_t expand_span = -1;
+      if (context.trace() != nullptr) {
+        expand_span =
+            context.trace()->StartSpan("expand", context.trace_parent());
+      }
       StatusOr<size_t> pos = selector_->SelectGlobal(eval, current, attrs);
+      if (context.trace() != nullptr) context.trace()->EndSpan(expand_span);
       if (!pos.ok()) return DegradeOnExhaustion(std::move(result),
                                                 pos.status());
       size_t attr = attrs[*pos];
       attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(*pos));
       Partitioning children = SplitAll(eval.table(), current, attr);
+      ScopedSpan evaluate_span(context.trace(), "evaluate",
+                               context.trace_parent());
       StatusOr<double> children_avg = eval.AveragePairwiseUnfairness(children);
       if (!children_avg.ok()) {
         return DegradeOnExhaustion(std::move(result), children_avg.status());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
 #include "fairness/splitter.h"
 
 namespace fairrank {
@@ -54,11 +55,17 @@ class BeamAlgorithm : public PartitioningAlgorithm {
           }
           ++result.nodes_visited;
           BeamEntry child;
-          child.partitioning = SplitAll(eval.table(), entry.partitioning,
-                                        entry.remaining[pos]);
+          {
+            ScopedSpan expand_span(context.trace(), "expand",
+                                   context.trace_parent());
+            child.partitioning = SplitAll(eval.table(), entry.partitioning,
+                                          entry.remaining[pos]);
+          }
           child.remaining = entry.remaining;
           child.remaining.erase(child.remaining.begin() +
                                 static_cast<ptrdiff_t>(pos));
+          ScopedSpan evaluate_span(context.trace(), "evaluate",
+                                   context.trace_parent());
           StatusOr<double> unfairness =
               eval.AveragePairwiseUnfairness(child.partitioning);
           if (!unfairness.ok()) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
+
 namespace fairrank {
 
 namespace {
@@ -59,11 +62,22 @@ bool EvaluatorCache::ReserveLocked(uint64_t incoming_bytes) {
     // Epoch eviction: drop everything rather than tracking per-entry LRU —
     // deterministic, O(1) amortized, and the hot working set repopulates
     // within one selection round.
-    stats_.evictions += histograms_.size() + divergences_.size();
+    const uint64_t evicted = histograms_.size() + divergences_.size();
+    stats_.evictions += evicted;
     histograms_.clear();
     divergences_.clear();
     stats_.bytes_used = 0;
     stats_.entries = 0;
+    static MetricCounter* evictions = MetricsRegistry::Global().GetCounter(
+        "fairrank_pipeline_cache_evictions_total",
+        "Evaluator-cache entries dropped by epoch evictions");
+    evictions->Increment(evicted);
+    // The attached context carries the request's trace (if any): an epoch
+    // eviction is exactly the kind of mid-request cliff a span dump should
+    // show. The trace mutex is a leaf — safe under the cache mutex.
+    if (context_.trace() != nullptr) {
+      context_.trace()->Event("cache-evict", context_.trace_parent());
+    }
   }
   pending_charge_ += incoming_bytes;
   if (pending_charge_ >= kChargeBatchBytes) {

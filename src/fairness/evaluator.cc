@@ -8,8 +8,45 @@
 
 #include "common/fault_injection.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 
 namespace fairrank {
+
+namespace {
+
+/// Always-on pipeline counters (one relaxed atomic add per operation —
+/// cheap next to the histogram/EMD work itself, and exact regardless of
+/// cache sharing because they count at the source). `/metrics` serves them
+/// as the per-phase pipeline families.
+struct PipelineMetrics {
+  MetricCounter* histogram_builds;
+  MetricCounter* histogram_cache_hits;
+  MetricCounter* emd_computations;
+  MetricCounter* emd_cache_hits;
+
+  static const PipelineMetrics& Get() {
+    static const PipelineMetrics* metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      auto* m = new PipelineMetrics();
+      m->histogram_builds = registry.GetCounter(
+          "fairrank_pipeline_histogram_builds_total",
+          "Per-partition score histograms actually built (cache misses)");
+      m->histogram_cache_hits = registry.GetCounter(
+          "fairrank_pipeline_histogram_cache_hits_total",
+          "Histogram requests served from the evaluator cache");
+      m->emd_computations = registry.GetCounter(
+          "fairrank_pipeline_emd_computations_total",
+          "Pairwise divergences actually computed (cache misses)");
+      m->emd_cache_hits = registry.GetCounter(
+          "fairrank_pipeline_emd_cache_hits_total",
+          "Pairwise divergences served from the evaluator cache");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 StatusOr<UnfairnessEvaluator> UnfairnessEvaluator::Make(
     const Table* table, std::vector<double> scores,
@@ -55,14 +92,25 @@ std::shared_ptr<const Histogram> UnfairnessEvaluator::CachedHistogram(
     const Partition& partition) const {
   const uint64_t fp = PartitionFingerprint(partition);
   if (std::shared_ptr<const Histogram> hit = cache_->FindHistogram(fp)) {
+    PipelineMetrics::Get().histogram_cache_hits->Increment();
+    if (options_.trace != nullptr) {
+      options_.trace->Event("cache-hit", options_.trace_parent);
+    }
     return hit;
   }
+  const uint64_t start_ns =
+      options_.trace != nullptr ? TraceNowNanos() : 0;
   auto built = std::make_shared<Histogram>(options_.num_bins,
                                            options_.score_lo,
                                            options_.score_hi);
   for (size_t row : partition.rows) built->Add(scores_[row]);
   std::shared_ptr<const Histogram> result = std::move(built);
   cache_->InsertHistogram(fp, result);
+  PipelineMetrics::Get().histogram_builds->Increment();
+  if (options_.trace != nullptr) {
+    options_.trace->AddEvent("histogram", options_.trace_parent,
+                             TraceNowNanos() - start_ns);
+  }
   return result;
 }
 
@@ -71,12 +119,25 @@ StatusOr<double> UnfairnessEvaluator::CachedDistance(uint64_t fp_a,
                                                      uint64_t fp_b,
                                                      const Histogram& b) const {
   double cached = 0.0;
-  if (cache_->FindDivergence(fp_a, fp_b, &cached)) return cached;
+  if (cache_->FindDivergence(fp_a, fp_b, &cached)) {
+    PipelineMetrics::Get().emd_cache_hits->Increment();
+    if (options_.trace != nullptr) {
+      options_.trace->Event("cache-hit", options_.trace_parent);
+    }
+    return cached;
+  }
   if (fault::OnDivergenceEval()) {
     return Status::Internal("fault injection: divergence evaluation failed");
   }
+  const uint64_t start_ns =
+      options_.trace != nullptr ? TraceNowNanos() : 0;
   StatusOr<double> d = divergence_->Distance(a, b);
   if (d.ok()) cache_->InsertDivergence(fp_a, fp_b, *d);
+  PipelineMetrics::Get().emd_computations->Increment();
+  if (options_.trace != nullptr) {
+    options_.trace->AddEvent("emd", options_.trace_parent,
+                             TraceNowNanos() - start_ns);
+  }
   return d;
 }
 

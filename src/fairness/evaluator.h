@@ -7,6 +7,7 @@
 #include "common/budget.h"
 #include "common/deadline.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "data/table.h"
 #include "fairness/eval_cache.h"
 #include "fairness/partition.h"
@@ -88,6 +89,13 @@ struct EvaluatorOptions {
   std::shared_ptr<EvaluatorCache> shared_cache;
   /// Policy for scores outside [score_lo, score_hi]; see OutOfRangePolicy.
   OutOfRangePolicy out_of_range = OutOfRangePolicy::kCount;
+  /// Borrowed per-request trace (see common/trace.h). When set, every
+  /// histogram build, divergence computation, and cache hit records a span
+  /// ("histogram" / "emd" / "cache-hit") under `trace_parent`. Null =
+  /// tracing off; recording is thread-safe (the pairwise pool records
+  /// concurrently). The auditor wires this from its ExecutionLimits.
+  TraceContext* trace = nullptr;
+  int64_t trace_parent = -1;
 };
 
 /// Computes unfairness(P, f) (Definition 2): the average pairwise divergence

@@ -1,6 +1,7 @@
 #include "fairness/exhaustive.h"
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "fairness/beam.h"
 #include "fairness/splitter.h"
 
@@ -100,6 +101,8 @@ class ExhaustiveAlgorithm : public PartitioningAlgorithm {
         trip_ = why;
         return Status::OK();
       }
+      ScopedSpan evaluate_span(context_->trace(), "evaluate",
+                               context_->trace_parent());
       StatusOr<double> avg = eval.AveragePairwiseUnfairness(*leaves);
       if (!avg.ok()) {
         if (!IsExhaustion(avg.status())) return avg.status();
@@ -125,8 +128,13 @@ class ExhaustiveAlgorithm : public PartitioningAlgorithm {
     // values (single-child splits would re-enumerate the same partitioning).
     for (size_t pos = 0;
          pos < node.attrs.size() && trip_ == ExhaustionReason::kNone; ++pos) {
-      std::vector<Partition> children =
-          SplitPartition(eval.table(), node.partition, node.attrs[pos]);
+      std::vector<Partition> children;
+      {
+        ScopedSpan expand_span(context_->trace(), "expand",
+                               context_->trace_parent());
+        children = SplitPartition(eval.table(), node.partition,
+                                  node.attrs[pos]);
+      }
       if (children.size() < 2) continue;
       std::vector<size_t> remaining = node.attrs;
       remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pos));

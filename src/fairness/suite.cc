@@ -119,6 +119,9 @@ StatusOr<SuiteResult> AuditSuite::Run(
         audit_options.num_worst_pairs = 0;
         audit_options.limits.deadline = deadline;
         audit_options.limits.cancel = options.limits.cancel;
+        // Spans from every cell land on the caller's trace (the recorder is
+        // thread-safe); each cell's "audit" root carries its own subtree.
+        audit_options.limits.trace = options.limits.trace;
         if (total_budget) {
           audit_options.limits.parent_budget = &parent_budget;
         } else {

@@ -1,5 +1,6 @@
 #include "fairness/unbalanced.h"
 
+#include "common/trace.h"
 #include "fairness/splitter.h"
 
 namespace fairrank {
@@ -31,8 +32,14 @@ class UnbalancedAlgorithm : public PartitioningAlgorithm {
       return TruncatedResult(std::move(result), why);
     }
     result.nodes_visited += attrs.size();
+    int64_t expand_span = -1;
+    if (context.trace() != nullptr) {
+      expand_span =
+          context.trace()->StartSpan("expand", context.trace_parent());
+    }
     StatusOr<size_t> pos =
         selector_->SelectGlobal(eval, result.partitioning, attrs);
+    if (context.trace() != nullptr) context.trace()->EndSpan(expand_span);
     if (!pos.ok()) return DegradeOnExhaustion(std::move(result), pos.status());
     size_t attr = attrs[*pos];
     attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(*pos));
@@ -103,19 +110,30 @@ class UnbalancedAlgorithm : public PartitioningAlgorithm {
       return Status::OK();
     }
     state->result->nodes_visited += attrs.size();
+    TraceContext* trace = state->context->trace();
+    const int64_t trace_parent = state->context->trace_parent();
+    int64_t eval_span =
+        trace != nullptr ? trace->StartSpan("evaluate", trace_parent) : -1;
     StatusOr<double> current_avg = eval.AverageWithSiblings(current, siblings);
+    if (trace != nullptr) trace->EndSpan(eval_span);
     if (!current_avg.ok()) {
       return CloseOrFail(current_avg.status(), current, state, output);
     }
+    int64_t expand_span =
+        trace != nullptr ? trace->StartSpan("expand", trace_parent) : -1;
     StatusOr<size_t> pos =
         selector_->SelectLocal(eval, current, siblings, attrs);
+    if (trace != nullptr) trace->EndSpan(expand_span);
     if (!pos.ok()) return CloseOrFail(pos.status(), current, state, output);
     size_t attr = attrs[*pos];
     attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(*pos));
     std::vector<Partition> children =
         SplitPartition(eval.table(), current, attr);
+    int64_t children_span =
+        trace != nullptr ? trace->StartSpan("evaluate", trace_parent) : -1;
     StatusOr<double> children_avg =
         eval.AverageChildrenWithSiblings(children, siblings);
+    if (trace != nullptr) trace->EndSpan(children_span);
     if (!children_avg.ok()) {
       return CloseOrFail(children_avg.status(), current, state, output);
     }

@@ -147,7 +147,8 @@ StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
                                     const std::string& method,
                                     const std::string& target,
                                     const std::string& body,
-                                    int64_t timeout_ms) {
+                                    int64_t timeout_ms,
+                                    const std::string& extra_headers) {
   Deadline deadline = timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
                                      : Deadline::Infinite();
   FAIRRANK_ASSIGN_OR_RETURN(int raw_fd,
@@ -156,6 +157,7 @@ StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
 
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: " + host + ":" + std::to_string(port) + "\r\n";
+  request += extra_headers;
   if (!body.empty() || method == "POST") {
     request += "Content-Type: application/x-www-form-urlencoded\r\n";
     request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
@@ -224,27 +226,27 @@ void HttpClient::Close() {
 StatusOr<HttpFetchResult> HttpClient::Fetch(const std::string& method,
                                             const std::string& target,
                                             const std::string& body,
-                                            int64_t timeout_ms) {
+                                            int64_t timeout_ms,
+                                            const std::string& extra_headers) {
   bool reused = fd_ >= 0;
   bool stale = false;
   StatusOr<HttpFetchResult> result =
-      FetchOnce(method, target, body, timeout_ms, &stale);
+      FetchOnce(method, target, body, timeout_ms, extra_headers, &stale);
   if (!result.ok() && reused && stale) {
     // The server closed the kept-alive connection between our requests
     // (idle timeout, per-connection cap, drain). That is its prerogative —
     // retry exactly once on a fresh connection.
     Close();
-    result = FetchOnce(method, target, body, timeout_ms, &stale);
+    result = FetchOnce(method, target, body, timeout_ms, extra_headers, &stale);
   }
   if (!result.ok()) Close();
   return result;
 }
 
-StatusOr<HttpFetchResult> HttpClient::FetchOnce(const std::string& method,
-                                                const std::string& target,
-                                                const std::string& body,
-                                                int64_t timeout_ms,
-                                                bool* stale) {
+StatusOr<HttpFetchResult> HttpClient::FetchOnce(
+    const std::string& method, const std::string& target,
+    const std::string& body, int64_t timeout_ms,
+    const std::string& extra_headers, bool* stale) {
   *stale = false;
   Deadline deadline = timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
                                      : Deadline::Infinite();
@@ -263,6 +265,7 @@ StatusOr<HttpFetchResult> HttpClient::FetchOnce(const std::string& method,
 
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  request += extra_headers;
   if (!body.empty() || method == "POST") {
     request += "Content-Type: application/x-www-form-urlencoded\r\n";
     request += "Content-Length: " + std::to_string(body.size()) + "\r\n";

@@ -18,12 +18,15 @@ struct HttpFetchResult {
 /// Minimal blocking HTTP/1.1 client for tests and fairauditd's --fetch
 /// smoke mode: one request over one fresh connection, `Connection: close`,
 /// read to EOF, no redirects, no TLS. `timeout_ms` bounds connect + send +
-/// receive together; <= 0 means no timeout.
+/// receive together; <= 0 means no timeout. `extra_headers` are raw
+/// pre-formatted header lines ("Name: value\r\n" each, may be several or
+/// empty) spliced after Host — how tests supply X-Request-Id.
 StatusOr<HttpFetchResult> HttpFetch(const std::string& host, int port,
                                     const std::string& method,
                                     const std::string& target,
                                     const std::string& body,
-                                    int64_t timeout_ms);
+                                    int64_t timeout_ms,
+                                    const std::string& extra_headers = "");
 
 /// A persistent HTTP/1.1 connection: connect once, issue many requests on
 /// one socket. Every Fetch asks for keep-alive and reads exactly
@@ -49,10 +52,11 @@ class HttpClient {
   /// server demonstrably processed it, and replaying a POST could run its
   /// side effects twice; such failures surface as errors instead.
   /// `timeout_ms` bounds the whole attempt including any reconnect; <= 0
-  /// means no timeout.
+  /// means no timeout. `extra_headers` as in HttpFetch.
   StatusOr<HttpFetchResult> Fetch(const std::string& method,
                                   const std::string& target,
-                                  const std::string& body, int64_t timeout_ms);
+                                  const std::string& body, int64_t timeout_ms,
+                                  const std::string& extra_headers = "");
 
   /// Connections opened so far (1 = perfect reuse across all fetches).
   uint64_t connects() const { return connects_; }
@@ -67,7 +71,9 @@ class HttpClient {
   StatusOr<HttpFetchResult> FetchOnce(const std::string& method,
                                       const std::string& target,
                                       const std::string& body,
-                                      int64_t timeout_ms, bool* stale);
+                                      int64_t timeout_ms,
+                                      const std::string& extra_headers,
+                                      bool* stale);
 
   const std::string host_;
   const int port_;

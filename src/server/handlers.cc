@@ -90,7 +90,8 @@ std::vector<std::string> KnownSuiteParams() {
 }
 
 StatusOr<HandlerResult> RunAudit(const ServerEnv& env,
-                                 const HttpRequest& request) {
+                                 const HttpRequest& request,
+                                 TraceContext* trace) {
   FAIRRANK_ASSIGN_OR_RETURN(FlagParser flags, RequestFlags(request));
   FAIRRANK_RETURN_NOT_OK(ValidateKnownFlags(flags, KnownAuditParams()));
   FAIRRANK_ASSIGN_OR_RETURN(const Table* table, ResolveDataset(env, flags));
@@ -100,6 +101,7 @@ StatusOr<HandlerResult> RunAudit(const ServerEnv& env,
   FAIRRANK_ASSIGN_OR_RETURN(AuditOptions options,
                             AuditOptionsFromFlags(flags));
   ComposeLimits(env, flags, &options.limits);
+  options.limits.trace = trace;
   options.evaluator.num_threads =
       ClampThreads(options.evaluator.num_threads, env.max_request_threads);
 
@@ -113,7 +115,8 @@ StatusOr<HandlerResult> RunAudit(const ServerEnv& env,
 }
 
 StatusOr<HandlerResult> RunSuite(const ServerEnv& env,
-                                 const HttpRequest& request) {
+                                 const HttpRequest& request,
+                                 TraceContext* trace) {
   FAIRRANK_ASSIGN_OR_RETURN(FlagParser flags, RequestFlags(request));
   FAIRRANK_RETURN_NOT_OK(ValidateKnownFlags(flags, KnownSuiteParams()));
   FAIRRANK_ASSIGN_OR_RETURN(const Table* table, ResolveDataset(env, flags));
@@ -143,6 +146,7 @@ StatusOr<HandlerResult> RunSuite(const ServerEnv& env,
   options.protected_attributes = audit_options.protected_attributes;
   options.limits = audit_options.limits;
   ComposeLimits(env, flags, &options.limits);
+  options.limits.trace = trace;
   options.evaluator.num_threads =
       ClampThreads(options.evaluator.num_threads, env.max_request_threads);
   FAIRRANK_ASSIGN_OR_RETURN(int64_t suite_threads,
@@ -247,12 +251,14 @@ HttpResponse ResponseFromStatus(const Status& status, int64_t retry_after_ms) {
                            reason, status.message(), retry);
 }
 
-HandlerResult HandleAudit(const ServerEnv& env, const HttpRequest& request) {
-  return GuardRequest(env, [&] { return RunAudit(env, request); });
+HandlerResult HandleAudit(const ServerEnv& env, const HttpRequest& request,
+                          TraceContext* trace) {
+  return GuardRequest(env, [&] { return RunAudit(env, request, trace); });
 }
 
-HandlerResult HandleSuite(const ServerEnv& env, const HttpRequest& request) {
-  return GuardRequest(env, [&] { return RunSuite(env, request); });
+HandlerResult HandleSuite(const ServerEnv& env, const HttpRequest& request,
+                          TraceContext* trace) {
+  return GuardRequest(env, [&] { return RunSuite(env, request, trace); });
 }
 
 }  // namespace fairrank

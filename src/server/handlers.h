@@ -57,15 +57,21 @@ struct HandlerResult {
 /// interchangeable) plus `dataset`. Unknown parameters are a 400, exactly
 /// like an unknown CLI flag. Exhaustion inside the request (its own limits)
 /// degrades to a 200 with truncated: true; only pre-flight failures and
-/// evaluation errors are non-200. Never throws.
-HandlerResult HandleAudit(const ServerEnv& env, const HttpRequest& request);
+/// evaluation errors are non-200. Never throws. `trace`, when non-null, is
+/// the request's span collector (threaded into ExecutionLimits::trace —
+/// the server attaches one when slow-request diagnosis is on).
+HandlerResult HandleAudit(const ServerEnv& env, const HttpRequest& request,
+                          TraceContext* trace = nullptr);
 
 /// GET/POST /suite — an algorithms × functions grid over a loaded dataset.
 /// Accepts the audit parameters plus `functions`, `algorithms`,
 /// `suite-threads` (clamped to max_request_threads), `suite-budget`,
 /// `no-share-cache`. Failed cells degrade inside the grid (SuiteCell::
 /// error); the response is 200 unless the grid itself cannot be configured.
-HandlerResult HandleSuite(const ServerEnv& env, const HttpRequest& request);
+/// `trace` as in HandleAudit (cells record spans concurrently; the trace
+/// is thread-safe).
+HandlerResult HandleSuite(const ServerEnv& env, const HttpRequest& request,
+                          TraceContext* trace = nullptr);
 
 /// Canonical identity of a cacheable /audit//suite request:
 /// "<path>\n<dataset>\n<name>=<value>\n..." with the flags normalized

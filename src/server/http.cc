@@ -236,6 +236,9 @@ std::string FormatHttpResponse(const HttpResponse& response) {
                     HttpReasonPhrase(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (!response.request_id.empty()) {
+    out += "X-Request-Id: " + response.request_id + "\r\n";
+  }
   if (response.retry_after_ms > 0) {
     // Retry-After is whole seconds; round up so a 250 ms hint never becomes
     // an immediate (0 s) retry.

@@ -55,6 +55,11 @@ struct HttpResponse {
   std::string body;
   int64_t retry_after_ms = 0;
   bool keep_alive = false;
+  /// Emitted as an X-Request-Id header when non-empty. The server sets it
+  /// on every response — echoing a valid client-supplied id, otherwise a
+  /// freshly minted one — including error and load-shedding replies, so a
+  /// client can correlate any answer with its logs.
+  std::string request_id;
 };
 
 /// Decodes %xx escapes and '+' (as space). Malformed escapes pass through

@@ -11,9 +11,14 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <utility>
 
 #include "common/parallel.h"
+#include "common/str_util.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "fairness/report.h"
 
 namespace fairrank {
 
@@ -80,6 +85,34 @@ int HttpStatusForReadError(const Status& status) {
     default:
       return 400;
   }
+}
+
+/// A client-supplied X-Request-Id is echoed only when it is 1..64 bytes of
+/// printable ASCII — anything else (binary, oversized, empty) is replaced
+/// with a server-minted id so log lines and response headers stay clean.
+bool IsValidRequestId(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    if (c < 0x20 || c > 0x7E) return false;
+  }
+  return true;
+}
+
+/// One JSON access-log line. `trace_id` is empty for untraced requests.
+std::string AccessLogLine(const std::string& request_id,
+                          const std::string& method, const std::string& path,
+                          int status, double duration_ms,
+                          const std::string& trace_id) {
+  std::string out = "{\"request_id\":\"" + JsonEscape(request_id) + "\",";
+  out += "\"method\":\"" + JsonEscape(method) + "\",";
+  out += "\"path\":\"" + JsonEscape(path) + "\",";
+  out += "\"status\":" + std::to_string(status) + ",";
+  out += "\"duration_ms\":" + FormatDouble(duration_ms, 3);
+  if (!trace_id.empty()) {
+    out += ",\"trace_id\":\"" + JsonEscape(trace_id) + "\"";
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace
@@ -216,6 +249,9 @@ void FairAuditServer::ListenerLoop() {
     HttpResponse shed = MakeErrorResponse(
         503, "ResourceExhausted", reason,
         std::string("request shed: ") + reason, options_.retry_after_ms);
+    // The listener sheds before reading the request, so there is no client
+    // id to echo — a minted one still lets the client quote something.
+    shed.request_id = NextRequestId();
     SendResponse(fd, shed,
                  Deadline::AfterMillis(options_.shed_send_timeout_ms > 0
                                            ? options_.shed_send_timeout_ms
@@ -259,15 +295,37 @@ void FairAuditServer::ServeConnection(int fd) {
       // parse-error counter.
       if (status.code() != StatusCode::kCancelled) {
         stats_.RecordParseError();
-        SendResponse(fd,
-                     MakeErrorResponse(HttpStatusForReadError(status),
-                                       StatusCodeToString(status.code()),
-                                       "bad_request", status.message()),
-                     IoDeadline());
+        HttpResponse error = MakeErrorResponse(
+            HttpStatusForReadError(status), StatusCodeToString(status.code()),
+            "bad_request", status.message());
+        // The request never parsed, so a client-supplied id (if any) is
+        // unreachable — mint one so even malformed requests get a handle.
+        error.request_id = NextRequestId();
+        SendResponse(fd, error, IoDeadline());
       }
       break;
     }
     if (served > 0) stats_.RecordConnectionReuse();
+
+    // Every response carries an X-Request-Id: the client's own (when valid)
+    // so its logs and ours share a key, a minted one otherwise.
+    std::string request_id;
+    auto id_header = request->headers.find("x-request-id");
+    if (id_header != request->headers.end() &&
+        IsValidRequestId(id_header->second)) {
+      request_id = id_header->second;
+    } else {
+      request_id = NextRequestId();
+    }
+
+    // Per-request tracing only when slow-request diagnosis asked for it and
+    // the endpoint actually runs the pipeline; everything else keeps the
+    // null-trace fast path.
+    std::unique_ptr<TraceContext> trace;
+    if (options_.slow_request_ms > 0 &&
+        (request->path == "/audit" || request->path == "/suite")) {
+      trace = std::make_unique<TraceContext>();
+    }
 
     // Decide the connection's future before routing so the response frames
     // it: the client must opt in (HTTP/1.1 default), the per-connection
@@ -277,8 +335,9 @@ void FairAuditServer::ServeConnection(int fd) {
                 (options_.max_requests_per_connection <= 0 ||
                  served + 1 < options_.max_requests_per_connection) &&
                 !draining_.load(std::memory_order_relaxed);
-    HandlerResult result = Route(*request);
+    HandlerResult result = Route(*request, trace.get());
     result.response.keep_alive = keep;
+    result.response.request_id = request_id;
     SendResponse(fd, result.response, IoDeadline());
 
     double seconds = std::chrono::duration<double>(
@@ -289,10 +348,26 @@ void FairAuditServer::ServeConnection(int fd) {
     // unboundedly.
     const std::string& path = request->path;
     bool known = path == "/audit" || path == "/suite" || path == "/healthz" ||
-                 path == "/stats";
+                 path == "/stats" || path == "/metrics";
     stats_.RecordRequest(known ? path : "(other)", result.response.status,
                          seconds, result.truncated);
     if (HasCacheActivity(result.cache)) stats_.RecordCache(result.cache);
+
+    const double duration_ms = seconds * 1000.0;
+    if (options_.log_sink) {
+      if (options_.access_log) {
+        options_.log_sink(AccessLogLine(
+            request_id, request->method, path, result.response.status,
+            duration_ms, trace != nullptr ? trace->trace_id() : ""));
+      }
+      if (trace != nullptr && duration_ms >=
+              static_cast<double>(options_.slow_request_ms)) {
+        options_.log_sink("slow request " + request_id + " (" +
+                          FormatDouble(duration_ms, 3) + " ms >= " +
+                          std::to_string(options_.slow_request_ms) +
+                          " ms threshold)\n" + trace->FormatTree());
+      }
+    }
 
     ++served;
     if (!keep) break;
@@ -300,9 +375,24 @@ void FairAuditServer::ServeConnection(int fd) {
   close(fd);
 }
 
-HandlerResult FairAuditServer::Route(const HttpRequest& request) {
+HandlerResult FairAuditServer::Route(const HttpRequest& request,
+                                     TraceContext* trace) {
   HandlerResult result;
   bool is_draining = draining_.load(std::memory_order_relaxed);
+  if (request.path == "/metrics") {
+    // Observability must outlive admission: /metrics bypasses the gate and
+    // is served even while draining, exactly when an operator most needs
+    // it. Process-registry families (pipeline counters, audit histograms)
+    // come first, then the server's own request/shed/cache/budget families
+    // — both from the same state /stats snapshots.
+    result.response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    result.response.body =
+        MetricsRegistry::Global().RenderPrometheus() +
+        stats_.ToPrometheus(&process_budget_, admission_.in_flight(),
+                            is_draining, queue_.size(),
+                            response_cache_.Snapshot());
+    return result;
+  }
   if (request.path == "/healthz") {
     if (is_draining) {
       result.response =
@@ -346,8 +436,8 @@ HandlerResult FairAuditServer::Route(const HttpRequest& request) {
       return result;
     }
     stats_.RecordAccepted();
-    result = request.path == "/audit" ? HandleAudit(env_, request)
-                                      : HandleSuite(env_, request);
+    result = request.path == "/audit" ? HandleAudit(env_, request, trace)
+                                      : HandleSuite(env_, request, trace);
     admission_.Release();
     // Only complete successes are replayable: an error is cheap to
     // recompute and a truncated body froze a transient budget/deadline
@@ -361,7 +451,7 @@ HandlerResult FairAuditServer::Route(const HttpRequest& request) {
   result.response = MakeErrorResponse(
       404, "NotFound", "unknown_path",
       "unknown path '" + request.path +
-          "' (endpoints: /audit, /suite, /healthz, /stats)");
+          "' (endpoints: /audit, /suite, /healthz, /stats, /metrics)");
   return result;
 }
 

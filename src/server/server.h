@@ -72,6 +72,20 @@ struct ServerOptions {
   int64_t shed_send_timeout_ms = 250;
   /// Evaluator-thread cap per request.
   int max_request_threads = 1;
+  /// Any /audit or /suite request slower than this many milliseconds gets
+  /// its span tree dumped through log_sink. > 0 also turns on per-request
+  /// tracing for those endpoints (a TraceContext per request); 0 leaves
+  /// requests untraced — the pipeline then pays a single null-pointer
+  /// check per instrumentation site.
+  int64_t slow_request_ms = 0;
+  /// One structured JSON line per finished request through log_sink
+  /// (request_id, method, path, status, duration_ms, trace_id).
+  bool access_log = false;
+  /// Sink for access-log lines and slow-request span dumps. The server
+  /// never touches stdio itself; fairauditd wires this to stdout. Called
+  /// from worker threads, so it must be thread-safe. Empty = lines are
+  /// dropped.
+  std::function<void(const std::string&)> log_sink;
   HttpSizeLimits size_limits;
   /// Polled by the listener between accepts; returning true triggers the
   /// same graceful drain as RequestShutdown(). Lets main() wire the process
@@ -91,8 +105,8 @@ struct ServerOptions {
 /// ParallelForEach pool (the repo's only sanctioned thread source). The
 /// listener accepts, tags connections with arrival order, and hands fds to
 /// a BoundedQueue; workers pop, parse, route, and answer. Admission control
-/// (AdmissionController) gates /audit and /suite; /healthz and /stats are
-/// always served, even while draining.
+/// (AdmissionController) gates /audit and /suite; /healthz, /stats, and
+/// /metrics are always served, even while draining.
 ///
 /// Fault containment: every request runs under GuardRequest (see
 /// handlers.cc) — bad input, fault-injected library failures, and budget
@@ -146,8 +160,9 @@ class FairAuditServer {
   /// drain starts.
   void ServeConnection(int fd);
   /// Routes a parsed request to its endpoint (response cache consulted for
-  /// /audit and /suite).
-  HandlerResult Route(const HttpRequest& request);
+  /// /audit and /suite). `trace` is this request's span collector (null
+  /// when tracing is off); it reaches the handlers via ExecutionLimits.
+  HandlerResult Route(const HttpRequest& request, TraceContext* trace);
 
   /// Reads one request (head + body) off `fd` under io_timeout_ms and the
   /// size limits. `carry` holds bytes read past the previous request on

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/budget.h"
+#include "common/telemetry.h"
 #include "common/thread_annotations.h"
 #include "fairness/eval_cache.h"
 #include "server/admission.h"
@@ -55,6 +56,16 @@ class ServerStats {
                      const ResponseCacheStats& response_cache) const
       FAIRRANK_EXCLUDES(mutex_);
 
+  /// Prometheus text exposition of the same counters (and the same latency
+  /// sketches — `/stats` p50/p99 and `/metrics` quantiles are one
+  /// GK-sketch read apart, never two implementations). Serves the server
+  /// half of GET /metrics; the process-registry half comes from
+  /// MetricsRegistry::RenderPrometheus.
+  std::string ToPrometheus(const ResourceBudget* process_budget, int in_flight,
+                           bool draining, size_t queue_depth,
+                           const ResponseCacheStats& response_cache) const
+      FAIRRANK_EXCLUDES(mutex_);
+
  private:
   struct EndpointStats {
     uint64_t count = 0;
@@ -62,6 +73,9 @@ class ServerStats {
     uint64_t truncated = 0;  ///< 200s that carried truncated: true.
     double total_seconds = 0;
     double max_seconds = 0;
+    /// GK-backed per-endpoint latency (seconds); p50/p99 in both /stats
+    /// and /metrics are read off this one sketch (see common/telemetry.h).
+    LatencySketch latency;
   };
 
   mutable std::mutex mutex_;

@@ -38,6 +38,16 @@ grep -q "partition: Gender=0" "$WORKDIR/part.txt" || fail "saved spec"
 "$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function alpha:0.5 --json \
   | grep -q '^{"algorithm"' || fail "audit json"
 
+# audit --trace prints the span tree on stderr, leaving stdout (the report,
+# or --json) untouched.
+"$FAIRAUDIT" audit --input "$WORKDIR/w.csv" --function f6 --json --trace \
+  > "$WORKDIR/trace.out" 2> "$WORKDIR/trace.err"
+grep -q '^{"algorithm"' "$WORKDIR/trace.out" || fail "trace kept stdout clean"
+grep -q "^trace " "$WORKDIR/trace.err" || fail "trace header line"
+grep -q -- "- audit " "$WORKDIR/trace.err" || fail "trace root span"
+grep -q -- "  - search " "$WORKDIR/trace.err" || fail "trace child span"
+grep -q "totals:" "$WORKDIR/trace.err" || fail "trace totals"
+
 # apply the saved partitioning.
 "$FAIRAUDIT" apply --input "$WORKDIR/w.csv" --spec "$WORKDIR/part.txt" \
   --function f6 | grep -q "applied 2 partitions" || fail "apply"

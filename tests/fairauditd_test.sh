@@ -101,6 +101,24 @@ grep -q "connects 1" "$WORKDIR/ka.out" || fail "keep-alive reused connection"
 [ "$(grep '"unfairness"' "$WORKDIR/ka.out" | sort -u | wc -l)" -eq 1 ] \
   || fail "cached keep-alive bodies not identical"
 
+# /metrics serves the Prometheus exposition: server request families, the
+# per-endpoint latency summary, and the process-registry pipeline counters
+# driven by the audits above.
+fetch "/metrics" > "$WORKDIR/metrics.out"
+grep -q "status 200" "$WORKDIR/metrics.out" || fail "metrics status"
+grep -q 'fairrank_http_requests_total{endpoint="/audit"}' \
+  "$WORKDIR/metrics.out" || fail "metrics request counter"
+grep -q 'fairrank_http_request_duration_seconds{endpoint="/audit",quantile="0.5"}' \
+  "$WORKDIR/metrics.out" || fail "metrics latency summary"
+grep -q 'fairrank_http_shed_total{reason="total"}' "$WORKDIR/metrics.out" \
+  || fail "metrics shed counter"
+grep -q '^fairrank_audits_total [1-9]' "$WORKDIR/metrics.out" \
+  || fail "metrics audits counter"
+grep -q 'fairrank_pipeline_emd_computations_total' "$WORKDIR/metrics.out" \
+  || fail "metrics pipeline counter"
+grep -q 'fairrank_response_cache_events_total' "$WORKDIR/metrics.out" \
+  || fail "metrics response cache events"
+
 # /stats shows the served endpoints, the budget rollup, and the new
 # keep-alive + response-cache counters.
 fetch "/stats" > "$WORKDIR/stats.out"
@@ -163,6 +181,17 @@ partial = b"POST /audit HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc"
 reply = exchange(partial, shutdown_early=True)
 if reply and not reply.startswith(b"HTTP/1.1 4"):
     raise SystemExit("premature-close: got %r" % reply[:120])
+# A client-supplied X-Request-Id must come back verbatim on the response.
+echoed = exchange(b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                  b"X-Request-Id: smoke-echo-1\r\nConnection: close\r\n\r\n")
+expect("request-id", echoed, b"200")
+if b"X-Request-Id: smoke-echo-1" not in echoed:
+    raise SystemExit("request-id not echoed: %r" % echoed[:200])
+# Without one, the server mints a printable req-... id.
+minted = exchange(b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                  b"Connection: close\r\n\r\n")
+if b"X-Request-Id: req-" not in minted:
+    raise SystemExit("request-id not minted: %r" % minted[:200])
 print("malformed smoke ok")
 PYEOF
   grep -q "malformed smoke ok" "$WORKDIR/malformed.out" \
@@ -206,5 +235,28 @@ RC=0
 wait "$DPID" || RC=$?
 [ "$RC" -eq 0 ] || fail "second daemon exit code (got $RC)"
 DPID=""
+
+# --- Daemon 3: access logs + slow-request span dumps. ---------------------
+start_daemon "$WORKDIR/d3.log" --access-log --slow-request-ms 1
+
+# A deadline-bounded exhaustive audit runs ~50 ms — past the 1 ms slow
+# threshold, so the daemon must log both the JSON access line and the span
+# tree of the slow request.
+fetch "/audit?function=f6&algorithm=exhaustive&timeout-ms=50" \
+  > "$WORKDIR/slow.out"
+grep -q "status 200" "$WORKDIR/slow.out" || fail "slow audit status"
+
+kill -TERM "$DPID"
+RC=0
+wait "$DPID" || RC=$?
+[ "$RC" -eq 0 ] || fail "third daemon exit code (got $RC)"
+DPID=""
+
+grep -q '"path":"/audit"' "$WORKDIR/d3.log" || fail "access log line"
+grep -q '"request_id":"req-' "$WORKDIR/d3.log" || fail "access log request id"
+grep -q '"trace_id":"' "$WORKDIR/d3.log" || fail "access log trace id"
+grep -q "slow request req-" "$WORKDIR/d3.log" || fail "slow request dump"
+grep -q -- "- audit " "$WORKDIR/d3.log" || fail "slow dump span tree root"
+grep -q -- "  - search " "$WORKDIR/d3.log" || fail "slow dump child span"
 
 echo "fairauditd_test: server smoke OK"

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -607,6 +608,191 @@ TEST(ServerTest, ResponseCacheEvictsUnderByteCapAndChargesBudget) {
   ASSERT_NE(mem_pos, std::string::npos);
   uint64_t memory_used = std::stoull(stats.body.substr(mem_pos + 20));
   EXPECT_GE(memory_used, bytes_used) << stats.body;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry surfaces: /metrics, request ids, access logs, slow-request dumps.
+
+TEST(ServerTest, MetricsEndpointServesPrometheusFamilies) {
+  auto running = StartServer(DefaultOptions());
+  // Drive the pipeline once so the audit/pipeline counters are live.
+  HttpFetchResult audit =
+      Fetch(*running, "/audit?function=f6&algorithm=unbalanced&seed=3");
+  ASSERT_EQ(audit.status_code, 200) << audit.body;
+
+  HttpFetchResult metrics = Fetch(*running, "/metrics");
+  ASSERT_EQ(metrics.status_code, 200);
+  EXPECT_NE(metrics.head.find("text/plain; version=0.0.4"), std::string::npos)
+      << metrics.head;
+  // Server-layer families.
+  EXPECT_NE(metrics.body.find(
+                "fairrank_http_requests_total{endpoint=\"/audit\"} 1"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("# TYPE fairrank_http_request_duration_seconds"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find(
+                "fairrank_http_request_duration_seconds{endpoint=\"/audit\","
+                "quantile=\"0.5\"}"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("fairrank_http_shed_total{reason=\"total\"} 0"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("fairrank_http_in_flight_count"),
+            std::string::npos);
+  // Process-registry families fed by the library pipeline. The registry is
+  // process-global (cumulative across every test in this binary), so assert
+  // presence and non-zero rather than exact values.
+  EXPECT_NE(metrics.body.find("# TYPE fairrank_audits_total counter"),
+            std::string::npos);
+  EXPECT_EQ(metrics.body.find("fairrank_audits_total 0\n"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("fairrank_pipeline_emd_computations_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("fairrank_audit_search_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("fairrank_budget_nodes_used_count"),
+            std::string::npos);
+}
+
+TEST(ServerTest, StatsAndMetricsQuantilesReadTheSameSketch) {
+  auto running = StartServer(DefaultOptions());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(
+        Fetch(*running, "/audit?function=f6&algorithm=unbalanced&seed=3")
+            .status_code,
+        200);
+  }
+
+  // /stats reports milliseconds (3 decimals), /metrics seconds (6 decimals)
+  // — 1 µs resolution both ways, read off the SAME per-endpoint GK sketch.
+  // The /stats fetch itself lands in the "/stats" sketch, so the "/audit"
+  // sketch is identical across the two scrapes.
+  HttpFetchResult stats = Fetch(*running, "/stats");
+  HttpFetchResult metrics = Fetch(*running, "/metrics");
+  ASSERT_EQ(stats.status_code, 200);
+  ASSERT_EQ(metrics.status_code, 200);
+
+  size_t audit_pos = stats.body.find("\"/audit\"");
+  ASSERT_NE(audit_pos, std::string::npos) << stats.body;
+  size_t p50_pos = stats.body.find("\"p50_ms\":", audit_pos);
+  ASSERT_NE(p50_pos, std::string::npos) << stats.body;
+  const double stats_p50_ms = std::stod(stats.body.substr(p50_pos + 9));
+
+  const std::string needle =
+      "fairrank_http_request_duration_seconds{endpoint=\"/audit\","
+      "quantile=\"0.5\"} ";
+  size_t metric_pos = metrics.body.find(needle);
+  ASSERT_NE(metric_pos, std::string::npos) << metrics.body;
+  const double metrics_p50_seconds =
+      std::stod(metrics.body.substr(metric_pos + needle.size()));
+
+  EXPECT_GT(stats_p50_ms, 0.0);
+  EXPECT_NEAR(stats_p50_ms, metrics_p50_seconds * 1000.0, 0.002);
+}
+
+TEST(ServerTest, RequestIdIsEchoedOrMintedOnEveryResponse) {
+  auto running = StartServer(DefaultOptions());
+  const int port = running->server->port();
+
+  // A valid client-supplied id comes back verbatim.
+  StatusOr<HttpFetchResult> echoed =
+      HttpFetch("127.0.0.1", port, "GET", "/healthz", "", 30000,
+                "X-Request-Id: client-id-42\r\n");
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_NE(echoed->head.find("X-Request-Id: client-id-42"),
+            std::string::npos)
+      << echoed->head;
+
+  // Errors echo too — the id is how a client correlates its failure.
+  StatusOr<HttpFetchResult> error =
+      HttpFetch("127.0.0.1", port, "GET", "/nope", "", 30000,
+                "X-Request-Id: err-7\r\n");
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->status_code, 404);
+  EXPECT_NE(error->head.find("X-Request-Id: err-7"), std::string::npos)
+      << error->head;
+
+  // No client id: the server mints one.
+  HttpFetchResult minted = Fetch(*running, "/healthz");
+  EXPECT_NE(minted.head.find("X-Request-Id: req-"), std::string::npos)
+      << minted.head;
+
+  // An invalid id (too long) is replaced by a minted one, not echoed.
+  const std::string oversized(65, 'x');
+  StatusOr<HttpFetchResult> replaced =
+      HttpFetch("127.0.0.1", port, "GET", "/healthz", "", 30000,
+                "X-Request-Id: " + oversized + "\r\n");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced->head.find(oversized), std::string::npos);
+  EXPECT_NE(replaced->head.find("X-Request-Id: req-"), std::string::npos)
+      << replaced->head;
+}
+
+TEST(ServerTest, ShedResponsesCarryTheRequestId) {
+  ServerOptions options = DefaultOptions();
+  options.max_total_nodes = 10;
+  auto running = StartServer(options);
+
+  // Exhaust the process budget, then a shed 503 must still echo the id.
+  ASSERT_EQ(Fetch(*running, "/audit?function=f6&algorithm=unbalanced")
+                .status_code,
+            200);
+  StatusOr<HttpFetchResult> shed = HttpFetch(
+      "127.0.0.1", running->server->port(), "GET",
+      "/audit?function=f6&algorithm=unbalanced", "", 30000,
+      "X-Request-Id: shed-correlate-1\r\n");
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->status_code, 503) << shed->body;
+  EXPECT_NE(shed->head.find("X-Request-Id: shed-correlate-1"),
+            std::string::npos)
+      << shed->head;
+}
+
+TEST(ServerTest, AccessLogAndSlowRequestDump) {
+  ServerOptions options = DefaultOptions();
+  options.access_log = true;
+  options.slow_request_ms = 1;  // Any audit exceeds 1 ms: every one dumps.
+  std::mutex log_mutex;
+  std::vector<std::string> lines;
+  options.log_sink = [&log_mutex, &lines](const std::string& line) {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    lines.push_back(line);
+  };
+  auto running = StartServer(std::move(options));
+
+  // Deadline-bounded exhaustive search: runs ~50 ms (then truncates), which
+  // reliably crosses the 1 ms slow threshold; a plain unbalanced audit on
+  // 150 rows can finish in under a millisecond.
+  StatusOr<HttpFetchResult> response = HttpFetch(
+      "127.0.0.1", running->server->port(), "GET",
+      "/audit?function=f6&algorithm=exhaustive&timeout-ms=50", "", 30000,
+      "X-Request-Id: slow-1\r\n");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status_code, 200) << response->body;
+  running->Stop();  // Flushes: no more sink calls after join.
+
+  std::lock_guard<std::mutex> lock(log_mutex);
+  bool saw_access_line = false;
+  bool saw_slow_dump = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"request_id\":\"slow-1\"") != std::string::npos &&
+        line.find("\"path\":\"/audit\"") != std::string::npos) {
+      saw_access_line = true;
+      EXPECT_NE(line.find("\"status\":200"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"trace_id\":\""), std::string::npos) << line;
+    }
+    if (line.find("slow request slow-1") != std::string::npos) {
+      saw_slow_dump = true;
+      // The dump is the span tree: audit root with search/report children.
+      EXPECT_NE(line.find("- audit "), std::string::npos) << line;
+      EXPECT_NE(line.find("  - search "), std::string::npos) << line;
+      EXPECT_NE(line.find("totals:"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(saw_access_line) << lines.size() << " lines captured";
+  EXPECT_TRUE(saw_slow_dump) << lines.size() << " lines captured";
 }
 
 TEST(ServerTest, DrainClosesIdleKeptAliveConnectionPromptly) {

@@ -8,6 +8,7 @@
 //                      [--attributes Gender,Country] [--json] [--histograms]
 //                      [--timeout-ms 5000] [--max-nodes 100000]
 //                      [--max-memory-mb 512] [--no-cache] [--cache-mb 256]
+//                      [--trace]
 //   fairaudit suite    --input workers.csv
 //                      [--functions alpha:0.25,alpha:0.5,f6]
 //                      [--algorithms balanced,unbalanced] [--csv] [--json]
@@ -54,16 +55,23 @@
 // `--cache-mb` caps its resident size. Results are bit-identical either way;
 // the report prints the hit/miss counters.
 //
+// `audit --trace` records spans through the pipeline (search, expand,
+// evaluate, histogram, emd, cache hits) and prints the span tree with
+// per-name totals to stderr after the report — where the audit's time
+// actually went, without a profiler.
+//
 // Input CSVs must carry the paper's worker schema columns (see
 // `fairaudit generate`); extra columns are ignored.
 
 #include <cstdio>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "data/csv.h"
 #include "data/profile.h"
 #include "fairness/auditor.h"
@@ -188,10 +196,21 @@ int CmdAudit(const FlagParser& flags) {
   if (!fn.ok()) return Fail(fn.status());
   StatusOr<AuditOptions> options = AuditOptionsFromFlags(flags);
   if (!options.ok()) return Fail(options.status());
+  StatusOr<bool> traced = flags.GetBool("trace", false);
+  if (!traced.ok()) return Fail(traced.status());
+  std::unique_ptr<TraceContext> trace;
+  if (*traced) {
+    trace = std::make_unique<TraceContext>();
+    options->limits.trace = trace.get();
+  }
 
   FairnessAuditor auditor(&workers.value());
   StatusOr<AuditResult> result = auditor.Audit(**fn, *options);
   if (!result.ok()) return Fail(result.status());
+  // The tree goes to stderr so `--json | jq` keeps working with --trace on.
+  if (trace != nullptr) {
+    std::fprintf(stderr, "%s", trace->FormatTree().c_str());
+  }
 
   std::string save_path = flags.GetString("save-partitioning", "");
   if (!save_path.empty()) {
@@ -606,7 +625,7 @@ StatusOr<std::vector<std::string>> KnownFlagsForCommand(
   } else if (command == "audit") {
     add_audit_flags();
     add({"input", "function", "json", "histograms", "max-partitions",
-         "save-partitioning"});
+         "save-partitioning", "trace"});
   } else if (command == "suite") {
     add_audit_flags();
     add({"input", "functions", "algorithms", "csv", "json", "suite-threads",

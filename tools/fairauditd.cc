@@ -8,7 +8,7 @@
 //              [--drain-ms 2000] [--io-timeout-ms 5000]
 //              [--no-keep-alive] [--keep-alive-idle-ms 5000]
 //              [--max-requests-per-conn 100] [--response-cache-mb 8]
-//              [--request-threads 1]
+//              [--request-threads 1] [--slow-request-ms 0] [--access-log]
 //   fairauditd --workers 2000 [--seed 7] ...        (synthetic dataset)
 //
 // Datasets load once at startup into immutable shared tables; each request
@@ -19,8 +19,11 @@
 // ephemeral port; the bound port is printed on the "listening" line.
 //
 // Endpoints: /audit and /suite take the fairaudit CLI's flags as query (or
-// POST form) parameters plus `dataset=<name>`; /healthz and /stats are
-// always served, even while draining. SIGINT/SIGTERM start a graceful
+// POST form) parameters plus `dataset=<name>`; /healthz, /stats, and
+// /metrics (Prometheus text) are always served, even while draining.
+// `--access-log` prints one JSON line per request; `--slow-request-ms N`
+// traces /audit//suite requests and dumps the span tree of any slower than
+// N ms. SIGINT/SIGTERM start a graceful
 // drain: stop accepting, wait up to --drain-ms for in-flight requests, then
 // cancel cooperatively (stragglers return truncated best-so-far bodies),
 // flush a final stats line, and exit 0.
@@ -65,7 +68,7 @@ const std::vector<std::string>& KnownFlags() {
       "queue-depth", "timeout-ceiling-ms", "default-timeout-ms", "max-nodes",
       "max-memory-mb", "retry-after-ms", "drain-ms", "io-timeout-ms",
       "no-keep-alive", "keep-alive-idle-ms", "max-requests-per-conn",
-      "response-cache-mb", "request-threads",
+      "response-cache-mb", "request-threads", "slow-request-ms", "access-log",
       // Client mode.
       "fetch", "method", "body", "fetch-timeout-ms", "fetch-count",
   };
@@ -208,6 +211,18 @@ StatusOr<ServerOptions> OptionsFromFlags(const FlagParser& flags) {
   FAIRRANK_ASSIGN_OR_RETURN(int64_t request_threads,
                             NonNegativeInt(flags, "request-threads", 1));
   options.max_request_threads = static_cast<int>(request_threads);
+  FAIRRANK_ASSIGN_OR_RETURN(options.slow_request_ms,
+                            NonNegativeInt(flags, "slow-request-ms", 0));
+  FAIRRANK_ASSIGN_OR_RETURN(options.access_log,
+                            flags.GetBool("access-log", false));
+  if (options.access_log || options.slow_request_ms > 0) {
+    // The library never touches stdio; the daemon is where log lines land
+    // on stdout (one flush per line so tail -f and test greps see them).
+    options.log_sink = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    };
+  }
   options.external_shutdown = [] { return ShutdownRequested(); };
   return options;
 }

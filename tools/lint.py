@@ -56,6 +56,12 @@ Tree rules (cross-file consistency):
                    (no NaN/Infinity), carry a "bench" name, and known
                    bench kinds keep their required keys — a malformed
                    baseline must fail lint, not a downstream diff script.
+  metrics-naming   Every "fairrank_..." metric-name literal in src/,
+                   tools/ or bench/ is snake_case, carries a recognized
+                   unit/kind suffix (_total, _seconds, _bytes, _count,
+                   _ratio, _info) and never doubles underscores — the
+                   /metrics exposition stays Prometheus-conventional.
+                   tests/ may spell invalid names on purpose.
 
 Usage:
   python3 tools/lint.py [root]     lint the tree (root defaults to repo root)
@@ -352,6 +358,60 @@ class FlagSyncRule(Rule):
     )
 
 
+class MetricsNamingRule(Rule):
+    """Validates "fairrank_..." metric-name string literals against the
+    Prometheus naming conventions MetricsRegistry::IsValidMetricName
+    enforces at runtime — lint catches the typo before anything runs.
+
+    A literal may carry a label block ("name{..."); only the part before
+    the brace is the name. The bare "fairrank_" prefix constant is not a
+    metric name and is skipped."""
+
+    name = "metrics-naming"
+
+    SCOPES = ("src/", "tools/", "bench/")
+    SUFFIXES = ("_total", "_seconds", "_bytes", "_count", "_ratio", "_info")
+
+    def check(self, tree):
+        for path, ctx in sorted(tree.files.items()):
+            if not path.startswith(self.SCOPES):
+                continue
+            for lit in re.finditer(STRING_LITERAL, ctx.text):
+                content = lit.group(1)
+                if not content.startswith("fairrank_"):
+                    continue
+                metric = content.split("{", 1)[0]
+                if metric == "fairrank_":
+                    continue  # The prefix constant, not a name.
+                line = line_of(ctx.text, lit.start())
+                if not re.fullmatch(r"[a-z][a-z0-9_]*[a-z0-9]", metric):
+                    yield (path, line,
+                           '"%s" is not snake_case ([a-z0-9_], no edge '
+                           "underscores)" % metric)
+                elif "__" in metric:
+                    yield (path, line,
+                           '"%s" doubles an underscore' % metric)
+                elif not metric.endswith(self.SUFFIXES):
+                    yield (path, line,
+                           '"%s" lacks a unit/kind suffix (%s)'
+                           % (metric, ", ".join(self.SUFFIXES)))
+
+    selftests = (
+        ({"src/a.cc": 'auto* c = Get("fairrank_audits_total");\n'}, 0),
+        ({"bench/a.cc":
+          'find("fairrank_http_request_duration_seconds{");\n'}, 0),
+        ({"src/a.cc": 'const std::string prefix = "fairrank_";\n'}, 0),
+        ({"src/a.cc": 'Get("fairrank_Audits_total");\n'}, 1),
+        ({"src/a.cc": 'Get("fairrank_audits");\n'}, 1),
+        ({"src/a.cc": 'Get("fairrank__audits_total");\n'}, 1),
+        ({"src/a.cc": 'Get("fairrank_audits_total_");\n'}, 1),
+        ({"tools/a.cc": 'Get("fairrank_audits-total");\n'}, 1),
+        # tests/ spell invalid names on purpose; comments never match.
+        ({"tests/a.cc": 'Get("fairrank_bad");\n'}, 0),
+        ({"src/a.cc": '// mentions "fairrank_bad" in a comment\n'}, 0),
+    )
+
+
 class BenchJsonSchemaRule(Rule):
     """BENCH_*.json baselines: strict JSON, a bench name, required keys."""
 
@@ -359,6 +419,7 @@ class BenchJsonSchemaRule(Rule):
 
     REQUIRED_KEYS = {
         "server_load": ("clients", "duration_ms", "phases"),
+        "trace_overhead": ("workers", "repetitions", "overhead_percent"),
     }
 
     def check(self, tree):
@@ -497,6 +558,7 @@ RULES = (
     IncludeGuardRule(),
     SuppressionRule(),
     FlagSyncRule(),
+    MetricsNamingRule(),
     BenchJsonSchemaRule(),
 )
 
