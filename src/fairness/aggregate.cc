@@ -1,17 +1,92 @@
 #include "fairness/aggregate.h"
 
 #include <algorithm>
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace fairrank {
+namespace {
+
+/// Always-on ingest / aggregate-audit metrics, registered once (the
+/// static-registration idiom of telemetry.h).
+struct AggregateMetrics {
+  MetricCounter* ingest_rows;
+  MetricCounter* ingest_shards;
+  MetricCounter* ingest_builds;
+  MetricHistogram* ingest_seconds;
+  MetricCounter* audits;
+
+  static const AggregateMetrics& Get() {
+    static const AggregateMetrics* metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      auto* m = new AggregateMetrics();
+      m->ingest_rows = registry.GetCounter(
+          "fairrank_ingest_rows_total",
+          "Rows ingested into cell stores via BuildCellStoreParallel");
+      m->ingest_shards = registry.GetCounter(
+          "fairrank_ingest_shards_total",
+          "Cell-store shards accumulated by parallel ingest");
+      m->ingest_builds = registry.GetCounter(
+          "fairrank_ingest_builds_total",
+          "Completed BuildCellStoreParallel calls");
+      m->ingest_seconds = registry.GetHistogram(
+          "fairrank_ingest_seconds",
+          "Wall-clock seconds of one parallel cell-store ingest");
+      m->audits = registry.GetCounter(
+          "fairrank_aggregate_audits_total",
+          "Completed aggregate (cell-store) balanced audits");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+StatusOr<CellStore> CellStore::Make(std::vector<AttributeSpec> protected_specs,
+                                    int num_bins, double score_lo,
+                                    double score_hi) {
+  if (protected_specs.empty()) {
+    return Status::InvalidArgument(
+        "cell store needs at least one protected attribute");
+  }
+  for (const AttributeSpec& spec : protected_specs) {
+    FAIRRANK_RETURN_NOT_OK(spec.Validate());
+  }
+  if (num_bins < 1) {
+    return Status::InvalidArgument(
+        "cell store needs at least one histogram bin, got " +
+        std::to_string(num_bins));
+  }
+  if (!(score_lo < score_hi)) {
+    std::string message = "cell store score range is empty: [";
+    message += FormatDouble(score_lo, 6);
+    message += ", ";
+    message += FormatDouble(score_hi, 6);
+    message += "]";
+    return Status::InvalidArgument(message);
+  }
+  return CellStore(std::move(protected_specs), num_bins, score_lo, score_hi);
+}
 
 CellStore::CellStore(std::vector<AttributeSpec> protected_specs, int num_bins,
                      double score_lo, double score_hi)
     : specs_(std::move(protected_specs)),
       num_bins_(num_bins),
       score_lo_(score_lo),
-      score_hi_(score_hi) {}
+      score_hi_(score_hi) {
+  assert(!specs_.empty() && num_bins >= 1 && score_lo < score_hi);
+}
 
-Status CellStore::Add(const std::vector<int>& groups, double score) {
+Status CellStore::CheckKey(const std::vector<int>& groups) const {
   if (groups.size() != specs_.size()) {
     return Status::InvalidArgument(
         "cell key has " + std::to_string(groups.size()) + " groups, store has " +
@@ -24,12 +99,18 @@ Status CellStore::Add(const std::vector<int>& groups, double score) {
                                 specs_[a].name() + "'");
     }
   }
+  return Status::OK();
+}
+
+Status CellStore::Add(const std::vector<int>& groups, double score) {
+  FAIRRANK_RETURN_NOT_OK(CheckKey(groups));
   auto it = cells_.find(groups);
   if (it == cells_.end()) {
-    it = cells_.emplace(groups, Histogram(num_bins_, score_lo_, score_hi_))
+    it = cells_.emplace(groups, StoreCell(num_bins_, score_lo_, score_hi_))
              .first;
   }
-  it->second.Add(score);
+  it->second.histogram.Add(score);
+  ++it->second.count;
   ++observations_;
   return Status::OK();
 }
@@ -42,6 +123,336 @@ Status CellStore::AddRow(const Table& table, size_t row, double score) {
     groups[a] = table.GroupIndex(row, index);
   }
   return Add(groups, score);
+}
+
+Status CellStore::MergeCell(const std::vector<int>& groups,
+                            const Histogram& histogram, size_t count) {
+  FAIRRANK_RETURN_NOT_OK(CheckKey(groups));
+  auto it = cells_.find(groups);
+  if (it == cells_.end()) {
+    it = cells_.emplace(groups, StoreCell(num_bins_, score_lo_, score_hi_))
+             .first;
+  }
+  // MergeWith rejects a bin-config mismatch, naming both shapes.
+  FAIRRANK_RETURN_NOT_OK(it->second.histogram.MergeWith(histogram));
+  it->second.count += count;
+  observations_ += count;
+  return Status::OK();
+}
+
+Status CellStore::MergeFrom(const CellStore& other) {
+  if (other.specs_.size() != specs_.size()) {
+    return Status::InvalidArgument(
+        "cannot merge cell stores: " + std::to_string(specs_.size()) +
+        " attributes here vs " + std::to_string(other.specs_.size()) +
+        " there");
+  }
+  for (size_t a = 0; a < specs_.size(); ++a) {
+    if (specs_[a].name() != other.specs_[a].name() ||
+        specs_[a].num_groups() != other.specs_[a].num_groups()) {
+      std::string message = "cannot merge cell stores: attribute ";
+      message += std::to_string(a);
+      message += " is '";
+      message += specs_[a].name();
+      message += "' (";
+      message += std::to_string(specs_[a].num_groups());
+      message += " groups) here vs '";
+      message += other.specs_[a].name();
+      message += "' (";
+      message += std::to_string(other.specs_[a].num_groups());
+      message += " groups) there";
+      return Status::InvalidArgument(message);
+    }
+  }
+  if (other.num_bins_ != num_bins_ || other.score_lo_ != score_lo_ ||
+      other.score_hi_ != score_hi_) {
+    std::string message = "cannot merge cell stores: ";
+    message += std::to_string(num_bins_);
+    message += " bins over [";
+    message += FormatDouble(score_lo_, 6);
+    message += ", ";
+    message += FormatDouble(score_hi_, 6);
+    message += "] here vs ";
+    message += std::to_string(other.num_bins_);
+    message += " bins over [";
+    message += FormatDouble(other.score_lo_, 6);
+    message += ", ";
+    message += FormatDouble(other.score_hi_, 6);
+    message += "] there";
+    return Status::InvalidArgument(message);
+  }
+  for (const auto& [key, cell] : other.cells_) {
+    FAIRRANK_RETURN_NOT_OK(MergeCell(key, cell.histogram, cell.count));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Above this many dense cells (cross-product of group cardinalities) the
+/// flat per-shard arrays stop being cheap and shards fall back to a private
+/// CellStore map. The paper's worker schema has 1800 cells; the cap leaves
+/// two orders of magnitude of headroom (64K cells * 10 bins * 8 B ≈ 5 MB
+/// per shard).
+constexpr size_t kDenseCellCap = size_t{1} << 16;
+
+/// Row block between deadline / cancellation checks on the shard hot loop.
+constexpr size_t kIngestCheckBlock = 4096;
+
+/// Precomputed ingest plan shared read-only by every shard: resolved specs,
+/// their table column indices, and the mixed-radix strides mapping a group
+/// vector to a dense cell id (spec 0 most significant, so ascending dense
+/// ids enumerate cell keys in lexicographic — i.e. std::map — order).
+struct IngestPlan {
+  std::vector<AttributeSpec> specs;
+  std::vector<size_t> columns;
+  std::vector<size_t> strides;
+  size_t num_dense_cells = 0;  ///< 0 = too many, use the sparse fallback.
+  int num_bins = 1;
+  double score_lo = 0.0;
+  double score_hi = 1.0;
+};
+
+StatusOr<IngestPlan> MakeIngestPlan(const Table& table,
+                                    const CellStoreIngestOptions& options) {
+  IngestPlan plan;
+  plan.num_bins = options.num_bins;
+  plan.score_lo = options.score_lo;
+  plan.score_hi = options.score_hi;
+  if (options.protected_attributes.empty()) {
+    for (size_t index : table.schema().ProtectedIndices()) {
+      plan.columns.push_back(index);
+      plan.specs.push_back(table.schema().attribute(index));
+    }
+    if (plan.columns.empty()) {
+      return Status::FailedPrecondition(
+          "table schema declares no protected attributes");
+    }
+  } else {
+    for (const std::string& name : options.protected_attributes) {
+      FAIRRANK_ASSIGN_OR_RETURN(size_t index, table.schema().FindIndex(name));
+      plan.columns.push_back(index);
+      plan.specs.push_back(table.schema().attribute(index));
+    }
+  }
+  size_t cells = 1;
+  for (const AttributeSpec& spec : plan.specs) {
+    size_t groups = static_cast<size_t>(spec.num_groups());
+    if (groups == 0 || cells > kDenseCellCap / groups) {
+      cells = 0;
+      break;
+    }
+    cells *= groups;
+  }
+  plan.num_dense_cells = cells;
+  plan.strides.assign(plan.specs.size(), 1);
+  if (cells > 0) {
+    for (size_t a = plan.specs.size(); a-- > 1;) {
+      plan.strides[a - 1] =
+          plan.strides[a] * static_cast<size_t>(plan.specs[a].num_groups());
+    }
+  }
+  return plan;
+}
+
+/// One worker thread's private accumulator (no locks on the add path).
+/// Dense schemas use flat arrays indexed by the mixed-radix cell id; huge
+/// cross-products fall back to a private CellStore map.
+struct CellStoreShard {
+  std::vector<double> bins;     ///< num_dense_cells * num_bins.
+  std::vector<size_t> counts;   ///< num_dense_cells.
+  std::vector<double> clamped;  ///< num_dense_cells.
+  std::optional<CellStore> sparse;
+  Status status = Status::OK();
+  size_t rows = 0;
+};
+
+/// Approximate bytes one dense shard allocates, for the memory budget.
+uint64_t DenseShardBytes(const IngestPlan& plan) {
+  return static_cast<uint64_t>(plan.num_dense_cells) *
+         (static_cast<uint64_t>(plan.num_bins) * sizeof(double) +
+          sizeof(size_t) + sizeof(double));
+}
+
+/// Runs one shard over rows [begin, end), leaving the outcome in `shard`.
+void RunIngestShard(const Table& table, const std::vector<double>& scores,
+                    const IngestPlan& plan, const ExecutionContext& context,
+                    size_t begin, size_t end, CellStoreShard* shard) {
+  const bool dense = plan.num_dense_cells > 0;
+  uint64_t shard_bytes = dense ? DenseShardBytes(plan) : 0;
+  ExhaustionReason reason = context.CheckMemory(shard_bytes);
+  if (reason != ExhaustionReason::kNone) {
+    shard->status = ExhaustionStatus(reason);
+    return;
+  }
+  if (dense) {
+    shard->bins.assign(plan.num_dense_cells * static_cast<size_t>(plan.num_bins),
+                       0.0);
+    shard->counts.assign(plan.num_dense_cells, 0);
+    shard->clamped.assign(plan.num_dense_cells, 0.0);
+  } else {
+    shard->sparse.emplace(plan.specs, plan.num_bins, plan.score_lo,
+                          plan.score_hi);
+  }
+  // Scratch histogram purely for BinOf: bit-identical binning (and clamp
+  // semantics) with the serial Histogram::Add path.
+  Histogram binner(plan.num_bins, plan.score_lo, plan.score_hi);
+  std::vector<int> groups(plan.specs.size());
+  size_t sparse_cells_charged = 0;
+  for (size_t row = begin; row < end; ++row) {
+    if ((shard->rows % kIngestCheckBlock) == 0 && shard->rows > 0) {
+      reason = context.Check();
+      if (reason != ExhaustionReason::kNone) {
+        shard->status = ExhaustionStatus(reason);
+        return;
+      }
+    }
+    size_t cell = 0;
+    for (size_t a = 0; a < plan.columns.size(); ++a) {
+      int group = table.GroupIndex(row, plan.columns[a]);
+      if (group < 0 || group >= plan.specs[a].num_groups()) {
+        shard->status = Status::OutOfRange(
+            "row " + std::to_string(row) + ": group " + std::to_string(group) +
+            " out of range for attribute '" + plan.specs[a].name() + "'");
+        return;
+      }
+      if (dense) {
+        cell += static_cast<size_t>(group) * plan.strides[a];
+      } else {
+        groups[a] = group;
+      }
+    }
+    double score = scores[row];
+    if (dense) {
+      shard->bins[cell * static_cast<size_t>(plan.num_bins) +
+                  static_cast<size_t>(binner.BinOf(score))] += 1.0;
+      if (score < plan.score_lo || score > plan.score_hi) {
+        shard->clamped[cell] += 1.0;
+      }
+      ++shard->counts[cell];
+    } else {
+      shard->status = shard->sparse->Add(groups, score);
+      if (!shard->status.ok()) return;
+      // Sparse shards charge memory as cells materialize (the dense path
+      // charged its arrays up front).
+      size_t cells_now = shard->sparse->num_cells();
+      if (cells_now > sparse_cells_charged) {
+        uint64_t per_cell =
+            static_cast<uint64_t>(plan.num_bins) * sizeof(double) + 96;
+        reason = context.CheckMemory(
+            (cells_now - sparse_cells_charged) * per_cell);
+        sparse_cells_charged = cells_now;
+        if (reason != ExhaustionReason::kNone) {
+          shard->status = ExhaustionStatus(reason);
+          return;
+        }
+      }
+    }
+    ++shard->rows;
+  }
+}
+
+/// Converts a finished shard into a CellStore (dense arrays rehydrate via
+/// Histogram::FromCounts; sparse shards already are one).
+StatusOr<CellStore> ShardToStore(const IngestPlan& plan,
+                                 CellStoreShard&& shard) {
+  if (shard.sparse.has_value()) return std::move(*shard.sparse);
+  FAIRRANK_ASSIGN_OR_RETURN(
+      CellStore store, CellStore::Make(plan.specs, plan.num_bins,
+                                       plan.score_lo, plan.score_hi));
+  std::vector<int> key(plan.specs.size(), 0);
+  for (size_t cell = 0; cell < plan.num_dense_cells; ++cell) {
+    if (shard.counts[cell] == 0) continue;
+    size_t rest = cell;
+    for (size_t a = 0; a < plan.specs.size(); ++a) {
+      key[a] = static_cast<int>(rest / plan.strides[a]);
+      rest %= plan.strides[a];
+    }
+    std::vector<double> counts(
+        shard.bins.begin() +
+            static_cast<ptrdiff_t>(cell * static_cast<size_t>(plan.num_bins)),
+        shard.bins.begin() + static_cast<ptrdiff_t>(
+                                 (cell + 1) * static_cast<size_t>(plan.num_bins)));
+    FAIRRANK_ASSIGN_OR_RETURN(
+        Histogram histogram,
+        Histogram::FromCounts(plan.num_bins, plan.score_lo, plan.score_hi,
+                              std::move(counts), shard.clamped[cell]));
+    FAIRRANK_RETURN_NOT_OK(store.MergeCell(key, histogram, shard.counts[cell]));
+  }
+  return store;
+}
+
+}  // namespace
+
+StatusOr<CellStore> BuildCellStoreParallel(const Table& table,
+                                           const std::vector<double>& scores,
+                                           const CellStoreIngestOptions& options,
+                                           const ExecutionContext& context) {
+  if (scores.size() != table.num_rows()) {
+    return Status::InvalidArgument(
+        "scores has " + std::to_string(scores.size()) + " entries, table has " +
+        std::to_string(table.num_rows()) + " rows");
+  }
+  FAIRRANK_ASSIGN_OR_RETURN(IngestPlan plan, MakeIngestPlan(table, options));
+  // The factory validates the bin configuration once; shards inherit it.
+  FAIRRANK_ASSIGN_OR_RETURN(
+      CellStore result, CellStore::Make(plan.specs, options.num_bins,
+                                        options.score_lo, options.score_hi));
+
+  TraceContext* trace = context.trace();
+  if (trace != nullptr && !trace->sampled()) trace = nullptr;
+  ScopedSpan ingest_span(trace, "ingest", context.trace_parent());
+  ExecutionContext bounded = context.WithTrace(trace, ingest_span.id());
+
+  int threads = options.num_threads;
+  if (threads <= 0) threads = HardwareThreads();
+  size_t rows = table.num_rows();
+  size_t num_shards =
+      std::max<size_t>(1, std::min<size_t>(static_cast<size_t>(threads), rows));
+
+  Stopwatch timer;
+  std::vector<CellStoreShard> shards(num_shards);
+  try {
+    ParallelForEach(num_shards, threads, [&](size_t s) {
+      // ParallelForEach doesn't run the chunk fault hook itself (ParallelFor
+      // does); call it here so armed FAIRRANK_FAULT_* plans exercise the
+      // ingest shards like any other parallel stage.
+      fault::OnParallelChunk(s, bounded.cancel());
+      size_t begin = rows * s / num_shards;
+      size_t end = rows * (s + 1) / num_shards;
+      RunIngestShard(table, scores, plan, bounded, begin, end, &shards[s]);
+    });
+  } catch (const std::exception& e) {
+    // A thrown shard (fault injection, bad_alloc) surfaces as one Status;
+    // ParallelForEach already ran every other shard to completion.
+    return Status::Internal(std::string("ingest shard failed: ") + e.what());
+  }
+  // First failing shard by index wins, deterministically; sibling shards
+  // are unaffected (they completed on their private accumulators).
+  for (const CellStoreShard& shard : shards) {
+    FAIRRANK_RETURN_NOT_OK(shard.status);
+  }
+  {
+    ScopedSpan merge_span(trace, "ingest_merge", ingest_span.id());
+    for (CellStoreShard& shard : shards) {
+      FAIRRANK_ASSIGN_OR_RETURN(CellStore store,
+                                ShardToStore(plan, std::move(shard)));
+      FAIRRANK_RETURN_NOT_OK(result.MergeFrom(store));
+    }
+  }
+  if (result.num_observations() != rows) {
+    return Status::Internal(
+        "ingest accounting desync: " +
+        std::to_string(result.num_observations()) + " observations from " +
+        std::to_string(rows) + " rows");
+  }
+
+  const AggregateMetrics& metrics = AggregateMetrics::Get();
+  metrics.ingest_rows->Increment(rows);
+  metrics.ingest_shards->Increment(num_shards);
+  metrics.ingest_builds->Increment();
+  metrics.ingest_seconds->Observe(timer.ElapsedSeconds());
+  return result;
 }
 
 std::string AggregatePartitionLabel(const std::vector<AttributeSpec>& specs,
@@ -63,8 +474,9 @@ namespace {
 /// Internal partition: constraints plus the keys of the cells it unions.
 struct WorkingPartition {
   std::vector<std::pair<size_t, int>> constraints;
-  std::vector<const std::pair<const std::vector<int>, Histogram>*> cells;
+  std::vector<const std::pair<const std::vector<int>, StoreCell>*> cells;
   Histogram histogram;
+  size_t size = 0;  ///< Exact observation count (sum of cell counts).
 
   explicit WorkingPartition(int bins, double lo, double hi)
       : histogram(bins, lo, hi) {}
@@ -105,7 +517,9 @@ StatusOr<std::vector<WorkingPartition>> SplitAllCells(
         it = children.emplace(group, std::move(child)).first;
       }
       it->second.cells.push_back(cell);
-      FAIRRANK_RETURN_NOT_OK(it->second.histogram.MergeWith(cell->second));
+      it->second.size += cell->second.count;
+      FAIRRANK_RETURN_NOT_OK(
+          it->second.histogram.MergeWith(cell->second.histogram));
     }
     for (auto& [group, child] : children) {
       result.push_back(std::move(child));
@@ -117,18 +531,24 @@ StatusOr<std::vector<WorkingPartition>> SplitAllCells(
 }  // namespace
 
 StatusOr<AggregateAuditResult> AuditAggregateBalanced(
-    const CellStore& store, const std::string& divergence_name) {
+    const CellStore& store, const std::string& divergence_name,
+    const ExecutionContext& context) {
   if (store.num_cells() == 0) {
     return Status::FailedPrecondition("cell store is empty");
   }
   FAIRRANK_ASSIGN_OR_RETURN(std::unique_ptr<Divergence> divergence,
                             MakeDivergenceByName(divergence_name));
 
+  TraceContext* trace = context.trace();
+  if (trace != nullptr && !trace->sampled()) trace = nullptr;
+  ScopedSpan audit_span(trace, "aggregate_audit", context.trace_parent());
+
   // Root partition holding every cell.
   WorkingPartition root(store.num_bins(), store.score_lo(), store.score_hi());
   for (const auto& cell : store.cells()) {
     root.cells.push_back(&cell);
-    FAIRRANK_RETURN_NOT_OK(root.histogram.MergeWith(cell.second));
+    root.size += cell.second.count;
+    FAIRRANK_RETURN_NOT_OK(root.histogram.MergeWith(cell.second.histogram));
   }
   std::vector<WorkingPartition> current;
   current.push_back(std::move(root));
@@ -138,13 +558,18 @@ StatusOr<AggregateAuditResult> AuditAggregateBalanced(
   std::vector<size_t> used;
 
   // Balanced (Algorithm 1) over cells: pick the worst attribute, split all,
-  // stop when the average pairwise divergence no longer increases.
+  // stop when the average pairwise divergence no longer increases. The
+  // context is checked between candidate evaluations: the cell space is
+  // tiny next to ingest, but a server deadline still has to be able to cut
+  // a pathological cross-product short.
   auto select_worst = [&](const std::vector<WorkingPartition>& parts,
                           const std::vector<size_t>& remaining)
       -> StatusOr<size_t> {
     size_t best_pos = 0;
     double best_avg = -1.0;
     for (size_t pos = 0; pos < remaining.size(); ++pos) {
+      ExhaustionReason reason = context.Check();
+      if (reason != ExhaustionReason::kNone) return ExhaustionStatus(reason);
       FAIRRANK_ASSIGN_OR_RETURN(
           std::vector<WorkingPartition> candidate,
           SplitAllCells(store, parts, remaining[pos]));
@@ -161,6 +586,8 @@ StatusOr<AggregateAuditResult> AuditAggregateBalanced(
   double current_avg = 0.0;
   bool first = true;
   while (!attrs.empty()) {
+    ExhaustionReason reason = context.Check();
+    if (reason != ExhaustionReason::kNone) return ExhaustionStatus(reason);
     FAIRRANK_ASSIGN_OR_RETURN(size_t pos, select_worst(current, attrs));
     size_t attr = attrs[pos];
     attrs.erase(attrs.begin() + static_cast<ptrdiff_t>(pos));
@@ -179,13 +606,25 @@ StatusOr<AggregateAuditResult> AuditAggregateBalanced(
   result.unfairness = current_avg;
   result.attributes_used = std::move(used);
   result.partitions.reserve(current.size());
+  size_t covered = 0;
   for (WorkingPartition& part : current) {
     AggregatePartition out;
     out.constraints = std::move(part.constraints);
-    out.size = static_cast<size_t>(part.histogram.total());
+    // Exact count, not histogram mass: clamped out-of-range scores (or
+    // future sketch mass) would silently desync the latter from
+    // num_observations().
+    out.size = part.size;
+    covered += part.size;
     out.histogram = std::move(part.histogram);
     result.partitions.push_back(std::move(out));
   }
+  if (covered != store.num_observations()) {
+    return Status::Internal(
+        "aggregate audit lost observations: partitions cover " +
+        std::to_string(covered) + " of " +
+        std::to_string(store.num_observations()));
+  }
+  AggregateMetrics::Get().audits->Increment();
   return result;
 }
 

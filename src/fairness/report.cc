@@ -221,6 +221,98 @@ std::string FormatAuditJson(const AuditResult& result) {
   return out;
 }
 
+std::string FormatAggregateAuditReport(const CellStore& store,
+                                       const AggregateAuditResult& result,
+                                       const AggregateReportInfo& info,
+                                       const ReportOptions& options) {
+  std::string out;
+  out += "aggregate audit (cell store)\n";
+  out += "  function:       " + info.scoring_function + "\n";
+  out += "  divergence:     " + info.divergence + "\n";
+  out += "  unfairness:     " + FormatDouble(result.unfairness, 6) + "\n";
+  out += "  observations:   " + std::to_string(store.num_observations()) +
+         " in " + std::to_string(store.num_cells()) + " cells\n";
+  out += "  ingest:         " + FormatDouble(info.ingest_seconds, 3) + "s (" +
+         std::to_string(info.ingest_threads) + " thread" +
+         (info.ingest_threads == 1 ? "" : "s") + ")\n";
+  out += "  audit:          " + FormatDouble(info.audit_seconds, 3) + "s\n";
+  std::vector<std::string> attr_names;
+  attr_names.reserve(result.attributes_used.size());
+  for (size_t index : result.attributes_used) {
+    attr_names.push_back(store.specs()[index].name());
+  }
+  out += "  attributes:     " +
+         (attr_names.empty() ? std::string("(none)") : Join(attr_names, ", ")) +
+         "\n\n";
+
+  TextTable table;
+  table.SetHeader({"partition", "size"});
+  size_t limit = options.max_partitions == 0
+                     ? result.partitions.size()
+                     : std::min(options.max_partitions,
+                                result.partitions.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const AggregatePartition& p = result.partitions[i];
+    table.AddRow({AggregatePartitionLabel(store.specs(), p),
+                  std::to_string(p.size)});
+  }
+  out += table.ToString();
+  if (limit < result.partitions.size()) {
+    out += "... (" + std::to_string(result.partitions.size() - limit) +
+           " more partitions)\n";
+  }
+  if (options.include_histograms) {
+    for (size_t i = 0; i < limit; ++i) {
+      const AggregatePartition& p = result.partitions[i];
+      out += "\n" + AggregatePartitionLabel(store.specs(), p) + ":\n" +
+             p.histogram.ToAscii();
+    }
+  }
+  return out;
+}
+
+std::string FormatAggregateAuditJson(const CellStore& store,
+                                     const AggregateAuditResult& result,
+                                     const AggregateReportInfo& info) {
+  std::string out = "{";
+  out += "\"mode\":\"aggregate\",";
+  out += "\"scoring_function\":\"" + JsonEscape(info.scoring_function) +
+         "\",";
+  out += "\"divergence\":\"" + JsonEscape(info.divergence) + "\",";
+  out += "\"unfairness\":" + FormatDouble(result.unfairness, 6) + ",";
+  out += "\"ingest_threads\":" + std::to_string(info.ingest_threads) + ",";
+  out += "\"ingest_seconds\":" + FormatDouble(info.ingest_seconds, 6) + ",";
+  out += "\"audit_seconds\":" + FormatDouble(info.audit_seconds, 6) + ",";
+  out += "\"num_cells\":" + std::to_string(store.num_cells()) + ",";
+  out += "\"num_observations\":" + std::to_string(store.num_observations()) +
+         ",";
+  out += "\"attributes_used\":[";
+  for (size_t i = 0; i < result.attributes_used.size(); ++i) {
+    if (i > 0) out += ",";
+    // Stepwise append: chained operator+ trips GCC 12's -Wrestrict false
+    // positive (PR105651) under -Werror.
+    out += "\"";
+    out += JsonEscape(store.specs()[result.attributes_used[i]].name());
+    out += "\"";
+  }
+  out += "],\"partitions\":[";
+  for (size_t i = 0; i < result.partitions.size(); ++i) {
+    const AggregatePartition& p = result.partitions[i];
+    if (i > 0) out += ",";
+    out += "{\"label\":\"" +
+           JsonEscape(AggregatePartitionLabel(store.specs(), p)) + "\",";
+    out += "\"size\":" + std::to_string(p.size) + ",";
+    out += "\"histogram\":[";
+    for (size_t b = 0; b < p.histogram.counts().size(); ++b) {
+      if (b > 0) out += ",";
+      out += FormatDouble(p.histogram.counts()[b], 0);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string FormatAuditCsvRow(const AuditResult& result) {
   // RFC-4180: every field is escaped — algorithm and function names are
   // caller-supplied and may contain commas or quotes, and the |-joined

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "fairness/aggregate.h"
 #include "fairness/auditor.h"
 
 namespace fairrank {
@@ -56,6 +57,36 @@ std::string JsonEscape(const std::string& s);
 ///                   "histogram": [counts...]}, ...]
 /// }
 std::string FormatAuditJson(const AuditResult& result);
+
+/// Run metadata the aggregate formatters render alongside the result (the
+/// CellStore itself carries no timing or provenance).
+struct AggregateReportInfo {
+  std::string scoring_function;
+  std::string divergence = "emd";
+  int ingest_threads = 1;
+  double ingest_seconds = 0.0;
+  double audit_seconds = 0.0;
+};
+
+/// Human-readable report of an aggregate (cell-store) audit: headline
+/// (function, unfairness, cells/observations, ingest + audit timing) plus a
+/// partition table, mirroring FormatAuditReport.
+std::string FormatAggregateAuditReport(
+    const CellStore& store, const AggregateAuditResult& result,
+    const AggregateReportInfo& info,
+    const ReportOptions& options = ReportOptions());
+
+/// JSON rendering of an aggregate audit:
+/// {
+///   "mode": "aggregate", "scoring_function": ..., "divergence": ...,
+///   "unfairness": ..., "ingest_threads": ..., "ingest_seconds": ...,
+///   "audit_seconds": ..., "num_cells": ..., "num_observations": ...,
+///   "attributes_used": [names...],
+///   "partitions": [{"label": ..., "size": ..., "histogram": [counts...]}]
+/// }
+std::string FormatAggregateAuditJson(const CellStore& store,
+                                     const AggregateAuditResult& result,
+                                     const AggregateReportInfo& info);
 
 }  // namespace fairrank
 

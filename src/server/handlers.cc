@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/stopwatch.h"
 #include "common/str_util.h"
+#include "fairness/aggregate.h"
 #include "fairness/auditor.h"
 #include "fairness/option_flags.h"
 #include "fairness/report.h"
@@ -75,7 +77,54 @@ std::vector<std::string> KnownAuditParams() {
   std::vector<std::string> known = AuditOptionFlagNames();
   known.push_back("function");
   known.push_back("dataset");
+  known.push_back("aggregate");
+  known.push_back("ingest-threads");
   return known;
+}
+
+/// `/audit?aggregate=1`: the cell-store route — sharded ingest (bounded by
+/// the composed request limits) followed by the balanced audit over cells.
+/// Served out of the same handler so admission control, tracing, and the
+/// response cache (the canonicalizer folds `aggregate` and `ingest-threads`
+/// into the key by iterating FlagNames()) treat it like any audit.
+StatusOr<HandlerResult> RunAuditAggregate(const ServerEnv& env,
+                                          const FlagParser& flags,
+                                          const Table& table,
+                                          const ScoringFunction& fn,
+                                          const AuditOptions& options) {
+  FAIRRANK_ASSIGN_OR_RETURN(std::vector<double> scores, fn.ScoreAll(table));
+  FAIRRANK_ASSIGN_OR_RETURN(int64_t ingest_threads,
+                            flags.GetInt("ingest-threads", 1));
+
+  CellStoreIngestOptions ingest;
+  ingest.num_bins = options.evaluator.num_bins;
+  ingest.score_lo = options.evaluator.score_lo;
+  ingest.score_hi = options.evaluator.score_hi;
+  ingest.num_threads =
+      ClampThreads(static_cast<int>(ingest_threads), env.max_request_threads);
+  ingest.protected_attributes = options.protected_attributes;
+
+  ResourceBudget budget = options.limits.MakeBudget();
+  ExecutionContext context = options.limits.MakeContext(&budget);
+
+  Stopwatch ingest_timer;
+  FAIRRANK_ASSIGN_OR_RETURN(
+      CellStore store, BuildCellStoreParallel(table, scores, ingest, context));
+  AggregateReportInfo info;
+  info.scoring_function = fn.Name();
+  info.divergence = options.evaluator.divergence;
+  info.ingest_threads = ingest.num_threads;
+  info.ingest_seconds = ingest_timer.ElapsedSeconds();
+
+  Stopwatch audit_timer;
+  FAIRRANK_ASSIGN_OR_RETURN(
+      AggregateAuditResult result,
+      AuditAggregateBalanced(store, options.evaluator.divergence, context));
+  info.audit_seconds = audit_timer.ElapsedSeconds();
+
+  HandlerResult out;
+  out.response.body = FormatAggregateAuditJson(store, result, info);
+  return out;
 }
 
 std::vector<std::string> KnownSuiteParams() {
@@ -104,6 +153,9 @@ StatusOr<HandlerResult> RunAudit(const ServerEnv& env,
   options.limits.trace = trace;
   options.evaluator.num_threads =
       ClampThreads(options.evaluator.num_threads, env.max_request_threads);
+
+  FAIRRANK_ASSIGN_OR_RETURN(bool aggregate, flags.GetBool("aggregate", false));
+  if (aggregate) return RunAuditAggregate(env, flags, *table, *fn, options);
 
   FairnessAuditor auditor(table);
   FAIRRANK_ASSIGN_OR_RETURN(AuditResult result, auditor.Audit(*fn, options));

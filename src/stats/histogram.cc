@@ -17,6 +17,36 @@ StatusOr<Histogram> Histogram::Make(int num_bins, double lo, double hi) {
   return Histogram(num_bins, lo, hi);
 }
 
+StatusOr<Histogram> Histogram::FromCounts(int num_bins, double lo, double hi,
+                                          std::vector<double> counts,
+                                          double clamped) {
+  FAIRRANK_ASSIGN_OR_RETURN(Histogram histogram, Make(num_bins, lo, hi));
+  if (counts.size() != static_cast<size_t>(num_bins)) {
+    std::string message = "histogram has ";
+    message += std::to_string(num_bins);
+    message += " bins but ";
+    message += std::to_string(counts.size());
+    message += " counts were supplied";
+    return Status::InvalidArgument(message);
+  }
+  double total = 0.0;
+  for (double count : counts) {
+    if (!std::isfinite(count) || count < 0.0) {
+      return Status::InvalidArgument(
+          "histogram counts must be finite and non-negative");
+    }
+    total += count;
+  }
+  if (!std::isfinite(clamped) || clamped < 0.0 || clamped > total) {
+    return Status::InvalidArgument(
+        "clamped mass must lie within [0, total mass]");
+  }
+  histogram.counts_ = std::move(counts);
+  histogram.total_ = total;
+  histogram.clamped_ = clamped;
+  return histogram;
+}
+
 Histogram::Histogram(int num_bins, double lo, double hi)
     : lo_(lo), hi_(hi), counts_(static_cast<size_t>(num_bins), 0.0) {
   assert(num_bins >= 1 && lo < hi);
@@ -56,7 +86,23 @@ bool Histogram::SameShape(const Histogram& other) const {
 
 Status Histogram::MergeWith(const Histogram& other) {
   if (!SameShape(other)) {
-    return Status::InvalidArgument("cannot merge histograms of different shape");
+    // Name both configurations: merge failures usually mean two stores or
+    // cells were built with different bin settings, and the caller needs to
+    // see which.
+    std::string message = "cannot merge histograms of different shape: ";
+    message += std::to_string(num_bins());
+    message += " bins over [";
+    message += FormatDouble(lo_, 6);
+    message += ", ";
+    message += FormatDouble(hi_, 6);
+    message += "] vs ";
+    message += std::to_string(other.num_bins());
+    message += " bins over [";
+    message += FormatDouble(other.lo_, 6);
+    message += ", ";
+    message += FormatDouble(other.hi_, 6);
+    message += "]";
+    return Status::InvalidArgument(message);
   }
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   total_ += other.total_;

@@ -24,6 +24,17 @@ class Histogram {
   /// Requires num_bins >= 1 and lo < hi (asserted via Validate in factory).
   static StatusOr<Histogram> Make(int num_bins, double lo, double hi);
 
+  /// Builds a histogram directly from per-bin counts (plus the clamped
+  /// out-of-range mass included in those counts). The constructor shards
+  /// and merge paths need: a shard that accumulated counts in a flat array
+  /// rehydrates them without replaying the observations. Fails unless the
+  /// Make invariants hold, `counts` has exactly `num_bins` entries, every
+  /// count is finite and non-negative, and `clamped` is non-negative and no
+  /// larger than the total mass.
+  static StatusOr<Histogram> FromCounts(int num_bins, double lo, double hi,
+                                        std::vector<double> counts,
+                                        double clamped = 0.0);
+
   /// Unchecked constructor for internal/trusted callers.
   Histogram(int num_bins, double lo, double hi);
 

@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "fairness/auditor.h"
 #include "marketplace/biased_scoring.h"
 #include "marketplace/generator.h"
@@ -39,6 +46,98 @@ TEST(CellStoreTest, AddValidation) {
   EXPECT_EQ(store.num_cells(), 1u);
 }
 
+TEST(CellStoreTest, MakeValidatesConfiguration) {
+  Schema schema = MakeToySchema().value();
+  std::vector<AttributeSpec> specs = {schema.attribute(0)};
+  EXPECT_TRUE(CellStore::Make(specs, 10, 0.0, 1.0).ok());
+  // Degenerate bin configs used to flow through the constructor unchecked
+  // and every Add built broken Histograms.
+  EXPECT_EQ(CellStore::Make(specs, 0, 0.0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CellStore::Make(specs, -3, 0.0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CellStore::Make(specs, 10, 1.0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CellStore::Make(specs, 10, 0.7, 0.2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CellStore::Make({}, 10, 0.0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CellStoreTest, MergeFromRejectsIncompatibleStores) {
+  Schema schema = MakeToySchema().value();
+  std::vector<AttributeSpec> specs = {schema.attribute(0),
+                                      schema.attribute(1)};
+  CellStore store = CellStore::Make(specs, 10, 0.0, 1.0).value();
+  ASSERT_TRUE(store.Add({0, 0}, 0.5).ok());
+
+  CellStore other_bins = CellStore::Make(specs, 5, 0.0, 1.0).value();
+  ASSERT_TRUE(other_bins.Add({0, 0}, 0.5).ok());
+  Status bins = store.MergeFrom(other_bins);
+  EXPECT_EQ(bins.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bins.message().find("bins"), std::string::npos);
+
+  CellStore other_range = CellStore::Make(specs, 10, 0.0, 2.0).value();
+  EXPECT_EQ(store.MergeFrom(other_range).code(),
+            StatusCode::kInvalidArgument);
+
+  CellStore other_specs =
+      CellStore::Make({schema.attribute(0)}, 10, 0.0, 1.0).value();
+  EXPECT_EQ(store.MergeFrom(other_specs).code(),
+            StatusCode::kInvalidArgument);
+
+  // The store is untouched by the failed merges.
+  EXPECT_EQ(store.num_observations(), 1u);
+}
+
+TEST(CellStoreTest, MergeCellRejectsMismatchedHistogram) {
+  Schema schema = MakeToySchema().value();
+  CellStore store =
+      CellStore::Make({schema.attribute(0)}, 10, 0.0, 1.0).value();
+  Histogram wrong_shape(5, 0.0, 1.0);
+  wrong_shape.Add(0.5);
+  Status status = store.MergeCell({0}, wrong_shape, 1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The enriched MergeWith message names both bin configurations.
+  EXPECT_NE(status.message().find("10 bins"), std::string::npos);
+  EXPECT_NE(status.message().find("5 bins"), std::string::npos);
+  EXPECT_EQ(store.num_observations(), 0u);
+}
+
+TEST(CellStoreTest, MergeFromCombinesCells) {
+  GeneratorOptions gen;
+  gen.num_workers = 400;
+  gen.seed = 21;
+  Table workers = GenerateWorkers(gen).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  std::vector<double> scores = fn->ScoreAll(workers).value();
+
+  CellStore whole = FillStore(workers, scores);
+  CellStore first =
+      CellStore::Make(ProtectedSpecs(workers), 10, 0.0, 1.0).value();
+  CellStore second =
+      CellStore::Make(ProtectedSpecs(workers), 10, 0.0, 1.0).value();
+  for (size_t row = 0; row < workers.num_rows(); ++row) {
+    CellStore& half = (row < workers.num_rows() / 2) ? first : second;
+    ASSERT_TRUE(half.AddRow(workers, row, scores[row]).ok());
+  }
+  ASSERT_TRUE(first.MergeFrom(second).ok());
+
+  ASSERT_EQ(first.num_cells(), whole.num_cells());
+  ASSERT_EQ(first.num_observations(), whole.num_observations());
+  auto merged_it = first.cells().begin();
+  for (const auto& [key, cell] : whole.cells()) {
+    ASSERT_EQ(merged_it->first, key);
+    EXPECT_EQ(merged_it->second.count, cell.count);
+    // Bit-identical bin counts: unit weights, integer sums.
+    for (int b = 0; b < cell.histogram.num_bins(); ++b) {
+      EXPECT_EQ(merged_it->second.histogram.counts()[b],
+                cell.histogram.counts()[b]);
+    }
+    ++merged_it;
+  }
+}
+
 TEST(CellStoreTest, CellsDeduplicate) {
   Schema schema = MakeToySchema().value();
   CellStore store({schema.attribute(0), schema.attribute(1)}, 10, 0.0, 1.0);
@@ -47,6 +146,163 @@ TEST(CellStoreTest, CellsDeduplicate) {
   ASSERT_TRUE(store.Add({1, 0}, 0.3).ok());
   EXPECT_EQ(store.num_cells(), 2u);
   EXPECT_EQ(store.num_observations(), 3u);
+}
+
+TEST(BuildCellStoreParallelTest, ShardedIngestMatchesSerialBitIdentical) {
+  // The acceptance property: sharded parallel ingest must be *bit-identical*
+  // to serial AddRow ingest — same cells, same exact counts, identical bin
+  // doubles — and therefore produce an identical audit (all observation
+  // weights are 1.0, so bin-wise sums are exact integers in any merge
+  // order).
+  GeneratorOptions gen;
+  gen.num_workers = 2000;
+  gen.seed = 77;
+  Table workers = GenerateWorkers(gen).value();
+  auto f6 = MakeF6(9);
+  std::vector<double> scores = f6->ScoreAll(workers).value();
+
+  CellStore serial = FillStore(workers, scores);
+  AggregateAuditResult serial_audit = AuditAggregateBalanced(serial).value();
+
+  for (int threads : {1, 2, 8}) {
+    CellStoreIngestOptions options;
+    options.num_threads = threads;
+    CellStore sharded =
+        BuildCellStoreParallel(workers, scores, options).value();
+
+    ASSERT_EQ(sharded.num_cells(), serial.num_cells()) << threads;
+    ASSERT_EQ(sharded.num_observations(), serial.num_observations())
+        << threads;
+    auto sharded_it = sharded.cells().begin();
+    for (const auto& [key, cell] : serial.cells()) {
+      ASSERT_EQ(sharded_it->first, key) << threads;
+      EXPECT_EQ(sharded_it->second.count, cell.count) << threads;
+      EXPECT_EQ(sharded_it->second.histogram.clamped_count(),
+                cell.histogram.clamped_count())
+          << threads;
+      for (int b = 0; b < cell.histogram.num_bins(); ++b) {
+        EXPECT_EQ(sharded_it->second.histogram.counts()[b],
+                  cell.histogram.counts()[b])
+            << threads << " bin " << b;
+      }
+      ++sharded_it;
+    }
+
+    AggregateAuditResult audit = AuditAggregateBalanced(sharded).value();
+    EXPECT_EQ(audit.unfairness, serial_audit.unfairness) << threads;
+    EXPECT_EQ(audit.partitions.size(), serial_audit.partitions.size())
+        << threads;
+    EXPECT_EQ(audit.attributes_used, serial_audit.attributes_used) << threads;
+    for (size_t i = 0; i < audit.partitions.size(); ++i) {
+      EXPECT_EQ(audit.partitions[i].size, serial_audit.partitions[i].size)
+          << threads << " partition " << i;
+    }
+  }
+}
+
+TEST(BuildCellStoreParallelTest, ValidatesInput) {
+  GeneratorOptions gen;
+  gen.num_workers = 50;
+  gen.seed = 4;
+  Table workers = GenerateWorkers(gen).value();
+  std::vector<double> too_few(10, 0.5);
+  EXPECT_EQ(BuildCellStoreParallel(workers, too_few).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<double> scores(workers.num_rows(), 0.5);
+  CellStoreIngestOptions bad_bins;
+  bad_bins.num_bins = 0;
+  EXPECT_EQ(
+      BuildCellStoreParallel(workers, scores, bad_bins).status().code(),
+      StatusCode::kInvalidArgument);
+  CellStoreIngestOptions bad_range;
+  bad_range.score_lo = 1.0;
+  bad_range.score_hi = 0.0;
+  EXPECT_EQ(
+      BuildCellStoreParallel(workers, scores, bad_range).status().code(),
+      StatusCode::kInvalidArgument);
+  CellStoreIngestOptions bad_attr;
+  bad_attr.protected_attributes = {"NoSuchColumn"};
+  EXPECT_EQ(
+      BuildCellStoreParallel(workers, scores, bad_attr).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST(BuildCellStoreParallelTest, RestrictsToNamedAttributes) {
+  GeneratorOptions gen;
+  gen.num_workers = 300;
+  gen.seed = 12;
+  Table workers = GenerateWorkers(gen).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  std::vector<double> scores = fn->ScoreAll(workers).value();
+  CellStoreIngestOptions options;
+  options.protected_attributes = {"Gender"};
+  options.num_threads = 2;
+  CellStore store = BuildCellStoreParallel(workers, scores, options).value();
+  ASSERT_EQ(store.specs().size(), 1u);
+  EXPECT_EQ(store.specs()[0].name(), "Gender");
+  EXPECT_LE(store.num_cells(),
+            static_cast<size_t>(store.specs()[0].num_groups()));
+  EXPECT_EQ(store.num_observations(), workers.num_rows());
+}
+
+TEST(BuildCellStoreParallelTest, FaultedShardSurfacesOneErrorCleanly) {
+  // A shard that throws (fault injection standing in for a production
+  // failure) must surface exactly one structured error without poisoning
+  // sibling shards — and the very next build must succeed untainted.
+  GeneratorOptions gen;
+  gen.num_workers = 600;
+  gen.seed = 33;
+  Table workers = GenerateWorkers(gen).value();
+  auto fn = MakeAlphaFunction("f1", 0.5);
+  std::vector<double> scores = fn->ScoreAll(workers).value();
+
+  CellStoreIngestOptions options;
+  options.num_threads = 4;
+  {
+    fault::FaultPlan plan;
+    plan.throw_in_chunk = 2;  // Shard 2 of 4 throws at its start.
+    fault::ScopedFaultPlan armed(plan);
+    StatusOr<CellStore> store =
+        BuildCellStoreParallel(workers, scores, options);
+    ASSERT_FALSE(store.ok());
+    EXPECT_EQ(store.status().code(), StatusCode::kInternal);
+    EXPECT_NE(store.status().ToString().find("ingest shard failed"),
+              std::string::npos);
+  }
+  // Disarmed: the same inputs build cleanly and match serial ingest.
+  CellStore rebuilt = BuildCellStoreParallel(workers, scores, options).value();
+  CellStore serial = FillStore(workers, scores);
+  EXPECT_EQ(rebuilt.num_observations(), serial.num_observations());
+  EXPECT_EQ(rebuilt.num_cells(), serial.num_cells());
+  EXPECT_EQ(AuditAggregateBalanced(rebuilt).value().unfairness,
+            AuditAggregateBalanced(serial).value().unfairness);
+}
+
+TEST(BuildCellStoreParallelTest, HonorsDeadlineAndMemoryBudget) {
+  GeneratorOptions gen;
+  gen.num_workers = 200;
+  gen.seed = 6;
+  Table workers = GenerateWorkers(gen).value();
+  std::vector<double> scores(workers.num_rows(), 0.5);
+
+  // Already-expired deadline: the shard's first checkpoint refuses.
+  ExecutionContext expired(Deadline::AfterMillis(0), CancellationToken(),
+                          nullptr);
+  CellStoreIngestOptions options;
+  options.num_threads = 2;
+  EXPECT_EQ(BuildCellStoreParallel(workers, scores, options, expired)
+                .status()
+                .code(),
+            StatusCode::kDeadlineExceeded);
+
+  // A 1-byte memory budget trips the shard's up-front array charge.
+  ResourceBudget budget(0, 1);
+  ExecutionContext strapped(Deadline(), CancellationToken(), &budget);
+  EXPECT_EQ(BuildCellStoreParallel(workers, scores, options, strapped)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(AggregateAuditTest, EmptyStoreFails) {
@@ -141,6 +397,29 @@ TEST(AggregateAuditTest, DivergenceOptionRespected) {
   EXPECT_NEAR(ks, 1.0, 1e-9);  // f6 fully separates genders.
   EXPECT_NEAR(emd, 0.8, 0.05);
   EXPECT_FALSE(AuditAggregateBalanced(store, "bogus").ok());
+}
+
+TEST(AggregateAuditTest, PartitionSizesStayExactUnderClampedScores) {
+  // Out-of-range scores get clamped into edge bins; partition sizes used to
+  // be read off histogram mass (aggregate.cc:185 before the fix), which
+  // future sketch mass would desync from the true population. Sizes must
+  // come from exact per-cell counts and cover every observation.
+  Schema schema = MakeToySchema().value();
+  CellStore store =
+      CellStore::Make({schema.attribute(0)}, 10, 0.0, 1.0).value();
+  ASSERT_TRUE(store.Add({0}, 0.2).ok());
+  ASSERT_TRUE(store.Add({0}, 1.7).ok());   // Clamped into the top bin.
+  ASSERT_TRUE(store.Add({1}, -0.4).ok());  // Clamped into the bottom bin.
+  ASSERT_TRUE(store.Add({1}, 0.9).ok());
+  ASSERT_EQ(store.num_observations(), 4u);
+
+  AggregateAuditResult result = AuditAggregateBalanced(store).value();
+  size_t covered = 0;
+  for (const AggregatePartition& p : result.partitions) covered += p.size;
+  EXPECT_EQ(covered, store.num_observations());
+  for (const AggregatePartition& p : result.partitions) {
+    EXPECT_EQ(p.size, 2u);
+  }
 }
 
 TEST(AggregateAuditTest, CompressionIsMassive) {

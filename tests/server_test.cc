@@ -25,6 +25,7 @@
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "data/table.h"
+#include "fairness/aggregate.h"
 #include "fairness/auditor.h"
 #include "fairness/option_flags.h"
 #include "fairness/report.h"
@@ -103,7 +104,8 @@ HttpFetchResult Fetch(const RunningServer& running, const std::string& target,
 /// Strips the wall-clock-dependent fields from an audit JSON body so two
 /// runs of the same deterministic audit compare bit-identically.
 std::string StripVolatile(std::string body) {
-  for (const char* key : {"\"seconds\":", "\"nodes_per_sec\":"}) {
+  for (const char* key : {"\"seconds\":", "\"nodes_per_sec\":",
+                          "\"ingest_seconds\":", "\"audit_seconds\":"}) {
     size_t pos = 0;
     while ((pos = body.find(key, pos)) != std::string::npos) {
       size_t end = body.find_first_of(",}", pos);
@@ -162,6 +164,47 @@ TEST(ServerTest, AuditEndpointMatchesLibrary) {
     actual.pop_back();
   }
   EXPECT_EQ(actual, expected);
+}
+
+TEST(ServerTest, AggregateAuditEndpointMatchesLibrary) {
+  auto running = StartServer(DefaultOptions());
+  // ingest-threads is clamped to max_request_threads (1 here); results are
+  // bit-identical across thread counts, so only the echoed thread count in
+  // the body depends on the clamp.
+  HttpFetchResult response =
+      Fetch(*running, "/audit?function=f6&aggregate=1&ingest-threads=2");
+  ASSERT_EQ(response.status_code, 200) << response.body;
+
+  GeneratorOptions gen;
+  gen.num_workers = kNumWorkersRows;
+  gen.seed = 7;
+  Table table = GenerateWorkers(gen).value();
+  StatusOr<std::unique_ptr<ScoringFunction>> fn = MakeFunctionFromSpec("f6");
+  ASSERT_TRUE(fn.ok());
+  StatusOr<std::vector<double>> scores = (*fn)->ScoreAll(table);
+  ASSERT_TRUE(scores.ok());
+  StatusOr<CellStore> store = BuildCellStoreParallel(table, *scores);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  StatusOr<AggregateAuditResult> result = AuditAggregateBalanced(*store);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  AggregateReportInfo info;
+  info.scoring_function = (*fn)->Name();
+  info.ingest_threads = 1;
+
+  std::string expected =
+      StripVolatile(FormatAggregateAuditJson(*store, *result, info));
+  std::string actual = StripVolatile(response.body);
+  while (!actual.empty() && (actual.back() == '\n' || actual.back() == '\r')) {
+    actual.pop_back();
+  }
+  EXPECT_EQ(actual, expected);
+
+  // The canonicalizer folds aggregate params into the cache key by
+  // iterating FlagNames(), so the aggregate and row-level bodies can never
+  // alias: sanity-check they differ.
+  HttpFetchResult row_level = Fetch(*running, "/audit?function=f6");
+  ASSERT_EQ(row_level.status_code, 200) << row_level.body;
+  EXPECT_NE(row_level.body, response.body);
 }
 
 TEST(ServerTest, BadInputFailsStructurallyNotFatally) {

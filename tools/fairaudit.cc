@@ -8,7 +8,7 @@
 //                      [--attributes Gender,Country] [--json] [--histograms]
 //                      [--timeout-ms 5000] [--max-nodes 100000]
 //                      [--max-memory-mb 512] [--no-cache] [--cache-mb 256]
-//                      [--trace]
+//                      [--trace] [--aggregate] [--ingest-threads 8]
 //   fairaudit suite    --input workers.csv
 //                      [--functions alpha:0.25,alpha:0.5,f6]
 //                      [--algorithms balanced,unbalanced] [--csv] [--json]
@@ -70,10 +70,13 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "common/trace.h"
 #include "data/csv.h"
 #include "data/profile.h"
+#include "fairness/aggregate.h"
 #include "fairness/auditor.h"
 #include "fairness/exposure.h"
 #include "fairness/option_flags.h"
@@ -188,6 +191,64 @@ int CmdProfile(const FlagParser& flags) {
   return 0;
 }
 
+/// `audit --aggregate`: collapses the table into per-cell histograms with
+/// the sharded ingest path and runs the balanced audit on the cells — the
+/// million-worker route (see DESIGN.md §12). Shares the evaluator, limit,
+/// and output flags with the row-level audit.
+int CmdAuditAggregate(const FlagParser& flags, const Table& workers,
+                      const ScoringFunction& fn, const AuditOptions& options) {
+  StatusOr<std::vector<double>> scores = fn.ScoreAll(workers);
+  if (!scores.ok()) return Fail(scores.status());
+  StatusOr<int64_t> ingest_threads = flags.GetInt("ingest-threads", 1);
+  if (!ingest_threads.ok()) return Fail(ingest_threads.status());
+
+  CellStoreIngestOptions ingest;
+  ingest.num_bins = options.evaluator.num_bins;
+  ingest.score_lo = options.evaluator.score_lo;
+  ingest.score_hi = options.evaluator.score_hi;
+  ingest.num_threads = static_cast<int>(*ingest_threads);
+  ingest.protected_attributes = options.protected_attributes;
+
+  ResourceBudget budget = options.limits.MakeBudget();
+  ExecutionContext context = options.limits.MakeContext(&budget);
+
+  Stopwatch ingest_timer;
+  StatusOr<CellStore> store =
+      BuildCellStoreParallel(workers, *scores, ingest, context);
+  if (!store.ok()) return Fail(store.status());
+
+  AggregateReportInfo info;
+  info.scoring_function = fn.Name();
+  info.divergence = options.evaluator.divergence;
+  info.ingest_threads =
+      ingest.num_threads <= 0 ? HardwareThreads() : ingest.num_threads;
+  info.ingest_seconds = ingest_timer.ElapsedSeconds();
+
+  Stopwatch audit_timer;
+  StatusOr<AggregateAuditResult> result =
+      AuditAggregateBalanced(*store, options.evaluator.divergence, context);
+  if (!result.ok()) return Fail(result.status());
+  info.audit_seconds = audit_timer.ElapsedSeconds();
+
+  StatusOr<bool> json = flags.GetBool("json", false);
+  if (!json.ok()) return Fail(json.status());
+  if (*json) {
+    std::printf("%s\n",
+                FormatAggregateAuditJson(*store, *result, info).c_str());
+    return 0;
+  }
+  ReportOptions report;
+  StatusOr<bool> histograms = flags.GetBool("histograms", false);
+  if (!histograms.ok()) return Fail(histograms.status());
+  report.include_histograms = *histograms;
+  StatusOr<int64_t> max_partitions = flags.GetInt("max-partitions", 20);
+  if (!max_partitions.ok()) return Fail(max_partitions.status());
+  report.max_partitions = static_cast<size_t>(*max_partitions);
+  std::printf("%s",
+              FormatAggregateAuditReport(*store, *result, info, report).c_str());
+  return 0;
+}
+
 int CmdAudit(const FlagParser& flags) {
   StatusOr<Table> workers = LoadWorkers(flags);
   if (!workers.ok()) return Fail(workers.status());
@@ -202,6 +263,21 @@ int CmdAudit(const FlagParser& flags) {
   if (*traced) {
     trace = std::make_unique<TraceContext>();
     options->limits.trace = trace.get();
+  }
+
+  StatusOr<bool> aggregate = flags.GetBool("aggregate", false);
+  if (!aggregate.ok()) return Fail(aggregate.status());
+  if (*aggregate) {
+    if (flags.Has("save-partitioning")) {
+      return Fail(Status::InvalidArgument(
+          "--save-partitioning needs row-level partitions; it cannot be "
+          "combined with --aggregate"));
+    }
+    int code = CmdAuditAggregate(flags, *workers, **fn, *options);
+    if (trace != nullptr) {
+      std::fprintf(stderr, "%s", trace->FormatTree().c_str());
+    }
+    return code;
   }
 
   FairnessAuditor auditor(&workers.value());
@@ -625,7 +701,7 @@ StatusOr<std::vector<std::string>> KnownFlagsForCommand(
   } else if (command == "audit") {
     add_audit_flags();
     add({"input", "function", "json", "histograms", "max-partitions",
-         "save-partitioning", "trace"});
+         "save-partitioning", "trace", "aggregate", "ingest-threads"});
   } else if (command == "suite") {
     add_audit_flags();
     add({"input", "functions", "algorithms", "csv", "json", "suite-threads",

@@ -420,6 +420,8 @@ class BenchJsonSchemaRule(Rule):
     REQUIRED_KEYS = {
         "server_load": ("clients", "duration_ms", "phases"),
         "trace_overhead": ("workers", "repetitions", "overhead_percent"),
+        "scaling_millions": ("ingest_threads", "hardware_threads", "sizes",
+                             "speedup_vs_serial"),
     }
 
     def check(self, tree):
@@ -459,6 +461,10 @@ class BenchJsonSchemaRule(Rule):
         ({"BENCH_x.json": '{"clients": 1}'}, 1),
         ({"BENCH_x.json": '{"bench": "server_load", "clients": 1}'}, 2),
         ({"BENCH_x.json": '{"bench": "other", "whatever": 1}'}, 0),
+        ({"BENCH_x.json":
+          '{"bench": "scaling_millions", "ingest_threads": 8, '
+          '"hardware_threads": 1, "sizes": [], "speedup_vs_serial": 3.4}'}, 0),
+        ({"BENCH_x.json": '{"bench": "scaling_millions"}'}, 4),
         ({"BENCH_x.json": '{"bench": "x", "v": NaN}'}, 1),
         ({"BENCH_x.json": "not json"}, 1),
         ({"OTHER_x.json": "not json"}, 0),
